@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Inside Algorithm 1: how the cache emulation bounds tile sizes.
+
+Shows, for the i7-5930K's L1 and L2, how many tile rows of a given width
+survive before interference (conflict) misses appear — and how the answer
+collapses for power-of-two row strides that alias cache sets (the very
+effect that makes naive tile-size formulas fail, and the reason the paper
+runs an emulation instead).
+
+Also cross-checks the emulator's verdict against the *actual* cache
+simulator: rows are streamed twice through a standalone L1 model, and the
+second pass's hit rate shows whether the rows really survived.
+
+Run:  python examples/cache_emulation.py
+"""
+
+from repro.arch import intel_i7_5930k
+from repro.cachesim import SetAssocCache
+from repro.core.emu import emu_l1, emu_l2
+
+
+def survive_in_l1(arch, rows: int, width_elems: int, stride_elems: int) -> float:
+    """Second-pass hit rate when streaming `rows` rows through an L1 model."""
+    lc = arch.lc(4)
+    cache = SetAssocCache("L1", arch.l1.num_sets, arch.effective_ways(1))
+    lines = []
+    for r in range(rows):
+        start = (r * stride_elems) // lc
+        for off in range((width_elems + lc - 1) // lc + 1):  # +1: prefetch
+            lines.append(start + off)
+    for line in lines:           # pass 1: fill
+        if not cache.lookup(line):
+            cache.fill(line)
+    hits = 0
+    for line in lines:           # pass 2: measure reuse
+        if cache.lookup(line):
+            hits += 1
+        else:
+            cache.fill(line)
+    return hits / len(lines)
+
+
+def main() -> None:
+    arch = intel_i7_5930k()
+    dts = 4
+    print(arch.describe())
+    print()
+    print("maxTi = rows of a tile that fit without conflict misses")
+    print(f"{'row stride':>12} {'width':>6} {'emu L1':>7} {'emu L2':>7} "
+          f"{'2nd-pass L1 hit rate @ maxTi':>30}")
+    for stride in (2048, 2064, 1024, 1040, 512, 520):
+        for width in (64, 512):
+            m1 = emu_l1(arch, row_width_elems=width, row_stride_elems=stride,
+                        max_rows=256, dts=dts)
+            m2 = emu_l2(arch, row_width_elems=width, row_stride_elems=stride,
+                        max_rows=256, dts=dts)
+            rate = survive_in_l1(arch, m1, width, stride)
+            print(f"{stride:>12} {width:>6} {m1:>7} {m2:>7} {rate:>29.0%}")
+    print()
+    print("Note the collapse at power-of-two strides (2048, 1024, 512): rows")
+    print("alias onto few sets, so only ~associativity rows survive. Padding")
+    print("the stride by one cache line (2064, 1040, 520) restores capacity —")
+    print("exactly the interference the emulation exists to detect.")
+
+
+if __name__ == "__main__":
+    main()

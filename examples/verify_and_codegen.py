@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""From schedule to verified C code.
+
+The full developer loop on one kernel (gemm):
+
+1. optimize with the paper's flow,
+2. **verify the schedule numerically** — the interpreter executes the
+   scheduled nest on random inputs and compares against numpy,
+3. emit the schedule as a compilable C translation unit (OpenMP pragmas,
+   streaming-store macro), and — when a C compiler is on PATH — build it
+   and check the compiled kernel agrees too.
+
+Run:  python examples/verify_and_codegen.py
+"""
+
+import ctypes
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import Buffer, Func, RVar, Var, optimize
+from repro.arch import intel_i7_5930k
+from repro.ir import lower
+from repro.ir.codegen_c import codegen, signature_buffers
+from repro.sim import execute
+
+
+def make_gemm(n, alpha=1.5, beta=1.2):
+    i, j = Var("i"), Var("j")
+    k = RVar("k", n)
+    a = Buffer("A", (n, n))
+    b = Buffer("B", (n, n))
+    c_in = Buffer("Cin", (n, n))
+    c = Func("C")
+    c[i, j] = beta * c_in[i, j]
+    c[i, j] = c[i, j] + alpha * a[i, k] * b[k, j]
+    c.set_bounds({i: n, j: n})
+    return c, a, b, c_in
+
+
+def main() -> None:
+    n = 128
+    arch = intel_i7_5930k()
+    func, a, b, c_in = make_gemm(n)
+    result = optimize(func, arch)
+    print(result.describe())
+
+    rng = np.random.default_rng(7)
+    a_v = rng.standard_normal((n, n)).astype(np.float32)
+    b_v = rng.standard_normal((n, n)).astype(np.float32)
+    c_v = rng.standard_normal((n, n)).astype(np.float32)
+    inputs = {a: a_v, b: b_v, c_in: c_v}
+
+    print("\n[1/3] interpreting the scheduled nest ...")
+    out = execute(func, result.schedule, inputs)
+    expected = 1.5 * (a_v.astype(np.float64) @ b_v) + 1.2 * c_v
+    err = np.max(np.abs(out - expected))
+    print(f"      max |scheduled - numpy| = {err:.2e}")
+    assert err < 1e-2
+
+    print("[2/3] emitting C ...")
+    src = codegen(lower(func, result.schedule), function_name="gemm")
+    print(f"      {len(src.splitlines())} lines of C")
+
+    if shutil.which("cc") is None:
+        print("[3/3] no C compiler found; skipping the compile check")
+        return
+
+    print("[3/3] compiling and running the C kernel ...")
+    with tempfile.TemporaryDirectory() as tmp:
+        c_path = Path(tmp) / "gemm.c"
+        so_path = Path(tmp) / "gemm.so"
+        c_path.write_text(src)
+        subprocess.run(
+            ["cc", "-O2", "-shared", "-fPIC", "-o", str(so_path), str(c_path)],
+            check=True,
+        )
+        lib = ctypes.CDLL(str(so_path))
+        compiled = np.zeros((n, n), dtype=np.float32)
+        fptr = ctypes.POINTER(ctypes.c_float)
+        arrays = {"A": a_v, "B": b_v, "Cin": c_v}
+        nests = lower(func, result.schedule)
+        param_inputs, _ = signature_buffers(nests)
+        args = [arrays[buf.name].ctypes.data_as(fptr) for buf in param_inputs]
+        args.append(compiled.ctypes.data_as(fptr))
+        lib.gemm(*args)
+        c_err = np.max(np.abs(compiled - expected))
+        print(f"      max |compiled - numpy| = {c_err:.2e}")
+        assert c_err < 1e-2
+    print("all three agree.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Kept so that ``pip install -e .`` works in offline environments that lack
+the ``wheel`` package (legacy editable installs go through setup.py).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""Reproduction of *Loop Transformations Leveraging Hardware Prefetching*
+(Sioutas, Stuijk, Corporaal, Basten, Somers — CGO 2018).
+
+Quickstart::
+
+    from repro import Var, RVar, Buffer, Func, optimize, Machine
+    from repro.arch import intel_i7_5930k
+
+    n = 2048
+    i, j = Var("i"), Var("j")
+    k = RVar("k", n)
+    A, B = Buffer("A", (n, n)), Buffer("B", (n, n))
+    C = Func("C")
+    C[i, j] = 0.0
+    C[i, j] = C[i, j] + A[i, k] * B[k, j]
+    C.set_bounds({i: n, j: n})
+
+    arch = intel_i7_5930k()
+    result = optimize(C, arch)          # the paper's optimization flow
+    print(result.describe())
+
+    machine = Machine(arch)             # trace-driven platform simulator
+    print(machine.time_funcs([(C, result.schedule)]), "ms")
+
+Package map: :mod:`repro.ir` (the Halide-like DSL), :mod:`repro.arch`
+(platforms), :mod:`repro.cachesim` + :mod:`repro.sim` (the simulated
+hardware), :mod:`repro.core` (the paper's optimizer), :mod:`repro.baselines`
+(comparison techniques), :mod:`repro.bench` (Table 4's benchmarks) and
+:mod:`repro.experiments` (one regenerator per table/figure).
+"""
+
+from repro.arch import ArchSpec, CacheSpec, platform_by_name
+from repro.core import (
+    Classification,
+    Locality,
+    OptimizationResult,
+    classify,
+    optimize,
+)
+from repro.ir import (
+    Buffer,
+    Func,
+    Pipeline,
+    RVar,
+    Schedule,
+    Var,
+    float32,
+    float64,
+    int32,
+    lower,
+    print_nest,
+)
+from repro.sim import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchSpec",
+    "CacheSpec",
+    "platform_by_name",
+    "Classification",
+    "Locality",
+    "OptimizationResult",
+    "classify",
+    "optimize",
+    "Buffer",
+    "Func",
+    "Pipeline",
+    "RVar",
+    "Schedule",
+    "Var",
+    "float32",
+    "float64",
+    "int32",
+    "lower",
+    "print_nest",
+    "Machine",
+    "__version__",
+]

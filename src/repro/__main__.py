@@ -1,0 +1,170 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro optimize matmul --platform i7-5930k
+    python -m repro optimize tpm --platform i7-6700 --show-nest
+    python -m repro compare gemm --platform arm-a15 --budget 30000
+    python -m repro codegen matmul -o matmul_kernel.c
+    python -m repro list
+
+``optimize`` runs the paper's flow on a benchmark and prints the decision
+trail; ``compare`` measures all techniques on the simulator (one Fig. 4
+row); ``codegen`` emits the optimized schedule as a C translation unit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.arch import PLATFORMS, platform_by_name
+from repro.baselines import Autotuner, autoschedule, baseline_schedule
+from repro.bench import EXTRAS, SUITE, make_benchmark, make_extra, size_for
+from repro.core import optimize
+from repro.ir import lower, print_nest
+from repro.ir.codegen_c import codegen
+from repro.sim import Machine
+
+
+def _make_case(name: str, fast: bool):
+    if name in SUITE:
+        return make_benchmark(name, **size_for(name, small=fast))
+    if name in EXTRAS:
+        return make_extra(name)
+    raise SystemExit(
+        f"unknown benchmark {name!r}; see `python -m repro list`"
+    )
+
+
+def cmd_list(_args) -> int:
+    print("Table 4 benchmarks:", ", ".join(sorted(SUITE)))
+    print("extra kernels:     ", ", ".join(sorted(EXTRAS)))
+    print("platforms:         ", ", ".join(sorted(PLATFORMS)))
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    arch = platform_by_name(args.platform)
+    case = _make_case(args.benchmark, args.fast)
+    for stage in case.pipeline:
+        result = optimize(stage, arch, allow_nti=not args.no_nti)
+        print(result.describe())
+        if args.show_nest:
+            nests = lower(stage, result.schedule)
+            print(print_nest(nests[-1]))
+        if args.halide:
+            from repro.ir.halide_out import emit_halide
+
+            print(emit_halide(result.schedule))
+        print()
+    return 0
+
+
+def cmd_compare(args) -> int:
+    arch = platform_by_name(args.platform)
+    machine = Machine(arch, line_budget=args.budget)
+    times = {}
+
+    def fresh():
+        return _make_case(args.benchmark, args.fast)
+
+    case = fresh()
+    times["proposed"] = machine.time_pipeline(
+        case.pipeline,
+        {f: optimize(f, arch, allow_nti=False).schedule for f in case.funcs},
+    )
+    case = fresh()
+    times["proposed+NTI"] = machine.time_pipeline(
+        case.pipeline,
+        {f: optimize(f, arch, allow_nti=True).schedule for f in case.funcs},
+    )
+    case = fresh()
+    times["auto-scheduler"] = machine.time_pipeline(
+        case.pipeline, {f: autoschedule(f, arch).schedule for f in case.funcs}
+    )
+    case = fresh()
+    times["baseline"] = machine.time_pipeline(
+        case.pipeline, {f: baseline_schedule(f, arch) for f in case.funcs}
+    )
+    if args.autotune:
+        case = fresh()
+        tuner = Autotuner(machine, evaluations=args.autotune, seed=0)
+        times[f"autotuner({args.autotune})"] = machine.time_pipeline(
+            case.pipeline, {f: tuner.tune(f).schedule for f in case.funcs}
+        )
+    fastest = min(times.values())
+    print(f"{args.benchmark} on {arch.name}:")
+    for name, ms in sorted(times.items(), key=lambda kv: kv[1]):
+        print(f"  {name:22s} {ms:10.2f} ms   rel {fastest / ms:4.2f}")
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    arch = platform_by_name(args.platform)
+    case = _make_case(args.benchmark, args.fast)
+    nests = []
+    for stage in case.pipeline:
+        result = optimize(stage, arch, allow_nti=not args.no_nti)
+        nests.extend(lower(stage, result.schedule))
+    source = codegen(nests, function_name=args.benchmark.replace("-", "_"))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(source)
+        print(f"wrote {args.output}")
+    else:
+        print(source)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Prefetcher-aware loop optimization (CGO'18 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and platforms")
+
+    def common(p):
+        p.add_argument("benchmark")
+        p.add_argument("--platform", default="i7-5930k",
+                       help="i7-5930k | i7-6700 | arm-a15")
+        p.add_argument("--fast", action="store_true",
+                       help="scaled-down problem size")
+        p.add_argument("--no-nti", action="store_true",
+                       help="disable non-temporal stores")
+
+    p_opt = sub.add_parser("optimize", help="run the optimization flow")
+    common(p_opt)
+    p_opt.add_argument("--show-nest", action="store_true",
+                       help="print the lowered pseudo-C nest")
+    p_opt.add_argument("--halide", action="store_true",
+                       help="print the schedule as Halide C++ code")
+
+    p_cmp = sub.add_parser("compare", help="simulate all techniques")
+    common(p_cmp)
+    p_cmp.add_argument("--budget", type=int, default=40_000,
+                       help="trace line budget per nest")
+    p_cmp.add_argument("--autotune", type=int, default=0, metavar="EVALS",
+                       help="also run the autotuner with this many evals")
+
+    p_gen = sub.add_parser("codegen", help="emit C for the best schedule")
+    common(p_gen)
+    p_gen.add_argument("-o", "--output", help="write to a file")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "optimize": cmd_optimize,
+        "compare": cmd_compare,
+        "codegen": cmd_codegen,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Architecture descriptions: cache geometry, prefetchers, core counts.
+
+The dataclasses in :mod:`repro.arch.params` capture exactly the parameters
+Table 1 of the paper lists (cache line size, associativity, size per level,
+core/thread counts, vector width) plus the prefetcher knobs Algorithm 1 needs
+(``L2pref`` prefetches per access and the maximum prefetch distance
+``L2maxpref``).  :mod:`repro.arch.platforms` instantiates the three platforms
+of Table 3.
+"""
+
+from repro.arch.params import CacheSpec, ArchSpec
+from repro.arch.platforms import (
+    intel_i7_6700,
+    intel_i7_5930k,
+    arm_cortex_a15,
+    PLATFORMS,
+    platform_by_name,
+)
+
+__all__ = [
+    "CacheSpec",
+    "ArchSpec",
+    "intel_i7_6700",
+    "intel_i7_5930k",
+    "arm_cortex_a15",
+    "PLATFORMS",
+    "platform_by_name",
+]

@@ -1,0 +1,112 @@
+"""The three experimental platforms of the paper's Table 3.
+
+======================  =============  =============  ===============
+parameter               Intel i7-5930K Intel i7-6700  ARM Cortex A15
+======================  =============  =============  ===============
+cache line              64 B           64 B           64 B
+L1 ways / size          8 / 32 KB      8 / 32 KB      2 / 32 KB
+L2 ways / size          8 / 256 KB     8 / 256 KB     16 / 512 KB
+cores                   6              4              4
+threads per core        2              2              1
+======================  =============  =============  ===============
+
+The L3 sizes are not in Table 3; we use the parts' data sheets (15 MB for the
+5930K, 8 MB for the 6700).  The A15 has no L3 and its L2 is shared by all
+four cores, which is why the paper changes the effective-associativity
+divisor to ``Ncores`` for that platform (Sec. 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.arch.params import ArchSpec, CacheSpec
+
+
+def intel_i7_5930k() -> ArchSpec:
+    """Intel i7-5930K (Haswell-E): 6 cores x 2 threads, AVX2, 15 MB L3."""
+    return ArchSpec(
+        name="Intel i7-5930K",
+        l1=CacheSpec(size=32 * 1024, line_size=64, ways=8, latency=4),
+        l2=CacheSpec(size=256 * 1024, line_size=64, ways=8, latency=12),
+        l3=CacheSpec(
+            size=15 * 1024 * 1024, line_size=64, ways=20, latency=40,
+            shared_by_cores=6,
+        ),
+        n_cores=6,
+        threads_per_core=2,
+        vector_width_bytes=32,
+        l2_prefetches_per_access=2,
+        l2_max_prefetch_distance=20,
+        mem_latency=230,
+        freq_ghz=3.5,
+        bw_bytes_per_cycle=16.0,  # quad-channel DDR4 ~56 GB/s
+    )
+
+
+def intel_i7_6700() -> ArchSpec:
+    """Intel i7-6700 (Skylake): 4 cores x 2 threads, AVX2, 8 MB L3."""
+    return ArchSpec(
+        name="Intel i7-6700",
+        l1=CacheSpec(size=32 * 1024, line_size=64, ways=8, latency=4),
+        l2=CacheSpec(size=256 * 1024, line_size=64, ways=8, latency=12),
+        l3=CacheSpec(
+            size=8 * 1024 * 1024, line_size=64, ways=16, latency=42,
+            shared_by_cores=4,
+        ),
+        n_cores=4,
+        threads_per_core=2,
+        vector_width_bytes=32,
+        l2_prefetches_per_access=2,
+        l2_max_prefetch_distance=20,
+        mem_latency=220,
+        freq_ghz=3.4,
+        bw_bytes_per_cycle=10.0,  # dual-channel DDR4 ~34 GB/s
+    )
+
+
+def arm_cortex_a15() -> ArchSpec:
+    """ARM Cortex-A15: 4 cores x 1 thread, NEON, shared 512 KB L2, no L3.
+
+    The A15 lacks vector non-temporal stores, so ``supports_nt_stores`` is
+    false — matching the paper's note that copy/mask are excluded from the
+    Fig. 7 comparison.
+    """
+    return ArchSpec(
+        name="ARM Cortex A15",
+        l1=CacheSpec(size=32 * 1024, line_size=64, ways=2, latency=4),
+        l2=CacheSpec(
+            size=512 * 1024, line_size=64, ways=16, latency=21,
+            shared_by_cores=4,
+        ),
+        l3=None,
+        n_cores=4,
+        threads_per_core=1,
+        vector_width_bytes=16,
+        l2_prefetches_per_access=1,
+        l2_max_prefetch_distance=8,
+        l2_shared_across_cores=True,
+        supports_nt_stores=False,
+        mem_latency=260,
+        freq_ghz=1.9,
+        bw_bytes_per_cycle=3.0,  # LPDDR3 ~6 GB/s
+    )
+
+
+#: Name -> factory for every platform in the paper, keyed as the experiment
+#: scripts refer to them.
+PLATFORMS = {
+    "i7-5930k": intel_i7_5930k,
+    "i7-6700": intel_i7_6700,
+    "arm-a15": arm_cortex_a15,
+}
+
+
+def platform_by_name(name: str) -> ArchSpec:
+    """Look up a platform by its short key (see :data:`PLATFORMS`)."""
+    key = name.lower()
+    if key not in PLATFORMS:
+        raise KeyError(
+            f"unknown platform {name!r}; known: {sorted(PLATFORMS)}"
+        )
+    return PLATFORMS[key]()

@@ -1,0 +1,36 @@
+"""The comparison techniques of the paper's evaluation (Sec. 5).
+
+* :mod:`repro.baselines.baseline` — the "Baseline" bars of Figs. 4/7: the
+  most basic developer schedule, parallel outer loop + vectorized inner
+  loop, no tiling.
+* :mod:`repro.baselines.autoscheduler` — a Mullapudi-et-al.-style
+  heuristic (the Halide Auto-Scheduler [16]): single-level cache model,
+  tiles only the output dimensions, no prefetcher awareness.
+* :mod:`repro.baselines.autotuner` — an OpenTuner-style stochastic search
+  (the Halide autotuner [2]) with an evaluation budget; by default its
+  space tiles only output-array dimensions, matching the limitation the
+  paper reports.
+* :mod:`repro.baselines.tss` — TSS [14]: L1+L2 reuse tile-size selection
+  *without* prefetch awareness.
+* :mod:`repro.baselines.tts` — TTS / TurboTiling [15]: tiles for reuse in
+  the last-level cache assuming prefetching fills it, but without
+  subtracting prefetched references from the miss model.
+"""
+
+from repro.baselines.baseline import baseline_schedule
+from repro.baselines.autoscheduler import autoschedule, AutoSchedulerResult
+from repro.baselines.autotuner import Autotuner, AutotuneResult
+from repro.baselines.tss import tss_tiles, tss_schedule
+from repro.baselines.tts import tts_tiles, tts_schedule
+
+__all__ = [
+    "baseline_schedule",
+    "autoschedule",
+    "AutoSchedulerResult",
+    "Autotuner",
+    "AutotuneResult",
+    "tss_tiles",
+    "tss_schedule",
+    "tts_tiles",
+    "tts_schedule",
+]

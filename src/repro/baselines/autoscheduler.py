@@ -1,0 +1,160 @@
+"""A Halide-Auto-Scheduler-style heuristic baseline (Mullapudi et al. [16]).
+
+The paper characterizes the Auto-Scheduler's limitations it competes
+against (Sec. 2): "the cache and tiling analysis it employs is limited
+(considering only one level of cache hierarchy)", it works from bounds
+inference rather than source patterns, and it only tiles the *output*
+dimensions.  This module reproduces that behaviour:
+
+* tile sizes are chosen over the output (pure) dimensions only, innermost
+  first, greedily growing each tile by powers of two while the estimated
+  tile footprint fits a single cache budget (a fraction of L2 — the
+  Auto-Scheduler's single ``last_level_cache_size`` parameter);
+* reduction loops stay inside the tile untouched;
+* the innermost output dimension is vectorized at native width and the
+  outermost tile loop is parallelized, with outer tile loops fused until
+  every core has work (the Auto-Scheduler's parallelism target).
+
+No prefetcher model, no associativity/interference reasoning, no
+non-temporal stores — the gaps the paper's proposed optimizer fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.arch import ArchSpec
+from repro.core.standard import build_schedule
+from repro.ir.analysis import StatementInfo, analyze_func
+from repro.ir.func import Func
+from repro.ir.schedule import Schedule
+from repro.util import ceil_div
+
+
+@dataclass
+class AutoSchedulerResult:
+    """Decisions of the heuristic, for inspection and tests."""
+
+    tiles: Dict[str, int]
+    inter_order: List[str]
+    intra_order: List[str]
+    footprint_elements: float
+    schedule: Schedule
+
+
+def _tile_footprint(
+    info: StatementInfo, tiles: Dict[str, int], bounds: Dict[str, int]
+) -> float:
+    """Elements touched by one tile: per unique array, the product of tile
+    extents of its variables (reduction variables count their full bound —
+    the Auto-Scheduler keeps reductions inside the tile)."""
+    seen = set()
+    total = 0.0
+    for ref in [info.output] + info.inputs:
+        key = (ref.name, ref.dim_vars)
+        if key in seen:
+            continue
+        seen.add(key)
+        footprint = 1.0
+        for var in ref.index_vars:
+            footprint *= tiles.get(var, bounds.get(var, 1))
+        total += footprint
+    return total
+
+
+def autoschedule(
+    func: Func,
+    arch: ArchSpec,
+    *,
+    cache_budget_bytes: Optional[int] = None,
+) -> AutoSchedulerResult:
+    """Produce the Auto-Scheduler-style schedule for ``func``.
+
+    Parameters
+    ----------
+    cache_budget_bytes:
+        The single cache-size parameter of the heuristic — Halide's
+        auto-scheduler exposes exactly one ``last_level_cache_size`` knob;
+        the default is the per-core share of the last-level cache (L3 on
+        Intel, the shared L2 on ARM).  Working against one level of the
+        hierarchy is precisely the limitation the paper exploits.
+    """
+    info = analyze_func(func)
+    dts = func.dtype.size
+    if cache_budget_bytes is None:
+        if arch.l3 is not None:
+            cache_budget_bytes = arch.l3.size // arch.n_cores
+        else:
+            cache_budget_bytes = arch.cache_level(2).size
+    budget = cache_budget_bytes // dts
+
+    pure_vars = [v.name for v in info.definition.lhs_vars]
+    rvars = list(info.reduction_vars)
+    bounds = {
+        v.name: func.bound_of(v.name) for v in info.definition.all_vars()
+    }
+
+    # Reduction dimensions are not tiled: their "tile" is the full extent.
+    tiles: Dict[str, int] = {v: bounds[v] for v in rvars}
+    # Start with minimal output tiles: vector width innermost, 1 elsewhere.
+    lanes = arch.vector_lanes(dts)
+    for v in pure_vars:
+        tiles[v] = 1
+    inner = pure_vars[-1]
+    tiles[inner] = min(bounds[inner], max(lanes, 1))
+
+    # Greedily double output-tile extents, innermost dimension first, while
+    # the footprint stays within the budget (the Auto-Scheduler's greedy
+    # grouping/tiling pass behaves the same way on a single stage).
+    grew = True
+    while grew:
+        grew = False
+        for v in reversed(pure_vars):
+            if tiles[v] >= bounds[v]:
+                continue
+            trial = dict(tiles)
+            trial[v] = min(bounds[v], tiles[v] * 2)
+            if _tile_footprint(info, trial, bounds) <= budget:
+                tiles = trial
+                grew = True
+
+    # Keep enough outer parallelism: shrink the outermost tiled dimension
+    # until the tile grid covers the cores.
+    cores = arch.n_cores
+    def grid() -> int:
+        g = 1
+        for v in pure_vars:
+            g *= ceil_div(bounds[v], tiles[v])
+        return g
+
+    for v in pure_vars:
+        while grid() < cores and tiles[v] > 1:
+            tiles[v] = max(1, tiles[v] // 2)
+
+    inter_order = [v for v in pure_vars if ceil_div(bounds[v], tiles[v]) > 1]
+    intra_order = [v for v in pure_vars if tiles[v] > 1]
+    # Reduction loops run inside the tile, outside the intra output loops
+    # (Halide's default update nesting).
+    intra_order = rvars + intra_order
+    # Fall back to a plain nest when nothing is tiled.
+    if not intra_order:
+        intra_order = [pure_vars[-1]]
+
+    schedule = build_schedule(
+        func,
+        arch,
+        tiles,
+        inter_order,
+        intra_order,
+        parallelize=True,
+        vectorize=True,
+        nontemporal=False,  # the Auto-Scheduler cannot emit NT stores
+    )
+    return AutoSchedulerResult(
+        tiles=tiles,
+        inter_order=inter_order,
+        intra_order=intra_order,
+        footprint_elements=_tile_footprint(info, tiles, bounds),
+        schedule=schedule,
+    )

@@ -1,0 +1,67 @@
+"""The paper's benchmark suite (Table 4) expressed in the mini-DSL.
+
+:mod:`repro.bench.suite` defines all twelve benchmarks with factory
+functions so every use gets fresh ``Func`` objects;
+:mod:`repro.bench.workloads` records the paper's problem sizes and the
+scaled-down sizes used by fast tests.
+"""
+
+from repro.bench.suite import (
+    BenchmarkCase,
+    SUITE,
+    make_benchmark,
+    benchmark_names,
+    make_matmul,
+    make_gemm,
+    make_trmm,
+    make_syrk,
+    make_syr2k,
+    make_3mm,
+    make_doitgen,
+    make_convlayer,
+    make_transpose,
+    make_transpose_mask,
+    make_copy,
+    make_mask,
+)
+from repro.bench.workloads import PAPER_SIZES, SMALL_SIZES, size_for
+from repro.bench.polybench import (
+    EXTRAS,
+    make_extra,
+    make_2mm,
+    make_atax,
+    make_bicg,
+    make_mvt,
+    make_jacobi2d,
+    make_seidel_like,
+)
+
+__all__ = [
+    "BenchmarkCase",
+    "SUITE",
+    "make_benchmark",
+    "benchmark_names",
+    "make_matmul",
+    "make_gemm",
+    "make_trmm",
+    "make_syrk",
+    "make_syr2k",
+    "make_3mm",
+    "make_doitgen",
+    "make_convlayer",
+    "make_transpose",
+    "make_transpose_mask",
+    "make_copy",
+    "make_mask",
+    "PAPER_SIZES",
+    "SMALL_SIZES",
+    "size_for",
+    "EXTRAS",
+    "make_extra",
+    "make_2mm",
+    "make_atax",
+    "make_bicg",
+    "make_mvt",
+    "make_jacobi2d",
+    "make_seidel_like",
+]

@@ -1,0 +1,186 @@
+"""Additional PolyBench-style kernels beyond the paper's Table 4.
+
+These widen the classifier's test surface and give downstream users more
+ready-made workloads.  Expected classifications (asserted in the tests):
+
+==========  ==========================================  ==========
+kernel      statement                                   locality
+==========  ==========================================  ==========
+2mm         two chained matmuls                          temporal
+atax        ``y = A^T (A x)`` (two stages)               temporal
+bicg        ``s = A^T r`` ; ``q = A p``                  temporal
+mvt         ``x1 += A y1`` ; ``x2 += A^T y2``            temporal
+jacobi2d    5-point stencil sweep                        none (stencil)
+seidel-ish  9-point neighborhood average                 none (stencil)
+==========  ==========================================  ==========
+
+The Gauss–Seidel kernel is expressed Jacobi-style (reads the input plane,
+writes a fresh plane): true in-place wavefront dependences are not
+expressible in a Halide-like pure DSL — the same restriction Halide
+itself has.
+"""
+
+from __future__ import annotations
+
+from repro.bench.suite import BenchmarkCase
+from repro.ir.func import Buffer, Func, Pipeline, RVar, Var, float32
+
+
+def make_2mm(n: int = 1024, alpha: float = 1.5) -> BenchmarkCase:
+    """PolyBench 2mm: ``D = alpha * (A@B) @ C``."""
+    a = Buffer("A", (n, n), float32)
+    b = Buffer("B", (n, n), float32)
+    c = Buffer("Cm", (n, n), float32)
+    i1, j1 = Var("i1"), Var("j1")
+    k1 = RVar("k1", n)
+    tmp = Func("Tmp")
+    tmp[i1, j1] = 0.0
+    tmp[i1, j1] = tmp[i1, j1] + alpha * a[i1, k1] * b[k1, j1]
+    tmp.set_bounds({i1: n, j1: n})
+    i2, j2 = Var("i2"), Var("j2")
+    k2 = RVar("k2", n)
+    d = Func("D")
+    d[i2, j2] = 0.0
+    d[i2, j2] = d[i2, j2] + tmp[i2, k2] * c[k2, j2]
+    d.set_bounds({i2: n, j2: n})
+    return BenchmarkCase(
+        name="2mm",
+        description="Two chained matrix multiplications",
+        pipeline=Pipeline([tmp, d], name="2mm"),
+        problem_size=f"{n}x{n}",
+    )
+
+
+def make_atax(n: int = 2048) -> BenchmarkCase:
+    """PolyBench atax: ``y = A^T @ (A @ x)``."""
+    a = Buffer("A", (n, n), float32)
+    x = Buffer("x", (n,), float32)
+    i = Var("i")
+    j = RVar("j", n)
+    tmp = Func("TmpV")
+    tmp[i] = 0.0
+    tmp[i] = tmp[i] + a[i, j] * x[j]
+    tmp.set_bounds({i: n})
+    i2 = Var("i2")
+    j2 = RVar("j2", n)
+    y = Func("y")
+    y[i2] = 0.0
+    y[i2] = y[i2] + a[j2, i2] * tmp[j2]
+    y.set_bounds({i2: n})
+    return BenchmarkCase(
+        name="atax",
+        description="Matrix transpose and vector multiplication",
+        pipeline=Pipeline([tmp, y], name="atax"),
+        problem_size=f"{n}x{n}",
+    )
+
+
+def make_bicg(n: int = 2048) -> BenchmarkCase:
+    """PolyBench bicg: ``s = A^T @ r`` and ``q = A @ p``."""
+    a = Buffer("A", (n, n), float32)
+    r = Buffer("r", (n,), float32)
+    p = Buffer("p", (n,), float32)
+    i = Var("i")
+    k = RVar("k", n)
+    s = Func("s")
+    s[i] = 0.0
+    s[i] = s[i] + a[k, i] * r[k]
+    s.set_bounds({i: n})
+    i2 = Var("i2")
+    k2 = RVar("k2", n)
+    q = Func("q")
+    q[i2] = 0.0
+    q[i2] = q[i2] + a[i2, k2] * p[k2]
+    q.set_bounds({i2: n})
+    return BenchmarkCase(
+        name="bicg",
+        description="BiCG sub-kernel of BiCGStab",
+        pipeline=Pipeline([s, q], name="bicg"),
+        problem_size=f"{n}x{n}",
+    )
+
+
+def make_mvt(n: int = 2048) -> BenchmarkCase:
+    """PolyBench mvt: ``x1 += A @ y1`` and ``x2 += A^T @ y2``."""
+    a = Buffer("A", (n, n), float32)
+    x1_in = Buffer("x1in", (n,), float32)
+    x2_in = Buffer("x2in", (n,), float32)
+    y1 = Buffer("y1", (n,), float32)
+    y2 = Buffer("y2", (n,), float32)
+    i = Var("i")
+    j = RVar("j", n)
+    x1 = Func("x1")
+    x1[i] = x1_in[i]
+    x1[i] = x1[i] + a[i, j] * y1[j]
+    x1.set_bounds({i: n})
+    i2 = Var("i2")
+    j2 = RVar("j2", n)
+    x2 = Func("x2")
+    x2[i2] = x2_in[i2]
+    x2[i2] = x2[i2] + a[j2, i2] * y2[j2]
+    x2.set_bounds({i2: n})
+    return BenchmarkCase(
+        name="mvt",
+        description="Matrix-vector product and transpose",
+        pipeline=Pipeline([x1, x2], name="mvt"),
+        problem_size=f"{n}x{n}",
+    )
+
+
+def make_jacobi2d(n: int = 2048) -> BenchmarkCase:
+    """One Jacobi-2D sweep: 5-point stencil into a fresh plane."""
+    a = Buffer("Ain", (n + 2, n + 2), float32)
+    x, y = Var("x"), Var("y")
+    out = Func("Jac")
+    out[y, x] = 0.2 * (
+        a[y + 1, x + 1]
+        + a[y + 1, x]
+        + a[y + 1, x + 2]
+        + a[y, x + 1]
+        + a[y + 2, x + 1]
+    )
+    out.set_bounds({x: n, y: n})
+    return BenchmarkCase(
+        name="jacobi2d",
+        description="Jacobi 2-D five-point stencil sweep",
+        pipeline=Pipeline([out]),
+        problem_size=f"{n}x{n}",
+    )
+
+
+def make_seidel_like(n: int = 2048) -> BenchmarkCase:
+    """A 9-point neighborhood average (Seidel's pattern, Jacobi-style)."""
+    a = Buffer("Ain", (n + 2, n + 2), float32)
+    x, y = Var("x"), Var("y")
+    out = Func("Seidel")
+    expr = None
+    for dy in (0, 1, 2):
+        for dx in (0, 1, 2):
+            term = a[y + dy, x + dx]
+            expr = term if expr is None else expr + term
+    out[y, x] = expr / 9.0
+    out.set_bounds({x: n, y: n})
+    return BenchmarkCase(
+        name="seidel",
+        description="Nine-point neighborhood average",
+        pipeline=Pipeline([out]),
+        problem_size=f"{n}x{n}",
+    )
+
+
+#: The extra kernels, keyed by name.
+EXTRAS = {
+    "2mm": make_2mm,
+    "atax": make_atax,
+    "bicg": make_bicg,
+    "mvt": make_mvt,
+    "jacobi2d": make_jacobi2d,
+    "seidel": make_seidel_like,
+}
+
+
+def make_extra(name: str, **kwargs) -> BenchmarkCase:
+    """Instantiate an extra kernel by name."""
+    if name not in EXTRAS:
+        raise KeyError(f"unknown extra benchmark {name!r}; known: {sorted(EXTRAS)}")
+    return EXTRAS[name](**kwargs)

@@ -1,0 +1,334 @@
+"""The twelve benchmarks of the paper's Table 4, as DSL pipelines.
+
+Each ``make_*`` factory returns a fresh :class:`BenchmarkCase` (Funcs are
+mutable, so sharing instances across experiments would leak schedules).
+Index conventions follow the paper's C listings: the **last** index of
+every access is the contiguous dimension.
+
+Expected classifier outcomes (asserted by the test suite):
+
+=============  ==========  ====
+benchmark      locality    NTI
+=============  ==========  ====
+convlayer      temporal    no   (accumulating output)
+doitgen        temporal    no/yes per stage
+matmul/3mm     temporal    no
+gemm           temporal    no
+trmm           temporal    no
+syrk/syr2k     temporal    no
+tpm, tp        spatial     yes
+copy, mask     none        yes
+=============  ==========  ====
+
+Deviations from PolyBench documented here:
+
+* **trmm** is rectangularized: the DSL has no triangular iteration domains
+  (neither does Halide, which the paper used), so the access *pattern*
+  matches matmul and only the op count differs by a constant factor.
+* **doitgen**'s copy-back stage writes to a separate output array instead
+  of in-place over ``A`` (no aliasing analysis in the simulator); traffic
+  is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.ir.func import Buffer, Func, Pipeline, Var, RVar, float32, int32
+
+
+@dataclass
+class BenchmarkCase:
+    """One runnable benchmark: a pipeline plus metadata."""
+
+    name: str
+    description: str
+    pipeline: Pipeline
+    problem_size: str
+
+    @property
+    def funcs(self) -> List[Func]:
+        return list(self.pipeline)
+
+    @property
+    def output(self) -> Func:
+        return self.pipeline.output
+
+    def __repr__(self) -> str:
+        return f"BenchmarkCase({self.name}, {self.problem_size})"
+
+
+# ---------------------------------------------------------------------------
+# Linear-algebra kernels (temporal reuse)
+# ---------------------------------------------------------------------------
+
+
+def _matmul_func(
+    name: str, a: Buffer, b: Buffer, n: int, suffix: str = ""
+) -> Func:
+    i = Var(f"i{suffix}")
+    j = Var(f"j{suffix}")
+    k = RVar(f"k{suffix}", n)
+    c = Func(name)
+    c[i, j] = 0.0
+    c[i, j] = c[i, j] + a[i, k] * b[k, j]
+    c.set_bounds({i: n, j: n})
+    return c
+
+
+def make_matmul(n: int = 2048) -> BenchmarkCase:
+    """Matrix multiplication ``C = A @ B`` (Table 4: 2048x2048)."""
+    a = Buffer("A", (n, n), float32)
+    b = Buffer("B", (n, n), float32)
+    c = _matmul_func("C", a, b, n)
+    return BenchmarkCase(
+        name="matmul",
+        description="Matrix Multiplication",
+        pipeline=Pipeline([c]),
+        problem_size=f"{n}x{n}",
+    )
+
+
+def make_gemm(n: int = 2048, alpha: float = 1.5, beta: float = 1.2) -> BenchmarkCase:
+    """Generalized matrix-matrix multiply ``C = alpha*A@B + beta*C``."""
+    a = Buffer("A", (n, n), float32)
+    b = Buffer("B", (n, n), float32)
+    c_in = Buffer("Cin", (n, n), float32)
+    i, j = Var("i"), Var("j")
+    k = RVar("k", n)
+    c = Func("C")
+    c[i, j] = beta * c_in[i, j]
+    c[i, j] = c[i, j] + alpha * a[i, k] * b[k, j]
+    c.set_bounds({i: n, j: n})
+    return BenchmarkCase(
+        name="gemm",
+        description="Generalized Matrix Matrix Multiplication",
+        pipeline=Pipeline([c]),
+        problem_size=f"{n}x{n}",
+    )
+
+
+def make_trmm(n: int = 2048) -> BenchmarkCase:
+    """Triangular matrix multiply, rectangularized (see module docstring)."""
+    a = Buffer("A", (n, n), float32)
+    b_in = Buffer("Bin", (n, n), float32)
+    i, j = Var("i"), Var("j")
+    k = RVar("k", n)
+    b = Func("B")
+    b[i, j] = b_in[i, j]
+    b[i, j] = b[i, j] + a[i, k] * b_in[k, j]
+    b.set_bounds({i: n, j: n})
+    return BenchmarkCase(
+        name="trmm",
+        description="In-place Triangular Matrix Matrix Multiplication",
+        pipeline=Pipeline([b]),
+        problem_size=f"{n}x{n}",
+    )
+
+
+def make_syrk(n: int = 2048, alpha: float = 1.5) -> BenchmarkCase:
+    """Symmetric rank-k update ``C = alpha*A@A^T + C``."""
+    a = Buffer("A", (n, n), float32)
+    c_in = Buffer("Cin", (n, n), float32)
+    i, j = Var("i"), Var("j")
+    k = RVar("k", n)
+    c = Func("C")
+    c[i, j] = c_in[i, j]
+    c[i, j] = c[i, j] + alpha * a[i, k] * a[j, k]
+    c.set_bounds({i: n, j: n})
+    return BenchmarkCase(
+        name="syrk",
+        description="Symmetric rank k update",
+        pipeline=Pipeline([c]),
+        problem_size=f"{n}x{n}",
+    )
+
+
+def make_syr2k(n: int = 2048, alpha: float = 1.5) -> BenchmarkCase:
+    """Symmetric rank-2k update ``C = alpha*(A@B^T + B@A^T) + C``."""
+    a = Buffer("A", (n, n), float32)
+    b = Buffer("B", (n, n), float32)
+    c_in = Buffer("Cin", (n, n), float32)
+    i, j = Var("i"), Var("j")
+    k = RVar("k", n)
+    c = Func("C")
+    c[i, j] = c_in[i, j]
+    c[i, j] = c[i, j] + alpha * a[i, k] * b[j, k] + alpha * b[i, k] * a[j, k]
+    c.set_bounds({i: n, j: n})
+    return BenchmarkCase(
+        name="syr2k",
+        description="Symmetric rank 2k update",
+        pipeline=Pipeline([c]),
+        problem_size=f"{n}x{n}",
+    )
+
+
+def make_3mm(n: int = 2048) -> BenchmarkCase:
+    """Three chained matrix multiplications ``G = (A@B) @ (C@D)``."""
+    a = Buffer("A", (n, n), float32)
+    b = Buffer("B", (n, n), float32)
+    c = Buffer("Cm", (n, n), float32)
+    d = Buffer("D", (n, n), float32)
+    e = _matmul_func("E", a, b, n, suffix="1")
+    f = _matmul_func("F", c, d, n, suffix="2")
+    i, j = Var("i3"), Var("j3")
+    k = RVar("k3", n)
+    g = Func("G")
+    g[i, j] = 0.0
+    g[i, j] = g[i, j] + e[i, k] * f[k, j]
+    g.set_bounds({i: n, j: n})
+    return BenchmarkCase(
+        name="3mm",
+        description="Linear Algebra Kernel - three matrix multiplications",
+        pipeline=Pipeline([e, f, g], name="3mm"),
+        problem_size=f"{n}x{n}",
+    )
+
+
+def make_doitgen(n: int = 256) -> BenchmarkCase:
+    """PolyBench doitgen: multiresolution analysis kernel (256^3)."""
+    a = Buffer("A", (n, n, n), float32)
+    c4 = Buffer("C4", (n, n), float32)
+    r, q, p = Var("r"), Var("q"), Var("p")
+    s = RVar("s", n)
+    acc = Func("Sum")
+    acc[r, q, p] = 0.0
+    acc[r, q, p] = acc[r, q, p] + a[r, q, s] * c4[s, p]
+    acc.set_bounds({r: n, q: n, p: n})
+    out = Func("Aout")
+    out[r, q, p] = acc[r, q, p]
+    out.set_bounds({r: n, q: n, p: n})
+    return BenchmarkCase(
+        name="doitgen",
+        description="Multiresolution Analysis Kernel",
+        pipeline=Pipeline([acc, out], name="doitgen"),
+        problem_size=f"{n}x{n}x{n}",
+    )
+
+
+def make_convlayer(
+    width: int = 256,
+    height: int = 256,
+    channels: int = 64,
+    filters: int = 64,
+    batch: int = 16,
+    ksize: int = 3,
+) -> BenchmarkCase:
+    """A convolution layer (3x3x64x64 kernel over 256x256x64x16 input)."""
+    image = Buffer(
+        "In", (batch, channels, height + ksize - 1, width + ksize - 1), float32
+    )
+    weights = Buffer("W", (filters, channels, ksize, ksize), float32)
+    nb, f, y, x = Var("n"), Var("f"), Var("y"), Var("x")
+    c = RVar("c", channels)
+    ky = RVar("ky", ksize)
+    kx = RVar("kx", ksize)
+    out = Func("Conv")
+    out[nb, f, y, x] = 0.0
+    out[nb, f, y, x] = (
+        out[nb, f, y, x] + image[nb, c, y + ky, x + kx] * weights[f, c, ky, kx]
+    )
+    out.set_bounds({nb: batch, f: filters, y: height, x: width})
+    return BenchmarkCase(
+        name="convlayer",
+        description=f"{ksize}x{ksize}x{channels}x{filters} Convolution Layer",
+        pipeline=Pipeline([out]),
+        problem_size=f"{width}x{height}x{channels}x{batch}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Data-movement kernels (spatial / none)
+# ---------------------------------------------------------------------------
+
+
+def make_transpose_mask(n: int = 4096) -> BenchmarkCase:
+    """Matrix transposition and masking: ``out[y][x] = A[x][y] & B[y][x]``."""
+    a = Buffer("A", (n, n), int32)
+    b = Buffer("B", (n, n), int32)
+    x, y = Var("x"), Var("y")
+    out = Func("Tpm", int32)
+    out[y, x] = a[x, y] & b[y, x]
+    out.set_bounds({x: n, y: n})
+    return BenchmarkCase(
+        name="tpm",
+        description="Matrix Transposition and Masking",
+        pipeline=Pipeline([out]),
+        problem_size=f"{n}x{n}",
+    )
+
+
+def make_transpose(n: int = 4096) -> BenchmarkCase:
+    """Matrix transposition: ``out[y][x] = A[x][y]``."""
+    a = Buffer("A", (n, n), int32)
+    x, y = Var("x"), Var("y")
+    out = Func("Tp", int32)
+    out[y, x] = a[x, y]
+    out.set_bounds({x: n, y: n})
+    return BenchmarkCase(
+        name="tp",
+        description="Matrix Transposition",
+        pipeline=Pipeline([out]),
+        problem_size=f"{n}x{n}",
+    )
+
+
+def make_copy(n: int = 4096) -> BenchmarkCase:
+    """Array copy: ``out[y][x] = A[y][x]``."""
+    a = Buffer("A", (n, n), int32)
+    x, y = Var("x"), Var("y")
+    out = Func("Copy", int32)
+    out[y, x] = a[y, x]
+    out.set_bounds({x: n, y: n})
+    return BenchmarkCase(
+        name="copy",
+        description="Array Copy",
+        pipeline=Pipeline([out]),
+        problem_size=f"{n}x{n}",
+    )
+
+
+def make_mask(n: int = 4096) -> BenchmarkCase:
+    """Array masking: ``out[y][x] = A[y][x] & B[y][x]``."""
+    a = Buffer("A", (n, n), int32)
+    b = Buffer("B", (n, n), int32)
+    x, y = Var("x"), Var("y")
+    out = Func("Mask", int32)
+    out[y, x] = a[y, x] & b[y, x]
+    out.set_bounds({x: n, y: n})
+    return BenchmarkCase(
+        name="mask",
+        description="Array Mask",
+        pipeline=Pipeline([out]),
+        problem_size=f"{n}x{n}",
+    )
+
+
+#: Factory registry, keyed by the benchmark names of Table 4.
+SUITE: Dict[str, Callable[..., BenchmarkCase]] = {
+    "convlayer": make_convlayer,
+    "doitgen": make_doitgen,
+    "matmul": make_matmul,
+    "3mm": make_3mm,
+    "gemm": make_gemm,
+    "trmm": make_trmm,
+    "syrk": make_syrk,
+    "syr2k": make_syr2k,
+    "tpm": make_transpose_mask,
+    "tp": make_transpose,
+    "copy": make_copy,
+    "mask": make_mask,
+}
+
+
+def benchmark_names() -> List[str]:
+    """All benchmark names, in Table 4 order."""
+    return list(SUITE)
+
+
+def make_benchmark(name: str, **kwargs) -> BenchmarkCase:
+    """Instantiate a benchmark by name with optional size overrides."""
+    if name not in SUITE:
+        raise KeyError(f"unknown benchmark {name!r}; known: {sorted(SUITE)}")
+    return SUITE[name](**kwargs)

@@ -1,0 +1,52 @@
+"""Problem sizes: the paper's (Table 4) and scaled-down test sizes.
+
+The simulator samples traces, so the paper sizes are runnable; the small
+sizes exist for unit tests and quick sanity experiments where full
+iteration spaces would only add sampling noise, not information.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Table 4 problem sizes, keyed by benchmark name.
+PAPER_SIZES: Dict[str, dict] = {
+    "convlayer": {"width": 256, "height": 256, "channels": 64, "filters": 64,
+                  "batch": 16, "ksize": 3},
+    "doitgen": {"n": 256},
+    "matmul": {"n": 2048},
+    "3mm": {"n": 2048},
+    "gemm": {"n": 2048},
+    "trmm": {"n": 2048},
+    "syrk": {"n": 2048},
+    "syr2k": {"n": 2048},
+    "tpm": {"n": 4096},
+    "tp": {"n": 4096},
+    "copy": {"n": 4096},
+    "mask": {"n": 4096},
+}
+
+#: Fast sizes for unit tests: same shapes, two orders of magnitude less work.
+SMALL_SIZES: Dict[str, dict] = {
+    "convlayer": {"width": 32, "height": 32, "channels": 8, "filters": 8,
+                  "batch": 2, "ksize": 3},
+    "doitgen": {"n": 32},
+    "matmul": {"n": 256},
+    "3mm": {"n": 128},
+    "gemm": {"n": 256},
+    "trmm": {"n": 256},
+    "syrk": {"n": 256},
+    "syr2k": {"n": 256},
+    "tpm": {"n": 512},
+    "tp": {"n": 512},
+    "copy": {"n": 512},
+    "mask": {"n": 512},
+}
+
+
+def size_for(name: str, *, small: bool = False) -> dict:
+    """Problem-size kwargs for a benchmark factory."""
+    table = SMALL_SIZES if small else PAPER_SIZES
+    if name not in table:
+        raise KeyError(f"unknown benchmark {name!r}; known: {sorted(table)}")
+    return dict(table[name])

@@ -1,0 +1,240 @@
+"""The multi-level cache hierarchy with prefetchers and NT stores.
+
+``CacheHierarchy`` glues the pieces together:
+
+* demand accesses probe L1 -> L2 -> (L3) -> memory and fill every missed
+  level on the way back (inclusive fills, LRU replacement);
+* every demand access triggers the streaming (next-line) prefetchers at L1
+  and L2 and trains the per-stream stride prefetcher, whose fills land in
+  L2 (and L3 when present) — matching the paper's description of Intel's
+  prefetchers;
+* non-temporal stores bypass all levels (invalidating stale copies) and
+  are counted as direct DRAM line transactions;
+* ordinary stores are write-allocate (an RFO fetch) and contribute an
+  eventual write-back per allocated line.
+
+The hierarchy is *line-granular* and single-threaded; multi-core effects
+are applied by :mod:`repro.sim.machine` through capacity/associativity
+scaling, the same modelling device the paper itself uses
+(``Liway / Nthreads``).
+
+This class is the simulator's innermost loop, so the demand path is written
+against pre-bound set arrays rather than through the generic
+:class:`~repro.cachesim.cache.SetAssocCache` API (which remains the
+reference implementation and is used by the unit tests to cross-check
+behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.arch import ArchSpec
+from repro.cachesim.cache import SetAssocCache
+from repro.cachesim.prefetch import NextLinePrefetcher, StridePrefetcher
+from repro.cachesim.stats import HierarchyStats
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one demand access: the level that served it (1..3, or 4
+    for DRAM) and whether that line had been prefetched there."""
+
+    hit_level: int
+    prefetch_credit: bool
+
+
+class CacheHierarchy:
+    """L1/L2(/L3) + DRAM with streaming and stride prefetchers.
+
+    Parameters
+    ----------
+    arch:
+        Platform description (cache geometry, prefetch degree/distance).
+    l1_ways_divisor / l2_ways_divisor:
+        Divide that level's associativity to model cache sharing by
+        co-running threads (SMT siblings on Intel's private L1/L2, all
+        cores on the ARM A15's shared L2) — the paper's effective
+        associativity device.
+    l3_capacity_divisor:
+        Divide the L3 capacity to model sharing across cores.
+    enable_prefetch:
+        Master switch; disabling yields the prefetch-blind machine used by
+        the ablation experiments.
+    """
+
+    def __init__(
+        self,
+        arch: ArchSpec,
+        *,
+        l1_ways_divisor: int = 1,
+        l2_ways_divisor: int = 1,
+        l3_capacity_divisor: int = 1,
+        enable_prefetch: bool = True,
+    ) -> None:
+        if min(l1_ways_divisor, l2_ways_divisor, l3_capacity_divisor) < 1:
+            raise ValueError("divisors must be >= 1")
+        self.arch = arch
+        self.line_size = arch.l1.line_size
+        self.enable_prefetch = enable_prefetch
+
+        ways_divisors = {1: l1_ways_divisor, 2: l2_ways_divisor}
+        self.levels: List[SetAssocCache] = []
+        for idx, spec in enumerate(arch.levels, start=1):
+            ways = max(1, spec.ways // ways_divisors.get(idx, 1))
+            num_sets = spec.num_sets
+            if idx == 3 and l3_capacity_divisor > 1:
+                num_sets = max(1, num_sets // l3_capacity_divisor)
+            # Intel LLCs use hashed ("complex") set indexing; private L1/L2
+            # are plain modulo.
+            self.levels.append(
+                SetAssocCache(f"L{idx}", num_sets, ways, hashed_index=(idx == 3))
+            )
+        self.num_levels = len(self.levels)
+
+        self.l1_stream = NextLinePrefetcher(degree=1)
+        self.l2_stream = NextLinePrefetcher(degree=1)
+        self.l2_stride = StridePrefetcher(
+            degree=arch.l2_prefetches_per_access,
+            max_distance=arch.l2_max_prefetch_distance,
+        )
+        self.stats = HierarchyStats(levels=[c.stats for c in self.levels])
+        # Lines written at least once: each eventually costs one write-back
+        # line on the DRAM bus (streaming kernels write each line once;
+        # accumulations coalesce in cache, also once).
+        self._dirty = set()
+        # Write-combining coalescing for non-temporal stores.
+        self._last_nt_line = None
+
+        # Hot-path bindings.
+        self._sets = [c._sets for c in self.levels]
+        self._nsets = [c.num_sets for c in self.levels]
+        self._hashed = [c.hashed_index for c in self.levels]
+        self._ways = [c.ways for c in self.levels]
+        self._lstats = [c.stats for c in self.levels]
+
+    # ------------------------------------------------------------------
+
+    def access(
+        self, line: int, *, is_write: bool = False, ref_id: int = 0
+    ) -> AccessResult:
+        """One demand access to a cache line; returns where it hit."""
+        stats = self.stats
+        stats.total_accesses += 1
+        hit_level = 0
+        prefetch_credit = False
+        sets = self._sets
+        n = self.num_levels
+        for idx in range(n):
+            nsets = self._nsets[idx]
+            if self._hashed[idx]:
+                set_ix = (line ^ (line // nsets) ^ (line // (nsets * nsets))) % nsets
+            else:
+                set_ix = line % nsets
+            s = sets[idx][set_ix]
+            lstat = self._lstats[idx]
+            if line in s:
+                if s[line]:
+                    lstat.prefetch_hits += 1
+                    s[line] = False
+                    prefetch_credit = True
+                s.move_to_end(line)
+                lstat.hits += 1
+                hit_level = idx + 1
+                break
+            lstat.misses += 1
+        if hit_level == 0:
+            hit_level = n + 1
+            stats.memory_lines += 1
+        if is_write and line not in self._dirty:
+            # Write-allocate: the dirty line eventually goes back out,
+            # whether the allocation came from a demand miss or a prefetch.
+            self._dirty.add(line)
+            stats.writeback_lines += 1
+        # Fill the levels that missed (inclusive), nearest last.
+        for idx in range(hit_level - 2, -1, -1):
+            self._fill(idx, line, False)
+        if self.enable_prefetch:
+            self._prefetch_after(line, ref_id)
+        return AccessResult(hit_level, prefetch_credit)
+
+    def _fill(self, idx: int, line: int, prefetched: bool) -> None:
+        """Insert ``line`` into level ``idx`` (0-based); evict LRU."""
+        s = self._sets[idx][self.levels[idx].set_index(line)]
+        if line in s:
+            if not prefetched:
+                s[line] = False
+            s.move_to_end(line)
+            return
+        s[line] = prefetched
+        lstat = self._lstats[idx]
+        if prefetched:
+            lstat.prefetches_issued += 1
+        if len(s) > self._ways[idx]:
+            s.popitem(last=False)
+            lstat.evictions += 1
+            if prefetched:
+                lstat.prefetch_evictions += 1
+
+    def nt_store(self, line: int) -> None:
+        """A non-temporal store: bypass caches, invalidate stale copies.
+
+        Consecutive stores to the same line coalesce in the core's
+        write-combining buffers and cost a single DRAM line transaction —
+        the mechanism that makes ``movntps`` streams efficient.
+        """
+        self.stats.total_accesses += 1
+        if line == self._last_nt_line:
+            return
+        self._last_nt_line = line
+        self.stats.nt_store_lines += 1
+        for cache in self.levels:
+            cache.invalidate(line)
+
+    # ------------------------------------------------------------------
+
+    def _contains(self, idx: int, line: int) -> bool:
+        return line in self._sets[idx][self.levels[idx].set_index(line)]
+
+    def _prefetch_after(self, line: int, ref_id: int) -> None:
+        nxt = line + 1
+        # Streaming next-line engines: the L1 engine pulls the line through
+        # the hierarchy (filling L2/L3 on the way); when the line already
+        # sits in L1, the independent L2 engine may still need to fill L2.
+        if not self._contains(0, nxt):
+            self._prefetch_fill(nxt, into_level=1)
+        elif self.num_levels >= 2 and not self._contains(1, nxt):
+            self._prefetch_fill(nxt, into_level=2)
+        # Stride engine fills L2 and L3.
+        for target in self.l2_stride.observe(ref_id, line):
+            if target >= 0 and not self._contains(1, target):
+                self._prefetch_fill(target, into_level=2)
+
+    def _prefetch_fill(self, line: int, *, into_level: int) -> None:
+        """Insert a prefetched line into ``into_level`` and every missing
+        level farther from the core."""
+        if line < 0:
+            return
+        # Where does the prefetch get the data from?
+        source = self.num_levels + 1
+        for idx in range(into_level, self.num_levels):
+            if self._contains(idx, line):
+                source = idx + 1
+                break
+        if source > self.num_levels:
+            self.stats.prefetch_memory_lines += 1
+        # Fill from the outermost missing level inward, down to the target.
+        for level_no in range(min(source - 1, self.num_levels), into_level - 1, -1):
+            self._fill(level_no - 1, line, True)
+
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Empty all levels and reset prefetcher training (not statistics)."""
+        for cache in self.levels:
+            cache.flush()
+        self.l2_stride.reset()
+
+    def summary(self) -> str:
+        return self.stats.summary()

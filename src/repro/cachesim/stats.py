@@ -1,0 +1,91 @@
+"""Statistics containers for the cache simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class LevelStats:
+    """Counters for one cache level.
+
+    ``prefetch_hits`` counts demand accesses that hit a line brought in by a
+    prefetcher (the prefetch was *useful*); ``prefetches_issued`` counts
+    lines the prefetch engines inserted; ``prefetch_evictions`` counts
+    evictions caused by prefetch fills (cache pollution — the phenomenon
+    non-temporal stores exist to reduce).
+    """
+
+    name: str
+    hits: int = 0
+    misses: int = 0
+    prefetch_hits: int = 0
+    prefetches_issued: int = 0
+    prefetch_evictions: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "prefetch_hits": self.prefetch_hits,
+            "prefetches_issued": self.prefetches_issued,
+            "prefetch_evictions": self.prefetch_evictions,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LevelStats({self.name}: {self.hits} hits, {self.misses} misses, "
+            f"{self.prefetch_hits} pf-hits)"
+        )
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregated counters across the whole hierarchy plus memory."""
+
+    levels: List[LevelStats] = field(default_factory=list)
+    memory_lines: int = 0          # demand lines fetched from DRAM
+    prefetch_memory_lines: int = 0  # prefetched lines fetched from DRAM
+    nt_store_lines: int = 0        # non-temporal store line transactions
+    writeback_lines: int = 0       # dirty lines written back to DRAM
+    total_accesses: int = 0
+
+    def level(self, index: int) -> LevelStats:
+        """1-based level lookup (level 1 = L1)."""
+        return self.levels[index - 1]
+
+    @property
+    def dram_lines_total(self) -> int:
+        """All DRAM line transfers: demand + prefetch + NT stores +
+        write-backs (the bandwidth roofline input)."""
+        return (
+            self.memory_lines
+            + self.prefetch_memory_lines
+            + self.nt_store_lines
+            + self.writeback_lines
+        )
+
+    def summary(self) -> str:
+        parts = [
+            f"{s.name}: {s.hits}h/{s.misses}m (pf-hits {s.prefetch_hits})"
+            for s in self.levels
+        ]
+        parts.append(
+            f"DRAM: {self.memory_lines} demand + "
+            f"{self.prefetch_memory_lines} prefetch lines, "
+            f"{self.nt_store_lines} NT-store lines, "
+            f"{self.writeback_lines} writebacks"
+        )
+        return "; ".join(parts)

@@ -1,0 +1,67 @@
+"""The paper's contribution: prefetcher-aware loop-transformation selection.
+
+Modules follow the paper's structure:
+
+* :mod:`repro.core.classify` — Sec. 3.1 / Fig. 2: decide temporal vs
+  spatial vs no transformation, and whether non-temporal stores apply.
+* :mod:`repro.core.emu` — Algorithm 1: the cache-emulation routine that
+  upper-bounds tile dimensions so no interference (conflict) misses occur,
+  prefetched lines included.
+* :mod:`repro.core.costs` — the analytical cost equations: working sets
+  (Eqs. 1, 6, 18, 19), prefetch-aware cold-miss counts (Eqs. 2–10), the
+  weighted total (Eq. 11), the loop-distance cost (Eq. 12) and the spatial
+  partial costs (Eqs. 14–17).
+* :mod:`repro.core.temporal` — Algorithm 2: tile-size + loop-order search
+  for temporal reuse.
+* :mod:`repro.core.spatial` — Algorithm 3: tile-size search for
+  self-spatial reuse under transposition.
+* :mod:`repro.core.standard` — Sec. 3.4: parallelization, vectorization
+  and non-temporal stores.
+* :mod:`repro.core.optimizer` — Fig. 1: the end-to-end flow producing a
+  :class:`~repro.ir.schedule.Schedule`.
+"""
+
+from repro.core.classify import Locality, Classification, classify
+from repro.core.emu import emu, emu_l1, emu_l2, EmuParams
+from repro.core.costs import (
+    RefPattern,
+    extract_patterns,
+    level1_misses,
+    level2_misses,
+    working_set_l1,
+    working_set_l2,
+    total_cost,
+    order_cost,
+    spatial_partial_cost,
+    spatial_working_sets,
+)
+from repro.core.temporal import TemporalResult, optimize_temporal
+from repro.core.spatial import SpatialResult, optimize_spatial
+from repro.core.optimizer import OptimizationResult, optimize, optimize_pipeline
+
+__all__ = [
+    "Locality",
+    "Classification",
+    "classify",
+    "emu",
+    "emu_l1",
+    "emu_l2",
+    "EmuParams",
+    "RefPattern",
+    "extract_patterns",
+    "level1_misses",
+    "level2_misses",
+    "working_set_l1",
+    "working_set_l2",
+    "total_cost",
+    "order_cost",
+    "spatial_partial_cost",
+    "spatial_working_sets",
+    "TemporalResult",
+    "optimize_temporal",
+    "SpatialResult",
+    "optimize_spatial",
+    "OptimizationResult",
+    "optimize",
+    "optimize_pipeline",
+]

@@ -1,0 +1,172 @@
+"""Algorithm 1: the cache-emulation routine bounding tile dimensions.
+
+``emu`` answers: *how many tile rows of a given width can live in the cache
+simultaneously — prefetched lines included — before some set overflows its
+(effective) associativity?*  The returned row count is the upper bound
+``maxTi`` that Algorithms 2 and 3 impose on the next tile dimension.
+
+The implementation follows the paper's pseudocode as printed, with one
+repair (the set-index modulo the pseudocode omits; see DESIGN.md):
+
+* the emulated cache is an occupancy counter array of size
+  ``Nsets = LiCS / (Liway * DTS)`` — note the *element*-granular set
+  count, exactly the paper's initialization — indexed by **cache-line
+  index modulo Nsets**.  This set space is ``lc`` times larger than the
+  physical set count, so the emulation behaves as a capacity-per-way
+  bound that still detects aliasing at way-sized strides; it is what
+  reproduces the paper's reported tile magnitudes (e.g. ``Ti = 32`` for
+  2048x2048 matmul), where a physically-exact set model would collapse
+  every power-of-two stride to the associativity;
+* effective associativity is ``Liway`` divided by the hardware threads per
+  core (SMT co-residency), or by the core count for a shared L2 (the ARM
+  change described in Sec. 5.1) — both via
+  :meth:`~repro.arch.ArchSpec.effective_ways`;
+* **L1 variant**: each row is padded by one extra line — the streaming
+  prefetcher's next-line fetch (the paper's
+  ``Ti-1 = ceil(max(Ti-1 + lc, 2*lc) / lc)``);
+* **L2 variant**: the set count is halved (headroom for the constant-stride
+  prefetcher's fills), and after each placed line the next ``L2pref`` lines
+  are probed while within the maximum prefetch distance ``L2maxpref`` —
+  a full probed set counts as interference, modelling prefetches evicting
+  useful data.
+
+Rows are placed at a constant row stride (the array's leading-dimension
+extent), starting from ``addr``; the first full set stops the emulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch import ArchSpec
+from repro.util import ceil_div
+
+
+@dataclass(frozen=True)
+class EmuParams:
+    """Inputs of one ``emu`` invocation (mirrors the paper's Table 2)."""
+
+    level: int            # 1 or 2: which cache to emulate
+    row_width_elems: int  # the previously chosen tile dimension (Ti-1)
+    row_stride_elems: int  # leading-dimension extent (Bi): row-to-row stride
+    max_rows: int         # problem bound on this dimension
+    dts: int              # data type size in bytes
+    addr: int = 0         # base element address of the array
+
+
+def emu(arch: ArchSpec, params: EmuParams) -> int:
+    """Run Algorithm 1; return ``maxTi`` (rows that fit without conflict).
+
+    Parameters
+    ----------
+    arch:
+        Platform description; supplies cache geometry, effective ways and
+        the prefetcher degree/distance.
+    params:
+        The invocation inputs (see :class:`EmuParams`).
+    """
+    if params.level not in (1, 2):
+        raise ValueError(f"emu supports levels 1 and 2, got {params.level}")
+    if params.row_width_elems <= 0:
+        raise ValueError("row width must be positive")
+    if params.max_rows <= 0:
+        raise ValueError("max_rows must be positive")
+
+    spec = arch.cache_level(params.level)
+    lc = arch.lc(params.dts)
+    ways = arch.effective_ways(params.level)
+    # The paper's initialization: Nsets = LiCS / (Liway * DTS).
+    nsets = spec.size // (spec.ways * params.dts)
+
+    if params.level == 2:
+        # Headroom for constant-stride prefetch fills: halve the sets.
+        nsets = max(1, nsets // 2)
+        row_lines = ceil_div(max(params.row_width_elems, lc), lc)
+        probe_degree = arch.l2_prefetches_per_access
+        max_pref_distance = arch.l2_max_prefetch_distance
+    else:
+        # The L1 streaming prefetcher drags one extra line per row.
+        row_lines = ceil_div(max(params.row_width_elems + lc, 2 * lc), lc)
+        probe_degree = 0
+        max_pref_distance = 0
+
+    occupancy = [0] * nsets
+    row_stride_lines = max(1, ceil_div(params.row_stride_elems, lc))
+    base_line = params.addr // lc if lc else params.addr
+
+    max_ti = 0
+    placed_lines = 0
+    while max_ti < params.max_rows:
+        start = base_line + max_ti * row_stride_lines
+        interference = False
+        for offset in range(row_lines):
+            line = start + offset
+            set_index = line % nsets
+            if occupancy[set_index] >= ways:
+                interference = True
+                break
+            occupancy[set_index] += 1
+            placed_lines += 1
+            # Stride-prefetch probes (L2 only): the engine runs up to
+            # ``probe_degree`` lines ahead of the demand stream (never
+            # farther than the maximum prefetch distance); a full target
+            # set means the prefetch would evict useful data.
+            if probe_degree:
+                for p in range(1, min(probe_degree, max_pref_distance) + 1):
+                    probe = (line + p) % nsets
+                    if occupancy[probe] >= ways:
+                        interference = True
+                        break
+                if interference:
+                    break
+        if interference:
+            break
+        max_ti += 1
+    return max(1, max_ti)
+
+
+def emu_l1(
+    arch: ArchSpec,
+    *,
+    row_width_elems: int,
+    row_stride_elems: int,
+    max_rows: int,
+    dts: int,
+    addr: int = 0,
+) -> int:
+    """Convenience wrapper: Algorithm 1 against the L1 cache."""
+    return emu(
+        arch,
+        EmuParams(
+            level=1,
+            row_width_elems=row_width_elems,
+            row_stride_elems=row_stride_elems,
+            max_rows=max_rows,
+            dts=dts,
+            addr=addr,
+        ),
+    )
+
+
+def emu_l2(
+    arch: ArchSpec,
+    *,
+    row_width_elems: int,
+    row_stride_elems: int,
+    max_rows: int,
+    dts: int,
+    addr: int = 0,
+) -> int:
+    """Convenience wrapper: Algorithm 1 against the L2 cache."""
+    return emu(
+        arch,
+        EmuParams(
+            level=2,
+            row_width_elems=row_width_elems,
+            row_stride_elems=row_stride_elems,
+            max_rows=max_rows,
+            dts=dts,
+            addr=addr,
+        ),
+    )

@@ -1,0 +1,187 @@
+"""The end-to-end optimization flow (paper Fig. 1).
+
+``optimize`` takes an algorithm definition plus the architecture parameters
+and produces an optimization schedule, in four stages:
+
+1. **Classification** (Sec. 3.1) of the main definition's statement;
+2. the **temporal** (Algorithm 2) or **spatial** (Algorithm 3) optimizer,
+   or neither for contiguous/stencil nests;
+3. **standard optimizations** — parallelization, vectorization — applied
+   while materializing the Schedule;
+4. **non-temporal stores** when the output is never re-read and the ISA
+   supports them (the "+NTI" configurations of the paper's figures).
+
+The wall-clock time of the whole flow is recorded; Table 5 of the paper
+reports this "optimization runtime" per benchmark, and
+``experiments/table5.py`` regenerates it from this field.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.arch import ArchSpec
+from repro.core.classify import Classification, Locality, classify
+from repro.core.spatial import SpatialResult, optimize_spatial
+from repro.core.standard import build_schedule, untransformed_schedule
+from repro.core.temporal import TemporalResult, optimize_temporal
+from repro.ir.func import Func, Pipeline
+from repro.ir.schedule import Schedule
+
+
+@dataclass
+class OptimizationResult:
+    """Everything the flow decided, plus how long deciding took."""
+
+    func: Func
+    schedule: Schedule
+    classification: Classification
+    temporal: Optional[TemporalResult]
+    spatial: Optional[SpatialResult]
+    runtime_seconds: float
+
+    @property
+    def locality(self) -> Locality:
+        return self.classification.locality
+
+    @property
+    def uses_nti(self) -> bool:
+        return self.schedule.nontemporal
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.func.name}: {self.classification!r}",
+            f"  runtime: {self.runtime_seconds * 1000:.1f} ms",
+        ]
+        if self.temporal:
+            lines.append(f"  temporal: {self.temporal.describe()}")
+        if self.spatial:
+            lines.append(f"  spatial: {self.spatial.describe()}")
+        lines.append(f"  schedule: {self.schedule.describe()}")
+        return "\n".join(lines)
+
+
+def optimize(
+    func: Func,
+    arch: ArchSpec,
+    *,
+    allow_nti: bool = True,
+    parallelize: bool = True,
+    vectorize: bool = True,
+    exhaustive: bool = False,
+) -> OptimizationResult:
+    """Run the full optimization flow on ``func``'s main definition.
+
+    Parameters
+    ----------
+    func:
+        The Func to optimize; bounds must be set.
+    arch:
+        Target platform parameters (Table 1 of the paper).
+    allow_nti:
+        Permit non-temporal stores (disable to obtain the paper's plain
+        "Proposed" configuration on NTI-eligible benchmarks).
+    parallelize / vectorize:
+        Master switches for the standard optimizations.
+    exhaustive:
+        Evaluate every integer tile size instead of the candidate lattice.
+    """
+    start = time.perf_counter()
+    classification = classify(func)
+    use_nti = allow_nti and classification.use_nti and arch.supports_nt_stores
+
+    temporal_result: Optional[TemporalResult] = None
+    spatial_result: Optional[SpatialResult] = None
+
+    if classification.locality is Locality.TEMPORAL:
+        temporal_result = optimize_temporal(
+            func, arch, classification.info, exhaustive=exhaustive
+        )
+        if temporal_result.cost == float("inf"):
+            schedule = untransformed_schedule(
+                func,
+                arch,
+                parallelize=parallelize,
+                vectorize=vectorize,
+                nontemporal=use_nti,
+            )
+        else:
+            schedule = build_schedule(
+                func,
+                arch,
+                temporal_result.tiles,
+                temporal_result.inter_order,
+                temporal_result.intra_order,
+                parallelize=parallelize,
+                vectorize=vectorize,
+                nontemporal=use_nti,
+            )
+    elif classification.locality is Locality.SPATIAL:
+        spatial_result = optimize_spatial(
+            func, arch, classification.info, exhaustive=exhaustive
+        )
+        tiles = dict(spatial_result.tiles)
+        # Untiled outer output dimensions (3-D+ outputs) stay untouched.
+        bounds = {
+            v.name: func.bound_of(v.name)
+            for v in classification.info.definition.all_vars()
+        }
+        for var, bound in bounds.items():
+            tiles.setdefault(var, bound)
+        inter_order = [
+            v
+            for v in (spatial_result.row_var, spatial_result.col_var)
+            if tiles[v] < bounds[v]
+        ]
+        intra_order = [
+            v for v in bounds if tiles[v] == bounds[v] and v not in inter_order
+        ]
+        # Preserve definition order for untiled dims, then row/col tiles.
+        intra_order += [
+            v
+            for v in (spatial_result.row_var, spatial_result.col_var)
+            if tiles[v] > 1 and v not in intra_order
+        ]
+        schedule = build_schedule(
+            func,
+            arch,
+            tiles,
+            inter_order,
+            intra_order,
+            parallelize=parallelize,
+            vectorize=vectorize,
+            nontemporal=use_nti,
+        )
+    else:
+        schedule = untransformed_schedule(
+            func,
+            arch,
+            parallelize=parallelize,
+            vectorize=vectorize,
+            nontemporal=use_nti,
+        )
+
+    elapsed = time.perf_counter() - start
+    return OptimizationResult(
+        func=func,
+        schedule=schedule,
+        classification=classification,
+        temporal=temporal_result,
+        spatial=spatial_result,
+        runtime_seconds=elapsed,
+    )
+
+
+def optimize_pipeline(
+    pipeline: Pipeline,
+    arch: ArchSpec,
+    *,
+    allow_nti: bool = True,
+) -> Dict[Func, Schedule]:
+    """Optimize every stage of a pipeline independently (compute_root)."""
+    out: Dict[Func, Schedule] = {}
+    for stage in pipeline:
+        out[stage] = optimize(stage, arch, allow_nti=allow_nti).schedule
+    return out

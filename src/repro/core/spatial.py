@@ -1,0 +1,158 @@
+"""Algorithm 3: the spatial-locality optimizer.
+
+Used when the classifier finds *transposed* accesses but no temporal reuse
+(Sec. 3.3).  The only reuse available is cache-line (self-spatial) reuse of
+the transposed array's strided walk, so the tile is shaped to cooperate
+with the streaming prefetchers:
+
+* ``T_width`` tiles the output's column (leading) variable, ``T_height``
+  the row variable;
+* the height is upper-bounded by the **L2 cache emulation** (Algorithm 1)
+  applied to the transposed array's column walk, so the strided rows plus
+  their prefetched lines never conflict out of the cache;
+* per-array partial costs follow Eqs. 15/17 — transposed arrays prefer
+  ``T_width = lc`` (prefetching efficiency 1) and the maximum surviving
+  height; contiguous arrays are indifferent;
+* working sets (Eqs. 18/19) and the parallelism constraint (Eq. 13) filter
+  candidates, and the minimum total cost wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch import ArchSpec
+from repro.core.costs import (
+    extract_patterns,
+    spatial_partial_cost,
+    spatial_working_sets,
+)
+from repro.core.emu import emu_l2
+from repro.ir.analysis import StatementInfo, analyze_func
+from repro.ir.func import Func
+from repro.util import ceil_div, tile_candidates
+
+
+@dataclass
+class SpatialResult:
+    """Outcome of the spatial optimizer."""
+
+    tiles: Dict[str, int]         # row var -> T_height, col var -> T_width
+    row_var: str
+    col_var: str
+    parallel_var: Optional[str]
+    cost: float
+    candidates_evaluated: int
+    ws_l1: float
+    ws_l2: float
+
+    @property
+    def tile_width(self) -> int:
+        return self.tiles[self.col_var]
+
+    @property
+    def tile_height(self) -> int:
+        return self.tiles[self.row_var]
+
+    def describe(self) -> str:
+        return (
+            f"tile {self.tile_height}x{self.tile_width} "
+            f"({self.row_var} x {self.col_var}); parallel: "
+            f"{self.parallel_var}; cost={self.cost:.3g}"
+        )
+
+
+def optimize_spatial(
+    func: Func,
+    arch: ArchSpec,
+    info: Optional[StatementInfo] = None,
+    *,
+    exhaustive: bool = False,
+) -> SpatialResult:
+    """Run Algorithm 3 on the main definition of ``func``.
+
+    The two innermost output dimensions are tiled (the paper's benchmarks
+    are 2-D); outer dimensions, if any, are left untouched.
+    """
+    info = info or analyze_func(func)
+    patterns = extract_patterns(info)
+    dts = info.dtype_size
+    lc = arch.lc(dts)
+
+    out_vars = [v for v in info.output.dim_vars if v is not None]
+    if len(out_vars) < 2:
+        raise ValueError(
+            f"{func.name}: spatial optimization needs a 2-D (or deeper) "
+            "output"
+        )
+    col = out_vars[-1]
+    row = out_vars[-2]
+    bounds = {v.name: func.bound_of(v.name) for v in info.definition.all_vars()}
+
+    # The strided walk whose conflicts bound the tile height: the
+    # transposed array is traversed along its row stride, which equals the
+    # extent of the dimension the *output* iterates contiguously.
+    transposed = info.transposed_inputs()
+    row_stride = bounds[col]
+    if transposed:
+        lead = transposed[0].leading_var
+        if lead is not None and lead in bounds:
+            row_stride = bounds[lead]
+
+    l1_capacity = arch.cache_level(1).capacity_elements(dts)
+    l2_capacity = arch.cache_level(2).capacity_elements(dts) // 2
+    threads = arch.total_threads
+    n_arrays = len(patterns)
+
+    width_cands = tile_candidates(
+        bounds[col], bounds[col], quantum=lc, exhaustive=exhaustive
+    )
+    width_cands = [w for w in width_cands if w >= min(lc, bounds[col])]
+
+    best: Optional[Tuple[float, int, int, float, float]] = None
+    evaluated = 0
+    for t_w in width_cands:
+        max_h = emu_l2(
+            arch,
+            row_width_elems=t_w,
+            row_stride_elems=row_stride,
+            max_rows=bounds[row],
+            dts=dts,
+        )
+        height_cands = tile_candidates(
+            bounds[row], max_h, exhaustive=exhaustive
+        )
+        for t_h in height_cands:
+            evaluated += 1
+            ws1, ws2 = spatial_working_sets(n_arrays, t_w, t_h, lc)
+            if ws1 > l1_capacity or ws2 > l2_capacity:
+                continue
+            if ceil_div(bounds[row], t_h) < threads:
+                continue  # Eq. 13 on the parallelized row loop
+            # Sum of per-array partial costs; the (contiguous) output only
+            # adds a tile-independent constant, so including it is harmless.
+            cost = sum(
+                spatial_partial_cost(p, col, t_w, t_h, bounds, lc)
+                for p in patterns
+            )
+            if best is None or cost < best[0]:
+                best = (cost, t_w, t_h, ws1, ws2)
+
+    if best is None:
+        # Constraints rejected everything: degenerate single-line tiles.
+        t_w = min(lc, bounds[col])
+        best = (float("inf"), t_w, 1, 0.0, 0.0)
+
+    cost, t_w, t_h, ws1, ws2 = best
+    tiles = {row: t_h, col: t_w}
+    return SpatialResult(
+        tiles=tiles,
+        row_var=row,
+        col_var=col,
+        parallel_var=row,
+        cost=cost,
+        candidates_evaluated=evaluated,
+        ws_l1=ws1,
+        ws_l2=ws2,
+    )

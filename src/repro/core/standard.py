@@ -1,0 +1,148 @@
+"""Sec. 3.4: schedule construction — tiling, ordering, parallelization,
+vectorization and non-temporal stores.
+
+The optimizers in :mod:`repro.core.temporal` / :mod:`repro.core.spatial`
+decide *what* to do (tile sizes, loop order); this module turns those
+decisions — or the decision to do nothing — into a concrete
+:class:`~repro.ir.schedule.Schedule`:
+
+* each tiled variable is split into ``<v>_o`` / ``<v>_i``; variables whose
+  tile equals the bound keep a single (intra) loop, and tiles of one keep a
+  single (inter) loop;
+* loops are reordered to ``[inter block][intra block]``;
+* the innermost intra loop is vectorized at the platform's native width;
+* the outermost inter-tile loop is parallelized — after fusing it with the
+  next inter-tile loop when its trip count alone cannot feed every
+  hardware thread (the paper's "fuse the outer inter-tile loops when
+  possible");
+* the ``store_nontemporal`` directive is attached when the classifier
+  proved the output is never re-read and the ISA supports NT stores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch import ArchSpec
+from repro.ir.func import Func
+from repro.ir.schedule import Schedule
+from repro.util import ceil_div
+
+
+def inter_loop_name(var: str, tiles: Dict[str, int], bounds: Dict[str, int]) -> str:
+    """Scheduled loop name holding ``var``'s inter-tile iteration."""
+    if tiles[var] >= bounds[var]:
+        raise ValueError(f"{var} has no inter-tile loop (tile covers bound)")
+    return var if tiles[var] == 1 else f"{var}_o"
+
+def intra_loop_name(var: str, tiles: Dict[str, int], bounds: Dict[str, int]) -> str:
+    """Scheduled loop name holding ``var``'s intra-tile iteration."""
+    if tiles[var] == 1:
+        raise ValueError(f"{var} has no intra-tile loop (tile of 1)")
+    return var if tiles[var] >= bounds[var] else f"{var}_i"
+
+
+def build_schedule(
+    func: Func,
+    arch: ArchSpec,
+    tiles: Dict[str, int],
+    inter_order: Sequence[str],
+    intra_order: Sequence[str],
+    *,
+    parallelize: bool = True,
+    vectorize: bool = True,
+    nontemporal: bool = False,
+) -> Schedule:
+    """Materialize optimizer decisions into a Schedule.
+
+    Parameters
+    ----------
+    func:
+        The Func to schedule (its main definition).
+    arch:
+        Platform (vector width, threads for the fusion decision).
+    tiles:
+        Tile size for every loop variable of the definition.
+    inter_order / intra_order:
+        Variables with inter-tile (trips > 1) / intra-tile (tile > 1)
+        loops, outermost first.
+    """
+    schedule = Schedule(func)
+    bounds = {v: func.bound_of(v) for v in tiles}
+
+    # 1. Splits.
+    for var, tile in tiles.items():
+        if 1 < tile < bounds[var]:
+            schedule.split(var, f"{var}_o", f"{var}_i", tile)
+
+    # 2. Reorder: inter block then intra block.
+    final: List[str] = []
+    for var in inter_order:
+        final.append(inter_loop_name(var, tiles, bounds))
+    for var in intra_order:
+        final.append(intra_loop_name(var, tiles, bounds))
+    if len(final) > 1:
+        schedule.reorder_outer_to_inner(*final)
+
+    # 3. Vectorize the innermost intra loop at native width.
+    if vectorize and intra_order:
+        lanes = arch.vector_lanes(func.dtype.size)
+        if lanes > 1:
+            inner_var = intra_order[-1]
+            inner_name = intra_loop_name(inner_var, tiles, bounds)
+            inner_extent = schedule.loops()[
+                schedule.loop_names().index(inner_name)
+            ].extent
+            if inner_extent >= 2:
+                schedule.vectorize(inner_name, width=lanes)
+
+    # 4. Parallelize the outermost inter-tile loop, fusing outward-adjacent
+    #    inter loops while a single loop cannot feed all threads.
+    if parallelize and inter_order:
+        threads = arch.total_threads
+        outer_var = inter_order[0]
+        outer_name = inter_loop_name(outer_var, tiles, bounds)
+        trips = ceil_div(bounds[outer_var], tiles[outer_var])
+        fused_index = 0
+        while (
+            trips < threads
+            and fused_index + 1 < len(inter_order)
+        ):
+            nxt_var = inter_order[fused_index + 1]
+            nxt_name = inter_loop_name(nxt_var, tiles, bounds)
+            fused = f"{outer_name}_{nxt_name}_f"
+            schedule.fuse(outer_name, nxt_name, fused)
+            trips *= ceil_div(bounds[nxt_var], tiles[nxt_var])
+            outer_name = fused
+            fused_index += 1
+        schedule.parallel(outer_name)
+
+    # 5. Non-temporal stores (the paper's new directive).
+    if nontemporal and arch.supports_nt_stores:
+        schedule.store_nontemporal()
+    return schedule
+
+
+def untransformed_schedule(
+    func: Func,
+    arch: ArchSpec,
+    *,
+    parallelize: bool = True,
+    vectorize: bool = True,
+    nontemporal: bool = False,
+) -> Schedule:
+    """The no-loop-transformation path of the flow (Fig. 2's bottom-right):
+    keep the definition's loop order, vectorize the innermost contiguous
+    loop, parallelize the outermost pure loop."""
+    schedule = Schedule(func)
+    loops = schedule.loops()
+    if vectorize:
+        lanes = arch.vector_lanes(func.dtype.size)
+        inner = loops[-1]
+        if lanes > 1 and inner.extent >= 2:
+            schedule.vectorize(inner.name, width=lanes)
+    if parallelize and len(schedule.loops()) > 1:
+        schedule.parallel(schedule.loops()[0].name)
+    if nontemporal and arch.supports_nt_stores:
+        schedule.store_nontemporal()
+    return schedule

@@ -1,0 +1,416 @@
+"""Algorithm 2: the temporal-reuse optimizer.
+
+Step 1 (tiling) searches tile sizes and reuse-loop placements:
+
+* the **column variable** ``c`` — the output's leading index — is fixed as
+  the innermost intra-tile loop (it is what gets vectorized, and the paper
+  excludes permutations with column indices outermost);
+* the tile of ``c`` is bounded by the problem size ``Bc``; the tile of the
+  second-innermost intra variable is bounded by the **L1 cache emulation**
+  (Algorithm 1); the third-innermost by the **L2 emulation**; any further
+  dimensions only by their problem size (exactly the bound ladder of the
+  paper's pseudocode);
+* every candidate is checked for working-set fit (Eqs. 1/6) and for the
+  parallelism constraint (Eq. 13: the parallelized inter-tile loop must
+  offer at least one iteration per hardware thread);
+* the cost is Eq. 11 (``a2*C_L1 + a3*C_L2``) and the minimum wins.
+
+Step 2 (ordering) enumerates the valid inter-tile and intra-tile
+permutations for the winning tiles and picks the one minimizing the loop
+distance ``C_order`` (Eq. 12), keeping the column constraint, the chosen
+reuse loops, and the parallel loop outermost.
+
+The search enumerates *placements* ``(L, d2, d3, M)`` — outermost intra,
+second/third innermost intra, innermost inter — rather than raw
+permutations, because the Step-1 cost depends only on those positions; this
+is what keeps the optimizer in paper-reported runtime territory
+(milliseconds for 3-D nests, seconds for the 5-D convolution layer).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.arch import ArchSpec
+from repro.core.costs import (
+    RefPattern,
+    extract_patterns,
+    order_cost,
+    total_cost,
+    working_set_l1,
+    working_set_l2,
+)
+from repro.core.emu import emu_l1, emu_l2
+from repro.ir.analysis import StatementInfo, analyze_func
+from repro.ir.func import Func
+from repro.util import ceil_div, tile_candidates
+
+
+@dataclass
+class TemporalResult:
+    """Outcome of the temporal optimizer."""
+
+    tiles: Dict[str, int]
+    inter_order: List[str]   # outermost first
+    intra_order: List[str]   # outermost first
+    parallel_var: Optional[str]
+    cost: float
+    order_cost_value: float
+    candidates_evaluated: int
+    ws_l1: float
+    ws_l2: float
+
+    def describe(self) -> str:
+        tiles = ", ".join(f"T_{v}={t}" for v, t in sorted(self.tiles.items()))
+        return (
+            f"tiles: {tiles}; inter: {' > '.join(self.inter_order)}; "
+            f"intra: {' > '.join(self.intra_order)}; parallel: "
+            f"{self.parallel_var}; cost={self.cost:.3g}"
+        )
+
+
+def _column_vars(patterns: Sequence[RefPattern]) -> Set[str]:
+    """Variables indexing the contiguous dimension of *any* array."""
+    return {p.leading_var for p in patterns if p.leading_var is not None}
+
+
+def _middle_candidates(bound: int) -> List[int]:
+    """Coarse tile choices for dimensions beyond the emu-bounded three:
+    fully inter-tile (1), fully intra-tile (bound), and a halfway point."""
+    out = {1, bound}
+    if bound >= 4:
+        out.add(bound // 2)
+    return sorted(out)
+
+
+def _divisor_biased(candidates: List[int], bound: int) -> List[int]:
+    """Prefer tile sizes dividing the bound (no remainder guards)."""
+    exact = [t for t in candidates if bound % t == 0]
+    return exact if len(exact) >= 3 else candidates
+
+
+def optimize_temporal(
+    func: Func,
+    arch: ArchSpec,
+    info: Optional[StatementInfo] = None,
+    *,
+    exhaustive: bool = False,
+    use_emu: bool = True,
+    order_step: bool = True,
+) -> TemporalResult:
+    """Run Algorithm 2 on the main definition of ``func``.
+
+    ``use_emu`` and ``order_step`` are ablation switches: disabling the
+    former replaces the Algorithm-1 interference bounds with plain
+    capacity bounds (no prefetch/conflict awareness), disabling the latter
+    skips Step 2 and keeps the structural loop order.  Both default to the
+    paper's full method.
+    """
+    info = info or analyze_func(func)
+    patterns = extract_patterns(info)
+    dts = info.dtype_size
+    lc = arch.lc(dts)
+
+    all_vars = [v.name for v in info.definition.all_vars()]
+    bounds = {v: func.bound_of(v) for v in all_vars}
+    column = _column_vars(patterns)
+    c = info.output.leading_var
+    if c is None:
+        raise ValueError(
+            f"{func.name}: output has no leading variable; temporal "
+            "optimization needs a contiguous output dimension"
+        )
+
+    others = [v for v in all_vars if v != c]
+    non_column = [v for v in others if v not in column]
+    if not non_column:
+        # Degenerate: every variable indexes some contiguous dimension.
+        non_column = others
+
+    l1_spec = arch.cache_level(1)
+    l2_spec = arch.cache_level(2)
+    l1_capacity = l1_spec.capacity_elements(dts)
+    l2_capacity = l2_spec.capacity_elements(dts) // 2  # paper's halved L2
+    threads = arch.total_threads
+
+    best: Optional[Tuple[float, Dict[str, int], str, str, float, float]] = None
+    evaluated = 0
+
+    c_cands = _divisor_biased(
+        tile_candidates(bounds[c], bounds[c], quantum=lc, exhaustive=exhaustive),
+        bounds[c],
+    )
+    # The column tile becomes the vector loop: a tile of one is useless.
+    c_cands = [t for t in c_cands if t >= 2] or [bounds[c]]
+
+    # References that the column variable walks with a non-unit stride
+    # (e.g. syrk's A[j][k]) conflict in the L1 like a transposed array's
+    # rows do; bound the column tile with the cache emulation the same way
+    # Algorithm 3 bounds the tile height.
+    strided_cap = bounds[c]
+    for p in patterns if use_emu else ():
+        stride = p.stride_of(c)
+        if c in p.vars and p.leading_var != c and stride > lc:
+            cap = emu_l1(
+                arch,
+                row_width_elems=lc,
+                row_stride_elems=stride,
+                max_rows=bounds[c],
+                dts=dts,
+            )
+            strided_cap = min(strided_cap, max(lc, cap))
+    if strided_cap < bounds[c]:
+        c_cands = [t for t in c_cands if t <= strided_cap] or [
+            min(strided_cap, bounds[c])
+        ]
+
+    # Placement choices: d2/d3 = 2nd/3rd innermost intra positions,
+    # L = outermost intra (reuse loop), M = innermost inter (reuse loop).
+    for t_c in c_cands:
+        if use_emu:
+            max_d2 = emu_l1(
+                arch,
+                row_width_elems=t_c,
+                row_stride_elems=bounds[c],
+                max_rows=max(bounds[v] for v in others) if others else 1,
+                dts=dts,
+            )
+            max_d3 = emu_l2(
+                arch,
+                row_width_elems=t_c,
+                row_stride_elems=bounds[c],
+                max_rows=max(bounds[v] for v in others) if others else 1,
+                dts=dts,
+            )
+        else:
+            # Ablation: capacity-only bounds, no interference emulation.
+            max_d2 = max(1, l1_capacity // max(1, t_c))
+            max_d3 = max(1, l2_capacity // max(1, t_c))
+        for d2, d3 in _placement_pairs(others):
+            rest = [v for v in others if v not in (d2, d3)]
+            d2_cands = (
+                _divisor_biased(
+                    tile_candidates(
+                        bounds[d2], max_d2, exhaustive=exhaustive
+                    ),
+                    bounds[d2],
+                )
+                if d2
+                else [None]
+            )
+            d3_cands = (
+                _divisor_biased(
+                    tile_candidates(
+                        bounds[d3], max_d3, exhaustive=exhaustive
+                    ),
+                    bounds[d3],
+                )
+                if d3
+                else [None]
+            )
+            rest_cands = [_middle_candidates(bounds[v]) for v in rest]
+            for t_d2 in d2_cands:
+                for t_d3 in d3_cands:
+                    for rest_tiles in itertools.product(*rest_cands):
+                        tiles = {c: t_c}
+                        if d2:
+                            tiles[d2] = t_d2
+                        if d3:
+                            tiles[d3] = t_d3
+                        tiles.update(zip(rest, rest_tiles))
+                        outcome = _evaluate_tiles(
+                            arch,
+                            patterns,
+                            tiles,
+                            bounds,
+                            c,
+                            d2,
+                            d3,
+                            rest,
+                            non_column,
+                            l1_capacity,
+                            l2_capacity,
+                            threads,
+                            dts,
+                        )
+                        evaluated += 1
+                        if outcome is None:
+                            continue
+                        if best is None or outcome[0] < best[0]:
+                            best = outcome
+
+    if best is None:
+        # No candidate satisfied the fit/parallel constraints; fall back to
+        # untransformed loops (tiles equal to bounds).
+        tiles = dict(bounds)
+        inter, intra = [], list(all_vars)
+        return TemporalResult(
+            tiles=tiles,
+            inter_order=inter,
+            intra_order=intra,
+            parallel_var=None,
+            cost=float("inf"),
+            order_cost_value=0.0,
+            candidates_evaluated=evaluated,
+            ws_l1=0.0,
+            ws_l2=0.0,
+        )
+
+    cost, tiles, reuse_l, reuse_m, ws1, ws2 = best
+
+    inter_order, intra_order, corder = _order_step(
+        tiles,
+        bounds,
+        all_vars,
+        column,
+        c,
+        reuse_l,
+        reuse_m,
+        search=order_step,
+    )
+    parallel_var = inter_order[0] if inter_order else None
+    return TemporalResult(
+        tiles=tiles,
+        inter_order=inter_order,
+        intra_order=intra_order,
+        parallel_var=parallel_var,
+        cost=cost,
+        order_cost_value=corder,
+        candidates_evaluated=evaluated,
+        ws_l1=ws1,
+        ws_l2=ws2,
+    )
+
+
+def _placement_pairs(others: Sequence[str]) -> List[Tuple[Optional[str], Optional[str]]]:
+    """(d2, d3) choices: ordered pairs of distinct non-column... distinct
+    variables for the emu-bounded second and third intra positions."""
+    if not others:
+        return [(None, None)]
+    if len(others) == 1:
+        return [(others[0], None)]
+    return [
+        (a, b) for a, b in itertools.permutations(others, 2)
+    ]
+
+
+def _evaluate_tiles(
+    arch: ArchSpec,
+    patterns: Sequence[RefPattern],
+    tiles: Dict[str, int],
+    bounds: Dict[str, int],
+    c: str,
+    d2: Optional[str],
+    d3: Optional[str],
+    rest: Sequence[str],
+    non_column: Sequence[str],
+    l1_capacity: int,
+    l2_capacity: int,
+    threads: int,
+    dts: int,
+) -> Optional[Tuple[float, Dict[str, int], str, str, float, float]]:
+    """Check constraints and price one tile assignment.
+
+    Returns ``(cost, tiles, L, M, wsL1, wsL2)`` or None if invalid.
+    """
+    # The cost is evaluated against the *structural* tiled nest of the
+    # paper's derivation, independent of degenerate tile values (a tile of
+    # one simply has a trivial intra loop there): intra-tile order
+    # ``L=d3 > middles > d2 > c`` and inter-tile order ``... > cc`` — L1
+    # reuse anchored at the outermost intra loop, L2 reuse at the column
+    # variable's (innermost) inter-tile loop, exactly as in Listing 1.
+    middle = list(rest)
+    chain = [v for v in (d3, d2) if v]
+    reuse_l = chain[0] if chain else c
+    intra_order = (
+        ([chain[0]] if chain else [])
+        + middle
+        + chain[1:]
+        + [c]
+    )
+    reuse_m = c
+    inter_order = [v for v in intra_order if v != c] + [c]
+
+    # The parallel loop: a non-column inter-tile loop subject to Eq. 13
+    # (at least one tile iteration per hardware thread).
+    trips = {v: ceil_div(bounds[v], tiles[v]) for v in tiles}
+    par_pool = [v for v in non_column if trips[v] > 1]
+    if not par_pool or max(trips[v] for v in par_pool) < threads:
+        return None
+    # A schedule also needs at least one non-trivial intra loop besides the
+    # vector loop to anchor L1 reuse, unless the nest is two-deep.
+    if tiles.get(c, 1) < 2:
+        return None
+
+    lc = arch.lc(dts)
+    ws1 = working_set_l1(patterns, tiles, intra_order, lc)
+    ws2 = working_set_l2(patterns, tiles, intra_order, lc)
+    if ws1 > l1_capacity or ws2 > l2_capacity:
+        return None
+
+    cost = total_cost(
+        arch, patterns, tiles, bounds, intra_order, inter_order, dts
+    )
+    return (cost, dict(tiles), reuse_l, reuse_m, ws1, ws2)
+
+
+def _order_step(
+    tiles: Dict[str, int],
+    bounds: Dict[str, int],
+    all_vars: Sequence[str],
+    column: Set[str],
+    c: str,
+    reuse_l: str,
+    reuse_m: str,
+    search: bool = True,
+) -> Tuple[List[str], List[str], float]:
+    """Step 2: choose the loop order minimizing C_order (Eq. 12).
+
+    Inter-tile loops exist for variables with more than one tile trip;
+    intra-tile loops for tiles larger than one.  Fixed positions: the
+    column variable stays innermost intra, the chosen reuse loops stay at
+    their reuse positions, and a parallelizable (non-column) variable with
+    the most trips is kept outermost inter.
+    """
+    trips = {v: ceil_div(bounds[v], tiles[v]) for v in all_vars}
+    inter_vars = [v for v in all_vars if trips[v] > 1]
+    intra_vars = [v for v in all_vars if tiles[v] > 1]
+
+    # Outermost inter loop: prefer non-column variables, largest trips —
+    # this is the loop that gets parallelized.
+    par_pool = [v for v in inter_vars if v not in column] or inter_vars
+    par_var = max(par_pool, key=lambda v: trips[v]) if par_pool else None
+
+    free_inter = [v for v in inter_vars if v not in (par_var, reuse_m)]
+    free_intra = [
+        v for v in intra_vars if v not in (reuse_l, c)
+    ]
+
+    best_cost = float("inf")
+    best_inter: List[str] = []
+    best_intra: List[str] = []
+    m_tail = [reuse_m] if reuse_m in inter_vars and reuse_m != par_var else []
+    l_head = [reuse_l] if reuse_l in intra_vars and reuse_l != c else []
+
+    if not search:
+        # Ablation: skip Step 2, keep the structural order.
+        inter = ([par_var] if par_var else []) + free_inter + m_tail
+        intra = l_head + free_intra + ([c] if c in intra_vars else [c])
+        full = [(v, "inter") for v in inter] + [(v, "intra") for v in intra]
+        return inter, intra, order_cost(full, tiles, bounds)
+
+    for inter_mid in itertools.permutations(free_inter):
+        inter = ([par_var] if par_var else []) + list(inter_mid) + m_tail
+        for intra_mid in itertools.permutations(free_intra):
+            intra = l_head + list(intra_mid) + [c]
+            full = [(v, "inter") for v in inter] + [(v, "intra") for v in intra]
+            cost = order_cost(full, tiles, bounds)
+            if cost < best_cost:
+                best_cost = cost
+                best_inter = inter
+                best_intra = intra
+    if not best_intra:
+        best_intra = [c]
+    return best_inter, best_intra, best_cost

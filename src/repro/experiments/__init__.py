@@ -1,0 +1,33 @@
+"""Regenerators for every table and figure of the paper's evaluation.
+
+Each module exposes ``run(...) -> dict`` printing the same rows/series the
+paper reports and returning the raw numbers for tests and benches:
+
+* :mod:`repro.experiments.platforms` — Table 3 (platform parameters).
+* :mod:`repro.experiments.table4` — Table 4 (benchmarks + best times).
+* :mod:`repro.experiments.table5` — Table 5 (optimizer runtime).
+* :mod:`repro.experiments.fig4` — Fig. 4a/4b (relative throughput on the
+  two Intel platforms, five techniques).
+* :mod:`repro.experiments.fig5` — Fig. 5 (one-day autotuner vs proposed).
+* :mod:`repro.experiments.fig6` — Fig. 6 (the effect of NT stores).
+* :mod:`repro.experiments.fig7` — Fig. 7 (ARM Cortex-A15 results).
+* :mod:`repro.experiments.table6` — Table 6 (TTS / TSS / proposed).
+
+Shared machinery lives in :mod:`repro.experiments.harness`; knobs (trace
+budget, autotuner evaluations, small sizes for smoke runs) are env-var
+controlled — see :class:`repro.experiments.harness.ExperimentConfig`.
+"""
+
+from repro.experiments.harness import (
+    ExperimentConfig,
+    TECHNIQUES,
+    schedules_for,
+    measure_case,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "TECHNIQUES",
+    "schedules_for",
+    "measure_case",
+]

@@ -1,0 +1,61 @@
+"""Run every table/figure regenerator in sequence.
+
+Usage::
+
+    python -m repro.experiments [--fast]
+
+``--fast`` (or ``REPRO_FAST=1``) uses the scaled-down problem sizes for a
+smoke run; the default regenerates everything at the paper's sizes, which
+takes tens of minutes on one core (the autotuner searches dominate).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.experiments import ExperimentConfig
+from repro.experiments import (  # noqa: F401  (imported for registry order)
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    platforms,
+    table4,
+    table5,
+    table6,
+)
+
+ORDER = [
+    ("Table 3", platforms, False),
+    ("Table 5", table5, True),
+    ("Fig. 4", fig4, True),
+    ("Fig. 6", fig6, True),
+    ("Fig. 5", fig5, True),
+    ("Fig. 7", fig7, True),
+    ("Table 6", table6, True),
+    ("Table 4", table4, True),
+]
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if "--fast" in argv:
+        os.environ["REPRO_FAST"] = "1"
+    config = ExperimentConfig()
+    mode = "FAST (scaled sizes)" if config.fast else "paper sizes"
+    print(f"=== Regenerating every table and figure [{mode}] ===\n")
+    for label, module, takes_config in ORDER:
+        print(f"--- {label} " + "-" * (60 - len(label)))
+        start = time.perf_counter()
+        if takes_config:
+            module.run(config=config)
+        else:
+            module.run()
+        print(f"    ({time.perf_counter() - start:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+"""Fig. 4a/4b: relative throughput on the two Intel platforms.
+
+For every benchmark and technique the paper plots throughput (1/s)
+relative to the fastest implementation of that benchmark; the proposed
+method (with NTI where the classifier allows) tops most plots, the
+Auto-Scheduler follows, and the baseline/one-hour-autotuner trail.
+
+This regenerator prints one row per (benchmark, technique) with the
+relative value in [0, 1], per platform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.bench import benchmark_names
+from repro.experiments.harness import (
+    ExperimentConfig,
+    TECHNIQUES,
+    format_table,
+    measure_case,
+)
+
+#: Benchmarks where the classifier enables NT stores, so "Proposed+NTI"
+#: is a distinct bar (the last four kernels in the paper's grouping).
+NTI_BENCHMARKS = ("tpm", "tp", "copy", "mask")
+
+#: "The syrk and syr2k benchmarks could not be rewritten in such a way and
+#: thus the autotuned implementations are excluded." (Sec. 5.1)
+AUTOTUNER_EXCLUDED = ("syrk", "syr2k")
+
+PLATFORMS = ("i7-6700", "i7-5930k")
+
+
+def run(
+    *,
+    platforms: Tuple[str, ...] = PLATFORMS,
+    benchmarks: Optional[Tuple[str, ...]] = None,
+    config: Optional[ExperimentConfig] = None,
+    echo: bool = True,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Regenerate Fig. 4.
+
+    Returns ``{platform: {benchmark: {technique: relative_throughput}}}``.
+    """
+    config = config or ExperimentConfig()
+    benchmarks = benchmarks or tuple(benchmark_names())
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for platform in platforms:
+        per_bench: Dict[str, Dict[str, float]] = {}
+        for name in benchmarks:
+            times: Dict[str, float] = {}
+            for technique in TECHNIQUES:
+                if technique == "proposed_nti" and name not in NTI_BENCHMARKS:
+                    continue  # identical to "proposed"; skip the sim
+                if technique == "autotuner" and name in AUTOTUNER_EXCLUDED:
+                    continue  # excluded in the paper (Sec. 5.1)
+                times[technique] = measure_case(
+                    name, technique, platform, config=config
+                )
+            fastest = min(times.values())
+            per_bench[name] = {
+                t: fastest / ms if ms > 0 else 0.0 for t, ms in times.items()
+            }
+        out[platform] = per_bench
+        if echo:
+            from repro.experiments.harness import ascii_bar
+
+            print(f"\nFig. 4 — {platform}: throughput relative to fastest")
+            headers = ("benchmark",) + TECHNIQUES
+            rows = []
+            for name, rel in per_bench.items():
+                rows.append(
+                    (name,)
+                    + tuple(
+                        f"{rel[t]:.2f}" if t in rel else "-" for t in TECHNIQUES
+                    )
+                )
+            print(format_table(headers, rows))
+            print()
+            for name, rel in per_bench.items():
+                for t in TECHNIQUES:
+                    if t in rel:
+                        print(f"  {name:>9s} {t:<14s} {ascii_bar(rel[t])}")
+    return out
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,65 @@
+"""Fig. 7: the ARM Cortex-A15 platform.
+
+No L3 cache, a 512 KB L2 *shared by all four cores* (so the model divides
+the effective L2 associativity by ``NCores`` instead of threads-per-core —
+the one-line model change Sec. 5.1 describes, implemented by
+``ArchSpec.l2_shared_across_cores``), one thread per core, and no vector
+NT stores — hence copy/mask are excluded and there is no "+NTI" bar.
+
+Three techniques per benchmark: Proposed, Auto-Scheduler, Baseline,
+plotted as throughput relative to the fastest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.bench import benchmark_names
+from repro.experiments.harness import (
+    ExperimentConfig,
+    format_table,
+    measure_case,
+)
+
+PLATFORM = "arm-a15"
+TECHNIQUES = ("proposed", "autoscheduler", "baseline")
+#: copy/mask are excluded on ARM (identical implementations without NTI).
+BENCHMARKS = tuple(n for n in (
+    "doitgen", "matmul", "convlayer", "gemm", "3mm", "trmm", "syrk",
+    "syr2k", "tp", "tpm",
+))
+
+
+def run(
+    *,
+    benchmarks: Tuple[str, ...] = BENCHMARKS,
+    config: Optional[ExperimentConfig] = None,
+    echo: bool = True,
+) -> Dict[str, Dict[str, float]]:
+    """Regenerate Fig. 7.
+
+    Returns ``{benchmark: {technique: relative throughput}}``.
+    """
+    config = config or ExperimentConfig()
+    out: Dict[str, Dict[str, float]] = {}
+    rows = []
+    for name in benchmarks:
+        times = {
+            t: measure_case(name, t, PLATFORM, config=config)
+            for t in TECHNIQUES
+        }
+        fastest = min(times.values())
+        out[name] = {t: fastest / ms if ms > 0 else 0.0 for t, ms in times.items()}
+        rows.append((name,) + tuple(out[name][t] for t in TECHNIQUES))
+    if echo:
+        print("Fig. 7 — ARM Cortex A15: throughput relative to fastest")
+        print(
+            format_table(
+                ("benchmark", "Proposed", "Auto-Scheduler", "Baseline"), rows
+            )
+        )
+    return out
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,189 @@
+"""Shared machinery for the experiment regenerators.
+
+The five techniques of the paper's figures are named as in the legends:
+
+* ``proposed`` — this paper's optimizer, NT stores disabled;
+* ``proposed_nti`` — same, with the ``store_nontemporal`` directive where
+  the classifier allows it;
+* ``autoscheduler`` — the Mullapudi-style heuristic baseline;
+* ``baseline`` — parallel outer + vectorized inner, no tiling;
+* ``autotuner`` — the stochastic search, budgeted by evaluation count.
+
+``measure_case`` runs a whole benchmark pipeline (all stages) under a
+technique on a simulated platform and returns milliseconds.  Results are
+memoized per (benchmark, size, technique, platform, budget) within a
+process, because Table 4, Fig. 4 and Fig. 6 share measurements.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.arch import ArchSpec, platform_by_name
+from repro.baselines import Autotuner, autoschedule, baseline_schedule
+from repro.bench import BenchmarkCase, make_benchmark, size_for
+from repro.core import optimize
+from repro.ir.func import Func
+from repro.ir.schedule import Schedule
+from repro.sim import Machine
+
+#: Technique keys in the order the paper's legends list them.
+TECHNIQUES = (
+    "proposed",
+    "proposed_nti",
+    "autoscheduler",
+    "baseline",
+    "autotuner",
+)
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@dataclass
+class ExperimentConfig:
+    """Budget knobs for the regenerators.
+
+    Environment overrides: ``REPRO_LINE_BUDGET`` (trace lines per nest),
+    ``REPRO_AT_EVALS`` (autotuner budget ~ "one hour"),
+    ``REPRO_AT_EVALS_DAY`` (autotuner budget ~ "one day"),
+    ``REPRO_FAST=1`` (scaled-down problem sizes for smoke runs).
+    """
+
+    line_budget: int = field(
+        default_factory=lambda: _env_int("REPRO_LINE_BUDGET", 60_000)
+    )
+    autotune_evals: int = field(
+        default_factory=lambda: _env_int("REPRO_AT_EVALS", 12)
+    )
+    autotune_evals_day: int = field(
+        default_factory=lambda: _env_int("REPRO_AT_EVALS_DAY", 80)
+    )
+    fast: bool = field(
+        default_factory=lambda: os.environ.get("REPRO_FAST", "") == "1"
+    )
+    seed: int = 0
+
+    def machine(self, arch: ArchSpec) -> Machine:
+        return Machine(arch, line_budget=self.line_budget)
+
+    def case(self, name: str) -> BenchmarkCase:
+        return make_benchmark(name, **size_for(name, small=self.fast))
+
+
+def schedules_for(
+    case: BenchmarkCase,
+    technique: str,
+    arch: ArchSpec,
+    *,
+    config: Optional[ExperimentConfig] = None,
+    autotune_evals: Optional[int] = None,
+) -> Dict[Func, Schedule]:
+    """Produce one schedule per pipeline stage under a technique."""
+    config = config or ExperimentConfig()
+    out: Dict[Func, Schedule] = {}
+    for stage in case.pipeline:
+        if technique == "proposed":
+            out[stage] = optimize(stage, arch, allow_nti=False).schedule
+        elif technique == "proposed_nti":
+            out[stage] = optimize(stage, arch, allow_nti=True).schedule
+        elif technique == "autoscheduler":
+            out[stage] = autoschedule(stage, arch).schedule
+        elif technique == "baseline":
+            out[stage] = baseline_schedule(stage, arch)
+        elif technique == "autotuner":
+            machine = config.machine(arch)
+            tuner = Autotuner(
+                machine,
+                evaluations=autotune_evals or config.autotune_evals,
+                seed=config.seed,
+            )
+            out[stage] = tuner.tune(stage).schedule
+        else:
+            raise KeyError(
+                f"unknown technique {technique!r}; known: {TECHNIQUES}"
+            )
+    return out
+
+
+_MEASURE_CACHE: Dict[Tuple, float] = {}
+
+
+def measure_case(
+    name: str,
+    technique: str,
+    platform: str,
+    *,
+    config: Optional[ExperimentConfig] = None,
+    autotune_evals: Optional[int] = None,
+    size_overrides: Optional[dict] = None,
+) -> float:
+    """Milliseconds for one (benchmark, technique, platform) cell.
+
+    Memoized per process; ``size_overrides`` (e.g. Table 6's problem
+    sizes) are part of the key.
+    """
+    config = config or ExperimentConfig()
+    key = (
+        name,
+        technique,
+        platform,
+        config.line_budget,
+        autotune_evals or config.autotune_evals if technique == "autotuner" else 0,
+        config.fast,
+        tuple(sorted((size_overrides or {}).items())),
+    )
+    if key in _MEASURE_CACHE:
+        return _MEASURE_CACHE[key]
+    arch = platform_by_name(platform)
+    sizes = size_overrides or size_for(name, small=config.fast)
+    case = make_benchmark(name, **sizes)
+    schedules = schedules_for(
+        case, technique, arch, config=config, autotune_evals=autotune_evals
+    )
+    machine = config.machine(arch)
+    ms = machine.time_pipeline(case.pipeline, schedules)
+    _MEASURE_CACHE[key] = ms
+    return ms
+
+
+def clear_measure_cache() -> None:
+    """Drop memoized measurements (tests use this for isolation)."""
+    _MEASURE_CACHE.clear()
+
+
+def ascii_bar(value: float, *, width: int = 24, vmax: float = 1.0) -> str:
+    """A proportional bar for terminal "figures" (paper-style relative
+    throughput plots)."""
+    if vmax <= 0:
+        return ""
+    filled = int(round(width * max(0.0, min(value, vmax)) / vmax))
+    return "#" * filled
+
+
+def format_table(
+    headers: Tuple[str, ...], rows, *, float_fmt: str = "{:.2f}"
+) -> str:
+    """Plain-text table formatting shared by the regenerators."""
+    rendered = [
+        [
+            float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rendered)) if rendered else len(headers[c])
+        for c in range(len(headers))
+    ]
+    def fmt_row(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt_row(headers), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(r) for r in rendered)
+    return "\n".join(lines)

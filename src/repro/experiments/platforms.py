@@ -1,0 +1,37 @@
+"""Table 3: the experimental platforms.
+
+Prints the same parameter rows the paper tabulates, pulled from
+:mod:`repro.arch.platforms` so the experiments and this table cannot drift
+apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.arch import PLATFORMS, ArchSpec
+from repro.experiments.harness import format_table
+
+
+def run(*, echo: bool = True) -> Dict[str, ArchSpec]:
+    """Print Table 3; return the platform specs keyed by short name."""
+    specs = {key: factory() for key, factory in PLATFORMS.items()}
+    order = ["i7-5930k", "i7-6700", "arm-a15"]
+    headers = ("parameter",) + tuple(specs[k].name for k in order)
+    rows = [
+        ("L-CLS",) + tuple(f"{specs[k].l1.line_size}B" for k in order),
+        ("L1-way",) + tuple(str(specs[k].l1.ways) for k in order),
+        ("L1-CS",) + tuple(f"{specs[k].l1.size // 1024}KB" for k in order),
+        ("L2-way",) + tuple(str(specs[k].l2.ways) for k in order),
+        ("L2-CS",) + tuple(f"{specs[k].l2.size // 1024}KB" for k in order),
+        ("NCores",) + tuple(str(specs[k].n_cores) for k in order),
+        ("NThreads",) + tuple(str(specs[k].threads_per_core) for k in order),
+    ]
+    if echo:
+        print("Table 3. Experimental Platforms")
+        print(format_table(headers, rows))
+    return specs
+
+
+if __name__ == "__main__":
+    run()

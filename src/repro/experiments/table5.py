@@ -1,0 +1,44 @@
+"""Table 5: optimization runtime of the proposed tool per benchmark.
+
+The paper reports milliseconds-scale runtimes for all benchmarks except
+the convolution layer (7.6 s), whose deep nest explodes the permutation
+space.  This regenerator times :func:`repro.core.optimize` on every stage
+of every benchmark and reports the pipeline total.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.arch import platform_by_name
+from repro.bench import benchmark_names, make_benchmark, size_for
+from repro.core import optimize
+from repro.experiments.harness import ExperimentConfig, format_table
+
+
+def run(
+    *,
+    platform: str = "i7-5930k",
+    config: Optional[ExperimentConfig] = None,
+    echo: bool = True,
+) -> Dict[str, float]:
+    """Regenerate Table 5; returns ``{benchmark: seconds}``."""
+    config = config or ExperimentConfig()
+    arch = platform_by_name(platform)
+    out: Dict[str, float] = {}
+    for name in benchmark_names():
+        case = make_benchmark(name, **size_for(name, small=config.fast))
+        start = time.perf_counter()
+        for stage in case.pipeline:
+            optimize(stage, arch)
+        out[name] = time.perf_counter() - start
+    if echo:
+        print(f"Table 5. Optimization runtime ({arch.name})")
+        rows = [(name, f"{seconds:.3f}s") for name, seconds in out.items()]
+        print(format_table(("benchmark", "runtime"), rows))
+    return out
+
+
+if __name__ == "__main__":
+    run()

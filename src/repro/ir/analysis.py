@@ -1,0 +1,296 @@
+"""Static access-pattern analysis of DSL statements.
+
+The paper's classifier (Sec. 3.1) works on "the statements in the innermost
+level of the loop nest": it compares the *unique index variables* of the
+input arrays against those of the output array, and looks for *transposed*
+appearances of arrays.  This module extracts exactly that information:
+
+* :class:`AffineIndex` — one index expression reduced to
+  ``sum(coeff_v * v) + offset`` over loop variables.
+* :class:`RefInfo` — one array reference: its buffer, affine indices,
+  per-dimension primary variables, leading (unit-stride) variable, and
+  element strides.
+* :class:`StatementInfo` — the whole statement: output reference, input
+  references, reduction variables, and the derived predicates the
+  classifier needs (``extra_input_vars``, ``transposed_inputs``,
+  ``output_is_reused``, ``is_stencil_like``).
+
+Only affine index expressions are supported; anything else (e.g. indirect
+indexing) raises :class:`~repro.util.ClassificationError`, mirroring the
+scope of the paper's model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ir.expr import Access, BinOp, Cast, Const, Expr, VarRef
+from repro.ir.func import Definition, Func
+from repro.util import ClassificationError
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """An index expression in affine normal form.
+
+    ``coeffs`` maps variable name to integer coefficient; ``offset`` is the
+    constant term.  ``i`` becomes ``({i: 1}, 0)``; ``2*k + 1`` becomes
+    ``({k: 2}, 1)``.
+    """
+
+    coeffs: Tuple[Tuple[str, int], ...]
+    offset: int
+
+    @staticmethod
+    def from_expr(expr: Expr) -> "AffineIndex":
+        coeffs: Dict[str, int] = {}
+        offset = _accumulate(expr, 1, coeffs, 0)
+        items = tuple(sorted((v, c) for v, c in coeffs.items() if c != 0))
+        return AffineIndex(items, offset)
+
+    def coeff_map(self) -> Dict[str, int]:
+        return dict(self.coeffs)
+
+    @property
+    def vars(self) -> Tuple[str, ...]:
+        return tuple(v for v, _ in self.coeffs)
+
+    @property
+    def primary_var(self) -> Optional[str]:
+        """The variable of a single-variable index, else the first one
+        (indices in the paper's benchmarks are single-variable)."""
+        return self.coeffs[0][0] if self.coeffs else None
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    @property
+    def is_simple(self) -> bool:
+        """True for a bare ``v + c`` index (single variable, coefficient 1)."""
+        return len(self.coeffs) == 1 and self.coeffs[0][1] == 1
+
+    def __str__(self) -> str:
+        parts = [
+            (f"{c}*{v}" if c != 1 else v) for v, c in self.coeffs
+        ]
+        if self.offset or not parts:
+            parts.append(str(self.offset))
+        return "+".join(parts)
+
+
+def _accumulate(
+    expr: Expr, scale: int, coeffs: Dict[str, int], offset: int
+) -> int:
+    """Fold ``scale * expr`` into ``coeffs``; return the updated offset."""
+    if isinstance(expr, Const):
+        if not isinstance(expr.value, int):
+            raise ClassificationError(
+                f"non-integer constant {expr.value!r} in an index expression"
+            )
+        return offset + scale * expr.value
+    if isinstance(expr, VarRef):
+        coeffs[expr.name] = coeffs.get(expr.name, 0) + scale
+        return offset
+    if isinstance(expr, Cast):
+        return _accumulate(expr.value, scale, coeffs, offset)
+    if isinstance(expr, BinOp):
+        if expr.op == "+":
+            offset = _accumulate(expr.lhs, scale, coeffs, offset)
+            return _accumulate(expr.rhs, scale, coeffs, offset)
+        if expr.op == "-":
+            offset = _accumulate(expr.lhs, scale, coeffs, offset)
+            return _accumulate(expr.rhs, -scale, coeffs, offset)
+        if expr.op == "*":
+            lhs_const = _const_value(expr.lhs)
+            rhs_const = _const_value(expr.rhs)
+            if lhs_const is not None:
+                return _accumulate(expr.rhs, scale * lhs_const, coeffs, offset)
+            if rhs_const is not None:
+                return _accumulate(expr.lhs, scale * rhs_const, coeffs, offset)
+            raise ClassificationError(
+                "non-affine index: product of two variables"
+            )
+    raise ClassificationError(f"unsupported index expression: {expr!r}")
+
+
+def _const_value(expr: Expr) -> Optional[int]:
+    if isinstance(expr, Const) and isinstance(expr.value, int):
+        return expr.value
+    return None
+
+
+@dataclass
+class RefInfo:
+    """One array reference of the statement, analyzed."""
+
+    access: Access
+    indices: Tuple[AffineIndex, ...]
+    is_output: bool
+
+    @property
+    def buffer(self):
+        return self.access.buffer
+
+    @property
+    def name(self) -> str:
+        return self.access.buffer.name
+
+    @property
+    def index_vars(self) -> Set[str]:
+        """All loop variables appearing in any index of this reference."""
+        out: Set[str] = set()
+        for ix in self.indices:
+            out.update(ix.vars)
+        return out
+
+    @property
+    def dim_vars(self) -> Tuple[Optional[str], ...]:
+        """Primary variable per dimension, outermost dimension first."""
+        return tuple(ix.primary_var for ix in self.indices)
+
+    @property
+    def leading_var(self) -> Optional[str]:
+        """Variable indexing the contiguous (last) dimension."""
+        return self.indices[-1].primary_var
+
+    def stride_of(self, var: str) -> int:
+        """Element stride of this reference w.r.t. unit steps of ``var``.
+
+        Computed from the buffer's row-major strides and the affine
+        coefficients; a variable absent from the reference has stride 0.
+        """
+        strides = self.buffer.strides_elements()
+        total = 0
+        for dim, ix in enumerate(self.indices):
+            total += ix.coeff_map().get(var, 0) * strides[dim]
+        return total
+
+    def offsets(self) -> Tuple[int, ...]:
+        return tuple(ix.offset for ix in self.indices)
+
+    def has_offsets(self) -> bool:
+        return any(ix.offset != 0 for ix in self.indices)
+
+    def shared_var_order(self, other_vars: Sequence[str]) -> Tuple[str, ...]:
+        """This reference's per-dimension variables restricted to a given
+        variable set, in dimension order (used for transposition checks)."""
+        keep = set(other_vars)
+        return tuple(v for v in self.dim_vars if v is not None and v in keep)
+
+    def __repr__(self) -> str:
+        idx = ", ".join(str(ix) for ix in self.indices)
+        tag = "out" if self.is_output else "in"
+        return f"RefInfo({self.name}[{idx}], {tag})"
+
+
+@dataclass
+class StatementInfo:
+    """Everything the classifier and the cost models need about a statement."""
+
+    func: Func
+    definition: Definition
+    output: RefInfo
+    inputs: List[RefInfo]
+    reduction_vars: Tuple[str, ...]
+    ops: int
+    dtype_size: int
+
+    # ---- raw index-variable sets (paper Sec. 3.1, first test) ----
+
+    @property
+    def output_vars(self) -> Set[str]:
+        return self.output.index_vars
+
+    @property
+    def input_vars(self) -> Set[str]:
+        out: Set[str] = set()
+        for ref in self.inputs:
+            out.update(ref.index_vars)
+        return out
+
+    @property
+    def extra_input_vars(self) -> Set[str]:
+        """Variables used by inputs but absent from the output — the
+        paper's "different unique indices" signal for temporal reuse
+        (reduction dimensions such as matmul's ``k``)."""
+        return self.input_vars - self.output_vars
+
+    # ---- transposition (second test) ----
+
+    def transposed_inputs(self) -> List[RefInfo]:
+        """Inputs whose shared-variable dimension order differs from the
+        output's (e.g. ``A[x][y]`` against ``out[y][x]``)."""
+        out_order = [v for v in self.output.dim_vars if v is not None]
+        found = []
+        for ref in self.inputs:
+            if ref.buffer is self.func:
+                continue
+            ref_order = ref.shared_var_order(out_order)
+            base = tuple(v for v in out_order if v in set(ref_order))
+            if len(ref_order) >= 2 and ref_order != base:
+                found.append(ref)
+        return found
+
+    # ---- output reuse (NTI test) ----
+
+    @property
+    def output_is_reused(self) -> bool:
+        """True when the statement reads its own output (accumulation),
+        which forbids non-temporal stores."""
+        return any(ref.buffer is self.func for ref in self.inputs)
+
+    # ---- stencils ----
+
+    def is_stencil_like(self) -> bool:
+        """True when inputs use the same variables as the output but with
+        constant offsets (neighborhood accesses).  The paper (citing [9])
+        leaves such nests untransformed."""
+        if self.extra_input_vars:
+            return False
+        return any(
+            ref.has_offsets() for ref in self.inputs if ref.buffer is not self.func
+        )
+
+    def non_self_inputs(self) -> List[RefInfo]:
+        return [ref for ref in self.inputs if ref.buffer is not self.func]
+
+    def __repr__(self) -> str:
+        return (
+            f"StatementInfo({self.func.name}: out={self.output!r}, "
+            f"{len(self.inputs)} input refs, rvars={self.reduction_vars})"
+        )
+
+
+def analyze_definition(func: Func, definition: Definition) -> StatementInfo:
+    """Analyze one definition of ``func`` into a :class:`StatementInfo`."""
+    output = RefInfo(
+        access=Access(func, definition.lhs_vars),
+        indices=tuple(AffineIndex.from_expr(v) for v in definition.lhs_vars),
+        is_output=True,
+    )
+    inputs: List[RefInfo] = []
+    for acc in definition.rhs.accesses():
+        inputs.append(
+            RefInfo(
+                access=acc,
+                indices=tuple(AffineIndex.from_expr(ix) for ix in acc.indices),
+                is_output=False,
+            )
+        )
+    return StatementInfo(
+        func=func,
+        definition=definition,
+        output=output,
+        inputs=inputs,
+        reduction_vars=tuple(rv.name for rv in definition.rvars),
+        ops=definition.rhs.count_ops(),
+        dtype_size=func.dtype.size,
+    )
+
+
+def analyze_func(func: Func) -> StatementInfo:
+    """Analyze the *main* definition of ``func`` (the one the optimizer
+    targets)."""
+    return analyze_definition(func, func.main_definition())

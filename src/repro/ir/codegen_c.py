@@ -1,0 +1,202 @@
+"""C code generation for lowered loop nests.
+
+The paper's optimizer emits Halide schedules, but Sec. 4 notes the flow
+"can be used with any other compiler/back-end".  This module is that other
+back end: it turns lowered nests into a self-contained C99 translation
+unit —
+
+* one function per pipeline, taking ``const`` input pointers and the
+  output pointer, all ``restrict``-qualified;
+* parallel loops annotated with ``#pragma omp parallel for``;
+* vectorized loops annotated with ``#pragma omp simd`` (the portable
+  spelling; compilers map it to AVX/NEON);
+* guards from imperfect splits emitted as ``if (...) continue;``;
+* non-temporal stores emitted through a ``REPRO_STREAM_STORE`` macro that
+  expands to ``__builtin_nontemporal_store`` where available (clang) or
+  SSE2 ``_mm_stream_si32``/``_mm_stream_ps`` on x86, with a plainstore
+  fallback — mirroring the paper's Halide/LLVM extension.
+
+The generated code is deliberately boring: it exists so schedules found by
+the analytical model can be timed on real hardware, and so tests can
+compile-and-run a schedule against the interpreter's output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.ir.expr import Access, BinOp, Cast, Const, Expr, VarRef
+from repro.ir.func import Buffer, Func
+from repro.ir.loopnest import LoopNest
+from repro.ir.printer import print_index_tree
+from repro.ir.schedule import LoopKind
+
+_C_TYPES = {
+    "float32": "float",
+    "float64": "double",
+    "int32": "int32_t",
+    "int64": "int64_t",
+    "uint16": "uint16_t",
+    "uint8": "uint8_t",
+}
+
+_PRELUDE = """\
+#include <stdint.h>
+#include <stddef.h>
+
+#if defined(__clang__)
+#  define REPRO_STREAM_STORE(addr, value) __builtin_nontemporal_store((value), (addr))
+#elif defined(__SSE2__)
+#  include <immintrin.h>
+#  define REPRO_STREAM_STORE(addr, value) _repro_stream_store((addr), (value))
+static inline void _repro_stream_store_f(float *a, float v) {
+    _mm_stream_si32((int *)a, *(int *)&v);
+}
+static inline void _repro_stream_store_i(int32_t *a, int32_t v) {
+    _mm_stream_si32((int *)a, v);
+}
+#  define _repro_stream_store(addr, value) _Generic((addr), \\
+        float *: _repro_stream_store_f, \\
+        int32_t *: _repro_stream_store_i)(addr, value)
+#else
+#  define REPRO_STREAM_STORE(addr, value) (*(addr) = (value))
+#endif
+"""
+
+
+def c_type(dtype_name: str) -> str:
+    """Map a DSL dtype name to its C spelling."""
+    if dtype_name not in _C_TYPES:
+        raise KeyError(f"no C type mapping for dtype {dtype_name!r}")
+    return _C_TYPES[dtype_name]
+
+
+def _flat_index(access: Access) -> str:
+    """Row-major flattened index expression for an access."""
+    strides = access.buffer.strides_elements()
+    parts: List[str] = []
+    for dim, ix in enumerate(access.indices):
+        ix_src = _expr_c(ix)
+        if strides[dim] == 1:
+            parts.append(f"({ix_src})")
+        else:
+            parts.append(f"({ix_src}) * {strides[dim]}")
+    return " + ".join(parts)
+
+
+def _expr_c(expr: Expr) -> str:
+    if isinstance(expr, Const):
+        if isinstance(expr.value, float):
+            return f"{expr.value}f" if expr.value == expr.value else "0.0f"
+        return str(expr.value)
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, Cast):
+        return f"(({expr.dtype_name})({_expr_c(expr.value)}))"
+    if isinstance(expr, Access):
+        return f"{expr.buffer.name}[{_flat_index(expr)}]"
+    if isinstance(expr, BinOp):
+        if expr.op in ("min", "max"):
+            fn = "fminf" if expr.op == "min" else "fmaxf"
+            return f"{fn}({_expr_c(expr.lhs)}, {_expr_c(expr.rhs)})"
+        return f"({_expr_c(expr.lhs)} {expr.op} {_expr_c(expr.rhs)})"
+    raise TypeError(f"cannot generate C for {expr!r}")
+
+
+def _collect_buffers(nests: Sequence[LoopNest]) -> Tuple[List, List[Func]]:
+    """(input buffers/Funcs read, Funcs written) across the nests."""
+    inputs: List = []
+    outputs: List[Func] = []
+    written: Set[int] = set()
+    for nest in nests:
+        if id(nest.func) not in written:
+            written.add(id(nest.func))
+            outputs.append(nest.func)
+    for nest in nests:
+        for acc in nest.stmt.reads:
+            buf = acc.buffer
+            if id(buf) in written:
+                continue
+            if all(buf is not b for b in inputs):
+                inputs.append(buf)
+    return inputs, outputs
+
+
+def signature_buffers(nests: Sequence[LoopNest]) -> Tuple[List, List[Func]]:
+    """The (inputs, outputs) parameter order of :func:`codegen`'s function.
+
+    Inputs appear in first-use order across the nests, outputs in
+    first-write order; callers use this to marshal arrays for ctypes.
+    """
+    return _collect_buffers(nests)
+
+
+def codegen_nest(nest: LoopNest, indent: str = "    ") -> str:
+    """Emit the body (loops + statement) of one lowered nest."""
+    lines: List[str] = []
+    depth = 1
+    for loop in nest.loops:
+        pad = indent * depth
+        if loop.kind is LoopKind.PARALLEL:
+            lines.append(f"{pad}#pragma omp parallel for")
+        elif loop.kind is LoopKind.VECTORIZED:
+            lines.append(f"{pad}#pragma omp simd")
+        lines.append(
+            f"{pad}for (int64_t {loop.name} = 0; {loop.name} < "
+            f"{loop.extent}; {loop.name}++) {{"
+        )
+        depth += 1
+    pad = indent * depth
+    for orig, tree in nest.stmt.index_trees.items():
+        rendered = print_index_tree(tree)
+        if rendered != orig:
+            lines.append(f"{pad}const int64_t {orig} = {rendered};")
+    for orig, bound in nest.stmt.guards.items():
+        lines.append(f"{pad}if ({orig} >= {bound}) continue;")
+    rhs = _expr_c(nest.stmt.rhs)
+    store = nest.stmt.store
+    target = f"{store.buffer.name}[{_flat_index(store)}]"
+    if nest.stmt.nontemporal:
+        lines.append(
+            f"{pad}REPRO_STREAM_STORE(&{target}, {rhs});"
+        )
+    else:
+        lines.append(f"{pad}{target} = {rhs};")
+    for d in range(depth - 1, 0, -1):
+        lines.append(f"{indent * d}}}")
+    return "\n".join(lines)
+
+
+def codegen(
+    nests: Sequence[LoopNest],
+    *,
+    function_name: str = "kernel",
+    include_prelude: bool = True,
+) -> str:
+    """Emit a complete C translation unit running ``nests`` in order.
+
+    The function signature lists input pointers first (const,
+    ``restrict``), then output pointers, in first-use order; all arrays
+    are flattened row-major.
+    """
+    if not nests:
+        raise ValueError("codegen needs at least one nest")
+    inputs, outputs = _collect_buffers(nests)
+    params: List[str] = []
+    for buf in inputs:
+        params.append(
+            f"const {c_type(buf.dtype.name)} *restrict {buf.name}"
+        )
+    for func in outputs:
+        params.append(f"{c_type(func.dtype.name)} *restrict {func.name}")
+    header = f"void {function_name}({', '.join(params)})"
+
+    pieces: List[str] = []
+    if include_prelude:
+        pieces.append(_PRELUDE)
+    pieces.append(header + " {")
+    for nest in nests:
+        pieces.append(f"    /* {nest.name} */")
+        pieces.append(codegen_nest(nest))
+    pieces.append("}")
+    return "\n".join(pieces) + "\n"

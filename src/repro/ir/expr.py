@@ -1,0 +1,264 @@
+"""Expression AST for the mini-DSL.
+
+The AST is intentionally small: the analytical model only needs to see
+*which arrays are accessed with which affine indices*, and the simulator only
+needs to *enumerate addresses* and count arithmetic operations.  Expressions
+are immutable; Python operators on :class:`Expr` build the tree, so algorithm
+definitions read like the paper's listings::
+
+    C[i, j] = C[i, j] + A[i, k] * B[k, j]
+
+Supported index expressions are affine combinations of loop variables plus a
+constant (``i``, ``k + 1``, ``2 * j - 1``); anything else raises during
+analysis, mirroring the paper's scope (dense affine loop nests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+class Expr:
+    """Base class of all expression nodes.
+
+    Provides operator overloads so user code can write natural arithmetic.
+    Subclasses are immutable value objects with structural equality.
+    """
+
+    __slots__ = ()
+
+    # --- operator sugar -------------------------------------------------
+
+    def __add__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("+", self, wrap(other))
+
+    def __radd__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("+", wrap(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("-", self, wrap(other))
+
+    def __rsub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("-", wrap(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("*", self, wrap(other))
+
+    def __rmul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("*", wrap(other), self)
+
+    def __truediv__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("/", self, wrap(other))
+
+    def __rtruediv__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("/", wrap(other), self)
+
+    def __and__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("&", self, wrap(other))
+
+    def __rand__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("&", wrap(other), self)
+
+    def __or__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("|", self, wrap(other))
+
+    def __ror__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("|", wrap(other), self)
+
+    def __neg__(self) -> "BinOp":
+        return BinOp("-", Const(0), self)
+
+    # --- traversal ------------------------------------------------------
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Direct sub-expressions (empty for leaves)."""
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of the subtree rooted at this node."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def accesses(self) -> Iterator["Access"]:
+        """All :class:`Access` nodes in this subtree, in source order."""
+        for node in self.walk():
+            if isinstance(node, Access):
+                yield node
+
+    def count_ops(self) -> int:
+        """Number of arithmetic/logic operations in this subtree."""
+        return sum(1 for node in self.walk() if isinstance(node, BinOp))
+
+
+ExprLike = Union[Expr, Number]
+
+
+def wrap(value: ExprLike) -> Expr:
+    """Coerce a Python number into a :class:`Const`; pass Exprs through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value))
+    if isinstance(value, (int, float)):
+        return Const(value)
+    raise TypeError(f"cannot use {value!r} ({type(value).__name__}) as an expression")
+
+
+class Const(Expr):
+    """A numeric literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Const", self.value))
+
+
+class VarRef(Expr):
+    """A reference to a loop variable by name.
+
+    Built from :class:`repro.ir.func.Var` / ``RVar`` when they appear inside
+    expressions; carries only the name so that expressions stay decoupled
+    from scheduling state.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"VarRef({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VarRef) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("VarRef", self.name))
+
+
+class BinOp(Expr):
+    """A binary arithmetic or logic operation."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    #: Operators the DSL understands; `/` is element-wise (float) division.
+    OPS = ("+", "-", "*", "/", "&", "|", "min", "max")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr) -> None:
+        if op not in self.OPS:
+            raise ValueError(f"unknown operator {op!r}; known: {self.OPS}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op!r}, {self.lhs!r}, {self.rhs!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BinOp)
+            and self.op == other.op
+            and self.lhs == other.lhs
+            and self.rhs == other.rhs
+        )
+
+    def __hash__(self) -> int:
+        return hash(("BinOp", self.op, self.lhs, self.rhs))
+
+
+def minimum(a: ExprLike, b: ExprLike) -> BinOp:
+    """Element-wise minimum, as an expression node."""
+    return BinOp("min", wrap(a), wrap(b))
+
+
+def maximum(a: ExprLike, b: ExprLike) -> BinOp:
+    """Element-wise maximum, as an expression node."""
+    return BinOp("max", wrap(a), wrap(b))
+
+
+class Cast(Expr):
+    """A type conversion; carries the target type name for printing only."""
+
+    __slots__ = ("dtype_name", "value")
+
+    def __init__(self, dtype_name: str, value: Expr) -> None:
+        self.dtype_name = dtype_name
+        self.value = value
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.value,)
+
+    def __repr__(self) -> str:
+        return f"Cast({self.dtype_name!r}, {self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Cast)
+            and self.dtype_name == other.dtype_name
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Cast", self.dtype_name, self.value))
+
+
+class Access(Expr):
+    """A read of ``buffer[indices...]``.
+
+    The **last** index is the contiguous (unit-stride) dimension, matching
+    the paper's C listings.  ``buffer`` is any object with ``name``,
+    ``shape`` and ``dtype`` attributes (a :class:`repro.ir.func.Buffer` or a
+    realized :class:`repro.ir.func.Func` output).
+    """
+
+    __slots__ = ("buffer", "indices")
+
+    def __init__(self, buffer, indices: Sequence[ExprLike]) -> None:
+        if len(indices) == 0:
+            raise ValueError(f"access to {buffer!r} needs at least one index")
+        # Funcs expose `dims` (rank known before bounds are set); Buffers
+        # expose a concrete `shape`.
+        rank = getattr(buffer, "dims", None)
+        if rank is None:
+            rank = len(buffer.shape)
+        if len(indices) != rank:
+            raise ValueError(
+                f"buffer {buffer.name!r} has {rank} dimensions, "
+                f"got {len(indices)} indices"
+            )
+        self.buffer = buffer
+        self.indices = tuple(wrap(ix) for ix in indices)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.indices
+
+    def __repr__(self) -> str:
+        idx = ", ".join(repr(ix) for ix in self.indices)
+        return f"Access({self.buffer.name}, [{idx}])"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Access)
+            and self.buffer is other.buffer
+            and self.indices == other.indices
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Access", id(self.buffer), self.indices))

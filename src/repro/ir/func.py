@@ -1,0 +1,372 @@
+"""Algorithm definitions: ``Var``, ``RVar``, ``Buffer``, ``Func``, ``Pipeline``.
+
+This mirrors the part of Halide the paper uses.  An algorithm is a ``Func``
+with a *pure definition* and optionally *update definitions*::
+
+    i, j = Var("i"), Var("j")
+    k = RVar("k", 2048)
+    A = Buffer("A", (2048, 2048), float32)
+    B = Buffer("B", (2048, 2048), float32)
+    C = Func("C")
+    C[i, j] = 0.0
+    C[i, j] = C[i, j] + A[i, k] * B[k, j]       # update with reduction var k
+
+Layout convention: C order — the last index of every access is the
+contiguous (unit-stride) dimension, exactly as in the paper's listings.
+
+Pure variables get their extents from :meth:`Func.set_bounds`; reduction
+variables carry their extent themselves (like Halide's ``RDom``).
+Multi-stage algorithms (e.g. the 3mm benchmark) are modeled by a
+:class:`Pipeline` whose stages run to completion one after the other
+(Halide's ``compute_root``), which is how the paper schedules them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.ir.expr import Access, Expr, ExprLike, VarRef, wrap
+from repro.util import ReproError, ScheduleError
+
+
+@dataclass(frozen=True)
+class DType:
+    """An element type: a name and a size in bytes (the paper's ``DTS``)."""
+
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"dtype size must be positive, got {self.size}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+float32 = DType("float32", 4)
+float64 = DType("float64", 8)
+int32 = DType("int32", 4)
+int64 = DType("int64", 8)
+uint16 = DType("uint16", 2)
+uint8 = DType("uint8", 1)
+
+
+class Var(VarRef):
+    """A pure loop variable.
+
+    Being a subclass of :class:`~repro.ir.expr.VarRef`, a ``Var`` can appear
+    directly inside expressions and access indices.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+class RVar(VarRef):
+    """A reduction variable with a fixed domain ``[min, min+extent)``.
+
+    Equivalent to one dimension of a Halide ``RDom``.
+    """
+
+    __slots__ = ("min", "extent")
+
+    def __init__(self, name: str, extent: int, min: int = 0) -> None:
+        super().__init__(name)
+        if extent <= 0:
+            raise ValueError(f"RVar {name!r} needs a positive extent, got {extent}")
+        self.min = min
+        self.extent = extent
+
+    def __repr__(self) -> str:
+        return f"RVar({self.name!r}, extent={self.extent}, min={self.min})"
+
+
+class Buffer:
+    """A named dense input array with a concrete shape and dtype.
+
+    Indexing a buffer with expressions yields an :class:`Access` node::
+
+        A = Buffer("A", (64, 64), float32)
+        e = A[i, j + 1]
+    """
+
+    def __init__(
+        self, name: str, shape: Sequence[int], dtype: DType = float32
+    ) -> None:
+        if not name:
+            raise ValueError("buffer name must be non-empty")
+        shape = tuple(int(s) for s in shape)
+        if any(s <= 0 for s in shape):
+            raise ValueError(f"buffer {name!r} has a non-positive extent: {shape}")
+        self.name = name
+        self.shape: Tuple[int, ...] = shape
+        self.dtype = dtype
+
+    def __getitem__(self, indices) -> Access:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        return Access(self, indices)
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_elements * self.dtype.size
+
+    def strides_elements(self) -> Tuple[int, ...]:
+        """Row-major strides in *elements* (last dimension has stride 1)."""
+        strides = [1] * len(self.shape)
+        for d in range(len(self.shape) - 2, -1, -1):
+            strides[d] = strides[d + 1] * self.shape[d + 1]
+        return tuple(strides)
+
+    def __repr__(self) -> str:
+        return f"Buffer({self.name!r}, shape={self.shape}, dtype={self.dtype})"
+
+
+@dataclass
+class Definition:
+    """One definition of a Func: the pure definition or an update.
+
+    Attributes
+    ----------
+    lhs_vars:
+        The pure variables on the left-hand side, outermost first.
+    rhs:
+        The right-hand-side expression.
+    rvars:
+        Reduction variables appearing on the right-hand side, in first-use
+        order.  Empty for pure definitions.
+    is_update:
+        True for update definitions (Halide's ``f.update(n)``).
+    """
+
+    lhs_vars: Tuple[Var, ...]
+    rhs: Expr
+    rvars: Tuple[RVar, ...]
+    is_update: bool
+
+    def all_vars(self) -> Tuple[VarRef, ...]:
+        """Pure vars followed by reduction vars (the default loop order
+        places reduction variables innermost)."""
+        return tuple(self.lhs_vars) + tuple(self.rvars)
+
+    def var_names(self) -> Tuple[str, ...]:
+        return tuple(v.name for v in self.all_vars())
+
+
+class Func:
+    """A Halide-like function: pure definition plus optional updates.
+
+    The first assignment through ``__setitem__`` becomes the pure definition
+    and fixes the output dimensionality; later assignments become update
+    definitions and must use the same pure variables.  Reading ``f[i, j]``
+    before any definition raises; afterwards it builds an :class:`Access` to
+    the Func's output buffer (used for self-references in updates and by
+    downstream pipeline stages).
+    """
+
+    def __init__(self, name: str, dtype: DType = float32) -> None:
+        if not name:
+            raise ValueError("Func name must be non-empty")
+        self.name = name
+        self.dtype = dtype
+        self.definitions: List[Definition] = []
+        self._bounds: Dict[str, int] = {}
+
+    # --- definition construction ---------------------------------------
+
+    def __setitem__(self, indices, value: ExprLike) -> None:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        for ix in indices:
+            if not isinstance(ix, Var) or isinstance(ix, RVar):
+                raise ScheduleError(
+                    f"left-hand side of {self.name!r} must use pure Vars, "
+                    f"got {ix!r}"
+                )
+        names = [ix.name for ix in indices]
+        if len(set(names)) != len(names):
+            raise ScheduleError(
+                f"duplicate variable on the left-hand side of {self.name!r}: {names}"
+            )
+        rhs = wrap(value)
+        if self.definitions:
+            prev = tuple(v.name for v in self.definitions[0].lhs_vars)
+            if tuple(names) != prev:
+                raise ScheduleError(
+                    f"update of {self.name!r} must use the pure variables "
+                    f"{prev}, got {tuple(names)}"
+                )
+        rvars = self._collect_rvars(rhs, set(names))
+        self.definitions.append(
+            Definition(
+                lhs_vars=tuple(indices),
+                rhs=rhs,
+                rvars=rvars,
+                is_update=bool(self.definitions),
+            )
+        )
+
+    @staticmethod
+    def _collect_rvars(rhs: Expr, lhs_names: set) -> Tuple[RVar, ...]:
+        seen: Dict[str, RVar] = {}
+        for node in rhs.walk():
+            if isinstance(node, RVar) and node.name not in seen:
+                if node.name in lhs_names:
+                    raise ScheduleError(
+                        f"variable {node.name!r} used both as a pure Var and "
+                        f"an RVar"
+                    )
+                seen[node.name] = node
+        return tuple(seen.values())
+
+    def __getitem__(self, indices) -> Access:
+        if not self.definitions:
+            raise ReproError(
+                f"Func {self.name!r} is read before it has a definition"
+            )
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        return Access(self, indices)
+
+    # --- shape handling -------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Output dimensionality (number of pure variables)."""
+        if not self.definitions:
+            raise ReproError(f"Func {self.name!r} has no definition yet")
+        return len(self.definitions[0].lhs_vars)
+
+    def set_bounds(self, bounds: Dict[Var, int]) -> "Func":
+        """Fix the extent of each pure variable (Halide's ``bound``).
+
+        Returns ``self`` so calls can be chained.
+        """
+        for var, extent in bounds.items():
+            if extent <= 0:
+                raise ValueError(
+                    f"extent for {var.name!r} must be positive, got {extent}"
+                )
+            self._bounds[var.name] = int(extent)
+        return self
+
+    def bound_of(self, var_name: str) -> int:
+        """Extent of a pure or reduction variable by name."""
+        if var_name in self._bounds:
+            return self._bounds[var_name]
+        for definition in self.definitions:
+            for rv in definition.rvars:
+                if rv.name == var_name:
+                    return rv.extent
+        raise KeyError(
+            f"no bound known for variable {var_name!r} of Func {self.name!r}"
+        )
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Concrete output shape; requires :meth:`set_bounds` first."""
+        if not self.definitions:
+            raise ReproError(f"Func {self.name!r} has no definition yet")
+        out = []
+        for v in self.definitions[0].lhs_vars:
+            if v.name not in self._bounds:
+                raise ReproError(
+                    f"Func {self.name!r}: no bound set for pure var {v.name!r}"
+                )
+            out.append(self._bounds[v.name])
+        return tuple(out)
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_elements * self.dtype.size
+
+    def strides_elements(self) -> Tuple[int, ...]:
+        """Row-major strides of the output buffer, in elements."""
+        shape = self.shape
+        strides = [1] * len(shape)
+        for d in range(len(shape) - 2, -1, -1):
+            strides[d] = strides[d + 1] * shape[d + 1]
+        return tuple(strides)
+
+    # --- introspection ---------------------------------------------------
+
+    @property
+    def pure_definition(self) -> Definition:
+        if not self.definitions:
+            raise ReproError(f"Func {self.name!r} has no definition yet")
+        return self.definitions[0]
+
+    @property
+    def updates(self) -> List[Definition]:
+        return self.definitions[1:]
+
+    def main_definition(self) -> Definition:
+        """The definition the optimizer targets: the last update if any
+        (that is where the real computation lives), else the pure one."""
+        return self.definitions[-1]
+
+    def input_buffers(self) -> List[object]:
+        """All distinct buffers/Funcs read by any definition, excluding the
+        Func's own output (self-references)."""
+        seen: List[object] = []
+        for definition in self.definitions:
+            for acc in definition.rhs.accesses():
+                buf = acc.buffer
+                if buf is self:
+                    continue
+                if all(buf is not b for b in seen):
+                    seen.append(buf)
+        return seen
+
+    def __repr__(self) -> str:
+        return f"Func({self.name!r}, {len(self.definitions)} definition(s))"
+
+
+class Pipeline:
+    """An ordered sequence of Funcs computed stage by stage.
+
+    Each stage is realized completely before the next starts (Halide's
+    ``compute_root``), which matches how the paper schedules multi-stage
+    benchmarks such as 3mm.
+    """
+
+    def __init__(self, funcs: Sequence[Func], name: Optional[str] = None) -> None:
+        if not funcs:
+            raise ValueError("a Pipeline needs at least one Func")
+        self.funcs: Tuple[Func, ...] = tuple(funcs)
+        self.name = name or self.funcs[-1].name
+
+    @property
+    def output(self) -> Func:
+        return self.funcs[-1]
+
+    def __iter__(self):
+        return iter(self.funcs)
+
+    def __len__(self) -> int:
+        return len(self.funcs)
+
+    def __repr__(self) -> str:
+        stages = ", ".join(f.name for f in self.funcs)
+        return f"Pipeline({self.name!r}: {stages})"
+
+
+FuncOrBuffer = Union[Func, Buffer]

@@ -1,0 +1,95 @@
+"""Emit schedules as Halide C++ scheduling code.
+
+The paper's tool produces Halide schedules (its Listing 3 shows one for
+matmul); this module renders a :class:`~repro.ir.schedule.Schedule` in the
+same shape, so the reproduction's output can be pasted into a real Halide
+program::
+
+    C.update()
+        .split(j, j_o, j_i, 512)
+        .split(i, i_o, i_i, 32)
+        .reorder(j_i, i_i, j_o, i_o)
+        .vectorize(j_i, 8)
+        .parallel(i_o)
+        .store_nontemporal();   // the paper's new directive
+
+Two deliberate translation choices:
+
+* our recorded ``reorder`` directives already use Halide's innermost-first
+  convention, so they pass through verbatim;
+* ``Var``/``RVar`` declarations are emitted for every loop name a
+  directive introduces, since Halide requires the objects to exist.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir.schedule import Directive, Schedule
+
+
+def _stage_expr(schedule: Schedule) -> str:
+    """The C++ expression naming the scheduled stage."""
+    func = schedule.func.name
+    index = schedule.definition_index
+    if index == 0:
+        return func
+    if index == 1:
+        return f"{func}.update()"
+    return f"{func}.update({index - 1})"
+
+
+def _new_names(schedule: Schedule) -> List[str]:
+    """Loop names introduced by split/fuse directives, in first-use order."""
+    original = {v.name for v in schedule.definition.all_vars()}
+    seen: Set[str] = set()
+    out: List[str] = []
+    for directive in schedule.directives:
+        created: List[str] = []
+        if directive.kind == "split":
+            created = [directive.args[1], directive.args[2]]
+        elif directive.kind == "fuse":
+            created = [directive.args[2]]
+        for name in created:
+            if name not in original and name not in seen:
+                seen.add(name)
+                out.append(name)
+    return out
+
+
+def _render_directive(d: Directive, vector_lanes: int) -> str:
+    if d.kind == "split":
+        var, outer, inner, factor = d.args
+        return f".split({var}, {outer}, {inner}, {factor})"
+    if d.kind == "reorder":
+        return f".reorder({', '.join(d.args)})"
+    if d.kind == "fuse":
+        outer, inner, fused = d.args
+        return f".fuse({outer}, {inner}, {fused})"
+    if d.kind == "vectorize":
+        return f".vectorize({d.args[0]})"
+    if d.kind == "parallel":
+        return f".parallel({d.args[0]})"
+    if d.kind == "unroll":
+        return f".unroll({d.args[0]})"
+    if d.kind == "store_nontemporal":
+        return ".store_nontemporal()   // this paper's directive"
+    raise KeyError(f"unknown directive kind {d.kind!r}")
+
+
+def emit_halide(schedule: Schedule, *, declare_vars: bool = True) -> str:
+    """Render a schedule as Halide C++ scheduling statements."""
+    lines: List[str] = []
+    if declare_vars:
+        fresh = _new_names(schedule)
+        if fresh:
+            lines.append(f"Var {', '.join(fresh)};")
+    if not schedule.directives:
+        lines.append(f"// {schedule.func.name}: default schedule (no directives)")
+        return "\n".join(lines)
+    body = [_stage_expr(schedule)]
+    for directive in schedule.directives:
+        body.append("    " + _render_directive(directive, 0))
+    body[-1] += ";"
+    lines.extend(body)
+    return "\n".join(lines)

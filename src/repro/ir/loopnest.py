@@ -1,0 +1,117 @@
+"""The lowered loop-nest IR.
+
+Lowering a ``(Func, Schedule)`` pair produces one :class:`LoopNest` per
+definition.  A nest is *perfect* — a flat list of loops (outermost first)
+around exactly one :class:`Stmt` — which is all the paper's model and our
+trace generator need (Halide lowers scheduled stages to the same shape).
+
+The :class:`Stmt` carries everything the back ends consume:
+
+* the store target and right-hand side expression,
+* the index-reconstruction trees mapping original variables to the
+  scheduled loop counters (see :mod:`repro.ir.schedule`),
+* guard bounds for imperfectly split variables,
+* the non-temporal-store flag introduced by the paper's new directive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.expr import Access, Expr
+from repro.ir.func import Definition, Func
+from repro.ir.schedule import IndexNode, LoopKind, LoopSpec
+
+
+@dataclass
+class Stmt:
+    """The single innermost statement of a lowered nest."""
+
+    store: Access
+    rhs: Expr
+    index_trees: Dict[str, IndexNode]
+    guards: Dict[str, int] = field(default_factory=dict)
+    nontemporal: bool = False
+
+    @property
+    def reads(self) -> List[Access]:
+        """All accesses read by the right-hand side (including
+        self-references to the output)."""
+        return list(self.rhs.accesses())
+
+    @property
+    def ops(self) -> int:
+        """Arithmetic operation count per statement execution."""
+        return self.rhs.count_ops()
+
+
+@dataclass
+class LoopNest:
+    """A perfectly nested, lowered loop nest for one Func definition."""
+
+    func: Func
+    definition_index: int
+    loops: Tuple[LoopSpec, ...]
+    stmt: Stmt
+
+    @property
+    def definition(self) -> Definition:
+        return self.func.definitions[self.definition_index]
+
+    @property
+    def name(self) -> str:
+        suffix = f".update{self.definition_index - 1}" if self.definition_index else ""
+        return f"{self.func.name}{suffix}"
+
+    def loop(self, name: str) -> LoopSpec:
+        """Find a loop level by name."""
+        for spec in self.loops:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"nest {self.name} has no loop {name!r}")
+
+    def loop_names(self) -> List[str]:
+        return [l.name for l in self.loops]
+
+    @property
+    def depth(self) -> int:
+        return len(self.loops)
+
+    def total_iterations(self) -> int:
+        """Product of all loop extents (statement executions, ignoring
+        guards)."""
+        n = 1
+        for spec in self.loops:
+            n *= spec.extent
+        return n
+
+    def guarded_iterations(self) -> int:
+        """Statement executions once guards are honored: the product of
+        the *original* variable bounds (loops may overshoot them after
+        imperfect splits; the guards clip the overshoot)."""
+        total = 1
+        for bound in self._original_bounds().values():
+            total *= bound
+        return total
+
+    def _original_bounds(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for var in self.definition.all_vars():
+            out[var.name] = self.func.bound_of(var.name)
+        return out
+
+    def parallel_loops(self) -> List[LoopSpec]:
+        return [l for l in self.loops if l.kind is LoopKind.PARALLEL]
+
+    def vectorized_loops(self) -> List[LoopSpec]:
+        return [l for l in self.loops if l.kind is LoopKind.VECTORIZED]
+
+    def innermost(self) -> LoopSpec:
+        if not self.loops:
+            raise ValueError(f"nest {self.name} has no loops")
+        return self.loops[-1]
+
+    def __repr__(self) -> str:
+        loops = " > ".join(f"{l.name}[{l.extent}]" for l in self.loops)
+        return f"LoopNest({self.name}: {loops})"

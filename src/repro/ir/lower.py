@@ -1,0 +1,98 @@
+"""Lowering: turn ``(Func, Schedule)`` pairs into :class:`LoopNest` IR.
+
+``lower(func, schedule)`` returns one nest per definition of the Func.  The
+schedule applies to the definition it was built for (the main one unless the
+caller chose otherwise); every other definition gets a fresh default
+schedule — plain loops in definition order, which for the cheap
+initialization steps of the paper's benchmarks is adequate and keeps the
+measured time dominated by the scheduled update, exactly as in Halide.
+
+``lower_pipeline`` lowers each stage of a :class:`~repro.ir.func.Pipeline`
+in order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.ir.expr import Access
+from repro.ir.func import Func, Pipeline
+from repro.ir.loopnest import LoopNest, Stmt
+from repro.ir.schedule import Schedule
+from repro.ir.validate import validate_schedule
+from repro.util import ScheduleError
+
+
+def lower(
+    func: Func,
+    schedule: Optional[Schedule] = None,
+    *,
+    validate: bool = True,
+) -> List[LoopNest]:
+    """Lower every definition of ``func`` into loop nests.
+
+    Parameters
+    ----------
+    func:
+        The Func to lower; bounds must be set.
+    schedule:
+        Optional schedule; must target ``func``.  When omitted, every
+        definition gets default (unscheduled) loops.
+    validate:
+        Run the structural validator on each schedule before lowering.
+
+    Returns
+    -------
+    list of LoopNest
+        One nest per definition, in execution order (pure first).
+    """
+    if schedule is not None and schedule.func is not func:
+        raise ScheduleError(
+            f"schedule targets Func {schedule.func.name!r}, not {func.name!r}"
+        )
+    nests: List[LoopNest] = []
+    for idx in range(len(func.definitions)):
+        if schedule is not None and idx == schedule.definition_index:
+            sched = schedule
+        else:
+            sched = Schedule(func, definition_index=idx)
+        if validate:
+            validate_schedule(sched)
+        nests.append(_lower_one(func, idx, sched))
+    return nests
+
+
+def _lower_one(func: Func, definition_index: int, schedule: Schedule) -> LoopNest:
+    definition = func.definitions[definition_index]
+    store = Access(func, definition.lhs_vars)
+    stmt = Stmt(
+        store=store,
+        rhs=definition.rhs,
+        index_trees=schedule.index_trees(),
+        guards=schedule.guards(),
+        nontemporal=schedule.nontemporal,
+    )
+    return LoopNest(
+        func=func,
+        definition_index=definition_index,
+        loops=tuple(schedule.loops()),
+        stmt=stmt,
+    )
+
+
+def lower_pipeline(
+    pipeline: Pipeline,
+    schedules: Optional[Dict[Func, Schedule]] = None,
+    *,
+    validate: bool = True,
+) -> List[LoopNest]:
+    """Lower every stage of a pipeline, in stage order.
+
+    ``schedules`` maps a stage Func to its schedule; unscheduled stages get
+    default loops.
+    """
+    schedules = schedules or {}
+    nests: List[LoopNest] = []
+    for stage in pipeline:
+        nests.extend(lower(stage, schedules.get(stage), validate=validate))
+    return nests

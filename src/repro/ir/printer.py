@@ -1,0 +1,96 @@
+"""Pseudo-C printers for expressions, schedules and lowered loop nests.
+
+These exist for debuggability and for the examples: a lowered nest prints in
+the same shape as the paper's Listings 1 and 2, so a schedule produced by
+the optimizer can be eyeballed against the paper directly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.expr import Access, BinOp, Cast, Const, Expr, VarRef
+from repro.ir.loopnest import LoopNest
+from repro.ir.schedule import (
+    FusedInner,
+    FusedOuter,
+    IndexNode,
+    LeafIndex,
+    LoopKind,
+    SplitIndex,
+)
+
+_PRECEDENCE = {"|": 1, "&": 2, "+": 3, "-": 3, "*": 4, "/": 4}
+
+
+def print_expr(expr: Expr) -> str:
+    """Render an expression as C-like source text."""
+    return _render(expr, 0)
+
+
+def _render(expr: Expr, parent_prec: int) -> str:
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, Cast):
+        return f"({expr.dtype_name})({_render(expr.value, 0)})"
+    if isinstance(expr, Access):
+        idx = "][".join(_render(ix, 0) for ix in expr.indices)
+        return f"{expr.buffer.name}[{idx}]"
+    if isinstance(expr, BinOp):
+        if expr.op in ("min", "max"):
+            return f"{expr.op}({_render(expr.lhs, 0)}, {_render(expr.rhs, 0)})"
+        prec = _PRECEDENCE[expr.op]
+        text = f"{_render(expr.lhs, prec)} {expr.op} {_render(expr.rhs, prec + 1)}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    raise TypeError(f"cannot print expression {expr!r}")
+
+
+def print_index_tree(tree: IndexNode) -> str:
+    """Render an index-reconstruction tree as arithmetic."""
+    if isinstance(tree, LeafIndex):
+        return tree.loop
+    if isinstance(tree, SplitIndex):
+        return (
+            f"({print_index_tree(tree.outer)} * {tree.factor} + "
+            f"{print_index_tree(tree.inner)})"
+        )
+    if isinstance(tree, FusedOuter):
+        return f"({print_index_tree(tree.fused)} / {tree.inner_extent})"
+    if isinstance(tree, FusedInner):
+        return f"({print_index_tree(tree.fused)} % {tree.inner_extent})"
+    raise TypeError(f"cannot print index node {tree!r}")
+
+
+def print_nest(nest: LoopNest, indent: str = "  ") -> str:
+    """Render a lowered nest as nested pseudo-C ``for`` loops."""
+    lines: List[str] = []
+    depth = 0
+    for loop in nest.loops:
+        tag = ""
+        if loop.kind is LoopKind.PARALLEL:
+            tag = "  // parallel"
+        elif loop.kind is LoopKind.VECTORIZED:
+            tag = "  // vectorized"
+        elif loop.kind is LoopKind.UNROLLED:
+            tag = "  // unrolled"
+        lines.append(
+            f"{indent * depth}for ({loop.name} = 0; {loop.name} < "
+            f"{loop.extent}; {loop.name}++){tag}"
+        )
+        depth += 1
+    body = indent * depth
+    for orig, tree in nest.stmt.index_trees.items():
+        rendered = print_index_tree(tree)
+        if rendered != orig:
+            lines.append(f"{body}{orig} = {rendered};")
+    for orig, bound in nest.stmt.guards.items():
+        lines.append(f"{body}if ({orig} >= {bound}) continue;")
+    store = print_expr(nest.stmt.store)
+    rhs = print_expr(nest.stmt.rhs)
+    nt = "  // non-temporal store" if nest.stmt.nontemporal else ""
+    lines.append(f"{body}{store} = {rhs};{nt}")
+    return "\n".join(lines)

@@ -1,0 +1,429 @@
+"""The scheduling language: split / tile / reorder / fuse / vectorize /
+parallel / unroll / store_nontemporal.
+
+A :class:`Schedule` targets one definition of a :class:`~repro.ir.func.Func`
+(by default the *main* definition — the last update, where the computation
+lives) and maintains, as directives are applied:
+
+* the ordered list of loops, outermost first (:meth:`Schedule.loops`),
+* for every *original* variable, an :class:`IndexNode` tree that
+  reconstructs its value from the current loop counters (splits contribute
+  ``outer * factor + inner``; fusions contribute ``fused // extent`` and
+  ``fused % extent``),
+* guard predicates ``var < bound`` for imperfect (non-dividing) splits.
+
+``reorder`` follows Halide's convention: **arguments are given innermost
+first**.  The helper :meth:`Schedule.reorder_outer_to_inner` accepts the
+more natural paper/C order.
+
+The paper's contribution to the scheduling language itself is the
+``store_nontemporal`` directive (Sec. 4); here it marks the lowered store
+node as non-temporal, and the cache simulator implements the bypass.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.ir.expr import VarRef
+from repro.ir.func import Definition, Func
+from repro.util import ScheduleError, ceil_div
+
+VarLike = Union[str, VarRef]
+
+
+def _name_of(var: VarLike) -> str:
+    if isinstance(var, VarRef):
+        return var.name
+    if isinstance(var, str):
+        return var
+    raise TypeError(f"expected a Var or a name, got {var!r}")
+
+
+class LoopKind(enum.Enum):
+    """Execution strategy of one loop level."""
+
+    SERIAL = "serial"
+    PARALLEL = "parallel"
+    VECTORIZED = "vectorized"
+    UNROLLED = "unrolled"
+
+
+# --------------------------------------------------------------------------
+# Index reconstruction trees
+# --------------------------------------------------------------------------
+
+
+class IndexNode:
+    """Reconstructs an original variable's value from loop counters."""
+
+    __slots__ = ()
+
+    def loop_names(self) -> Tuple[str, ...]:
+        """Names of the loops this expression reads."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LeafIndex(IndexNode):
+    """The value of the loop counter named ``loop``."""
+
+    loop: str
+
+    def loop_names(self) -> Tuple[str, ...]:
+        return (self.loop,)
+
+
+@dataclass(frozen=True)
+class SplitIndex(IndexNode):
+    """``outer * factor + inner`` — result of a loop split."""
+
+    outer: IndexNode
+    inner: IndexNode
+    factor: int
+
+    def loop_names(self) -> Tuple[str, ...]:
+        return self.outer.loop_names() + self.inner.loop_names()
+
+
+@dataclass(frozen=True)
+class FusedOuter(IndexNode):
+    """``value(fused) // inner_extent`` — outer component of a fused loop."""
+
+    fused: IndexNode
+    inner_extent: int
+
+    def loop_names(self) -> Tuple[str, ...]:
+        return self.fused.loop_names()
+
+
+@dataclass(frozen=True)
+class FusedInner(IndexNode):
+    """``value(fused) % inner_extent`` — inner component of a fused loop."""
+
+    fused: IndexNode
+    inner_extent: int
+
+    def loop_names(self) -> Tuple[str, ...]:
+        return self.fused.loop_names()
+
+
+# --------------------------------------------------------------------------
+# Loop bookkeeping
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class LoopSpec:
+    """One loop level of the scheduled nest.
+
+    Attributes
+    ----------
+    name:
+        Loop variable name (original, or created by split/fuse).
+    extent:
+        Constant trip count.
+    kind:
+        Serial / parallel / vectorized / unrolled.
+    origin:
+        The original variable this loop (partially) iterates, for
+        diagnostics; fused loops concatenate origins with ``+``.
+    """
+
+    name: str
+    extent: int
+    kind: LoopKind = LoopKind.SERIAL
+    origin: str = ""
+
+    def __repr__(self) -> str:
+        return f"LoopSpec({self.name!r}, extent={self.extent}, {self.kind.value})"
+
+
+@dataclass(frozen=True)
+class Directive:
+    """A recorded scheduling call, for printing and introspection."""
+
+    kind: str
+    args: Tuple
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        return f".{self.kind}({args})"
+
+
+class Schedule:
+    """Mutable schedule for one definition of a Func.
+
+    Parameters
+    ----------
+    func:
+        The Func being scheduled; its bounds must already be set.
+    definition_index:
+        Which definition to schedule; defaults to the main (last) one.
+    """
+
+    def __init__(self, func: Func, definition_index: Optional[int] = None) -> None:
+        if not func.definitions:
+            raise ScheduleError(f"Func {func.name!r} has no definitions to schedule")
+        if definition_index is None:
+            definition_index = len(func.definitions) - 1
+        if not 0 <= definition_index < len(func.definitions):
+            raise ScheduleError(
+                f"Func {func.name!r} has {len(func.definitions)} definitions; "
+                f"index {definition_index} is out of range"
+            )
+        self.func = func
+        self.definition_index = definition_index
+        self.definition: Definition = func.definitions[definition_index]
+        self.nontemporal = False
+        self.directives: List[Directive] = []
+
+        self._loops: List[LoopSpec] = []
+        self._index: Dict[str, IndexNode] = {}
+        self._guards: Dict[str, int] = {}
+        self._original_bounds: Dict[str, int] = {}
+
+        for var in self.definition.all_vars():
+            extent = func.bound_of(var.name)
+            self._loops.append(
+                LoopSpec(var.name, extent, LoopKind.SERIAL, origin=var.name)
+            )
+            self._index[var.name] = LeafIndex(var.name)
+            self._original_bounds[var.name] = extent
+
+    # --- introspection ----------------------------------------------------
+
+    def loops(self) -> List[LoopSpec]:
+        """Current loops, outermost first (copies; mutate via directives)."""
+        return [LoopSpec(l.name, l.extent, l.kind, l.origin) for l in self._loops]
+
+    def loop_names(self) -> List[str]:
+        return [l.name for l in self._loops]
+
+    def index_tree(self, original_var: VarLike) -> IndexNode:
+        """The reconstruction tree of an original variable."""
+        name = _name_of(original_var)
+        if name not in self._index:
+            raise ScheduleError(f"{name!r} is not an original variable of this stage")
+        return self._index[name]
+
+    def index_trees(self) -> Dict[str, IndexNode]:
+        return dict(self._index)
+
+    def guards(self) -> Dict[str, int]:
+        """original var -> bound, for vars whose splits were imperfect."""
+        return dict(self._guards)
+
+    def original_bounds(self) -> Dict[str, int]:
+        return dict(self._original_bounds)
+
+    def _find(self, name: str) -> int:
+        for pos, loop in enumerate(self._loops):
+            if loop.name == name:
+                return pos
+        raise ScheduleError(
+            f"no loop named {name!r}; current loops: {self.loop_names()}"
+        )
+
+    def _check_fresh(self, name: str) -> None:
+        if any(l.name == name for l in self._loops):
+            raise ScheduleError(f"loop name {name!r} already exists")
+
+    # --- directives ---------------------------------------------------------
+
+    def split(
+        self, var: VarLike, outer: str, inner: str, factor: int
+    ) -> "Schedule":
+        """Split loop ``var`` into ``outer`` (trip ``ceil(extent/factor)``)
+        and ``inner`` (trip ``factor``), replacing it in place.
+
+        Imperfect splits are legal; the affected original variable gains a
+        guard predicate (GuardWithIf semantics).
+        """
+        name = _name_of(var)
+        if factor <= 0:
+            raise ScheduleError(f"split factor must be positive, got {factor}")
+        pos = self._find(name)
+        self._check_fresh(outer)
+        self._check_fresh(inner)
+        if outer == inner:
+            raise ScheduleError("split outer and inner names must differ")
+        old = self._loops[pos]
+        if old.kind is not LoopKind.SERIAL:
+            raise ScheduleError(
+                f"cannot split loop {name!r}: it is already {old.kind.value}"
+            )
+        factor = min(factor, old.extent)
+        outer_extent = ceil_div(old.extent, factor)
+        self._loops[pos : pos + 1] = [
+            LoopSpec(outer, outer_extent, LoopKind.SERIAL, origin=old.origin),
+            LoopSpec(inner, factor, LoopKind.SERIAL, origin=old.origin),
+        ]
+        replacement = SplitIndex(LeafIndex(outer), LeafIndex(inner), factor)
+        self._rewrite_index(
+            name, lambda tree: self._subst(tree, name, replacement)
+        )
+        if outer_extent * factor != old.extent:
+            # Track the guard on the *original* variable of this loop chain.
+            for orig in old.origin.split("+"):
+                self._guards[orig] = self._original_bounds[orig]
+        self.directives.append(Directive("split", (name, outer, inner, factor)))
+        return self
+
+    def _rewrite_index(self, loop_name: str, builder) -> None:
+        """Replace every read of ``loop_name`` in the index trees.
+
+        ``builder`` receives the *whole* tree of an original variable that
+        reads ``loop_name`` and returns the rewritten tree.
+        """
+        for orig, tree in list(self._index.items()):
+            if loop_name in tree.loop_names():
+                self._index[orig] = builder(tree)
+
+    @classmethod
+    def _subst(cls, tree: IndexNode, loop_name: str, repl: IndexNode) -> IndexNode:
+        """Structurally substitute ``LeafIndex(loop_name)`` with ``repl``."""
+        if isinstance(tree, LeafIndex):
+            return repl if tree.loop == loop_name else tree
+        if isinstance(tree, SplitIndex):
+            return SplitIndex(
+                cls._subst(tree.outer, loop_name, repl),
+                cls._subst(tree.inner, loop_name, repl),
+                tree.factor,
+            )
+        if isinstance(tree, FusedOuter):
+            return FusedOuter(cls._subst(tree.fused, loop_name, repl), tree.inner_extent)
+        if isinstance(tree, FusedInner):
+            return FusedInner(cls._subst(tree.fused, loop_name, repl), tree.inner_extent)
+        raise TypeError(f"unknown index node {tree!r}")
+
+    def reorder(self, *vars: VarLike) -> "Schedule":
+        """Reorder loops, Halide-style: **arguments innermost first**.
+
+        The named loops are permuted among the positions they occupy;
+        unnamed loops keep their positions.
+        """
+        names = [_name_of(v) for v in vars]
+        if len(set(names)) != len(names):
+            raise ScheduleError(f"duplicate loops in reorder: {names}")
+        positions = sorted(self._find(n) for n in names)
+        # Innermost-first argument order -> outermost-first placement order.
+        placement = list(reversed(names))
+        by_name = {l.name: l for l in self._loops}
+        for pos, name in zip(positions, placement):
+            self._loops[pos] = by_name[name]
+        self.directives.append(Directive("reorder", tuple(names)))
+        return self
+
+    def reorder_outer_to_inner(self, *vars: VarLike) -> "Schedule":
+        """Like :meth:`reorder` but arguments are given outermost first,
+        matching the paper's C listings."""
+        return self.reorder(*reversed([_name_of(v) for v in vars]))
+
+    def fuse(self, outer: VarLike, inner: VarLike, fused: str) -> "Schedule":
+        """Fuse two *adjacent* loops (outer immediately outside inner) into
+        one loop of extent ``outer.extent * inner.extent``."""
+        oname, iname = _name_of(outer), _name_of(inner)
+        opos, ipos = self._find(oname), self._find(iname)
+        if ipos != opos + 1:
+            raise ScheduleError(
+                f"fuse requires {oname!r} immediately outside {iname!r}; "
+                f"current loops: {self.loop_names()}"
+            )
+        self._check_fresh(fused)
+        oloop, iloop = self._loops[opos], self._loops[ipos]
+        if oloop.kind is not LoopKind.SERIAL or iloop.kind is not LoopKind.SERIAL:
+            raise ScheduleError("only serial loops can be fused")
+        origin = f"{oloop.origin}+{iloop.origin}"
+        self._loops[opos : ipos + 1] = [
+            LoopSpec(fused, oloop.extent * iloop.extent, LoopKind.SERIAL, origin)
+        ]
+        inner_extent = iloop.extent
+        self._rewrite_index(
+            oname,
+            lambda tree: self._subst(
+                tree, oname, FusedOuter(LeafIndex(fused), inner_extent)
+            ),
+        )
+        self._rewrite_index(
+            iname,
+            lambda tree: self._subst(
+                tree, iname, FusedInner(LeafIndex(fused), inner_extent)
+            ),
+        )
+        self.directives.append(Directive("fuse", (oname, iname, fused)))
+        return self
+
+    def vectorize(self, var: VarLike, width: Optional[int] = None) -> "Schedule":
+        """Mark loop ``var`` vectorized.
+
+        With ``width`` given and the loop longer than ``width``, the loop is
+        first split (``var -> var_vo / var_vi``) and the inner part is
+        vectorized, as Halide's two-argument ``vectorize`` does.
+        """
+        name = _name_of(var)
+        pos = self._find(name)
+        if width is not None and self._loops[pos].extent > width:
+            self.split(name, f"{name}_vo", f"{name}_vi", width)
+            pos = self._find(f"{name}_vi")
+            name = f"{name}_vi"
+        self._loops[pos].kind = LoopKind.VECTORIZED
+        self.directives.append(Directive("vectorize", (name,)))
+        return self
+
+    def parallel(self, var: VarLike) -> "Schedule":
+        """Mark loop ``var`` parallel (runs across cores/threads)."""
+        pos = self._find(_name_of(var))
+        self._loops[pos].kind = LoopKind.PARALLEL
+        self.directives.append(Directive("parallel", (self._loops[pos].name,)))
+        return self
+
+    def unroll(self, var: VarLike) -> "Schedule":
+        """Mark loop ``var`` unrolled (affects only loop-overhead costing)."""
+        pos = self._find(_name_of(var))
+        self._loops[pos].kind = LoopKind.UNROLLED
+        self.directives.append(Directive("unroll", (self._loops[pos].name,)))
+        return self
+
+    def store_nontemporal(self) -> "Schedule":
+        """The paper's new directive: emit non-temporal (streaming) stores
+        for this definition's output."""
+        self.nontemporal = True
+        self.directives.append(Directive("store_nontemporal", ()))
+        return self
+
+    def tile(
+        self,
+        x: VarLike,
+        y: VarLike,
+        xo: str,
+        yo: str,
+        xi: str,
+        yi: str,
+        tx: int,
+        ty: int,
+    ) -> "Schedule":
+        """Halide's 2-D ``tile``: split both loops and bring the two inner
+        loops inside the two outer ones (order: xo, yo, xi, yi outermost to
+        innermost, with ``x`` outer of ``y``)."""
+        self.split(x, xo, xi, tx)
+        self.split(y, yo, yi, ty)
+        self.reorder(yi, xi, yo, xo)
+        return self
+
+    # --- summary ------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-directive summary."""
+        head = f"{self.func.name}.def[{self.definition_index}]"
+        body = "".join(str(d) for d in self.directives)
+        loops = " > ".join(
+            f"{l.name}[{l.extent}]{'' if l.kind is LoopKind.SERIAL else ':' + l.kind.value}"
+            for l in self._loops
+        )
+        return f"{head}{body}  =>  {loops}"
+
+    def __repr__(self) -> str:
+        return f"Schedule({self.describe()})"

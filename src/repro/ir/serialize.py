@@ -1,0 +1,93 @@
+"""Schedule serialization: save a schedule, replay it on a fresh Func.
+
+Schedules are plain sequences of directives, so they serialize naturally:
+
+* :func:`schedule_to_dict` captures the directive list (plus the stage it
+  applies to) in a JSON-compatible structure;
+* :func:`schedule_from_dict` replays the directives on another Func with
+  the same definition shape — the primary use is caching expensive
+  autotuner results across processes, or shipping a schedule found on one
+  machine to another.
+
+Replays are validated structurally: directive arguments are checked by the
+Schedule methods themselves, so a schedule saved for one algorithm fails
+loudly when replayed onto an incompatible one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.ir.func import Func
+from repro.ir.schedule import Schedule
+from repro.util import ScheduleError
+
+#: Format tag so future changes stay detectable.
+_FORMAT = "repro-schedule-v1"
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict:
+    """Capture a schedule as a JSON-compatible dict."""
+    return {
+        "format": _FORMAT,
+        "func": schedule.func.name,
+        "definition_index": schedule.definition_index,
+        "directives": [
+            {"kind": d.kind, "args": list(d.args)} for d in schedule.directives
+        ],
+    }
+
+
+def schedule_to_json(schedule: Schedule, *, indent: int = 2) -> str:
+    """Like :func:`schedule_to_dict`, rendered as a JSON string."""
+    return json.dumps(schedule_to_dict(schedule), indent=indent)
+
+
+def schedule_from_dict(func: Func, payload: Dict) -> Schedule:
+    """Replay a serialized schedule onto ``func``.
+
+    Raises :class:`~repro.util.ScheduleError` when the payload is not a
+    recognized schedule format or a directive cannot be applied to this
+    Func's loops.
+    """
+    if payload.get("format") != _FORMAT:
+        raise ScheduleError(
+            f"not a serialized schedule (format={payload.get('format')!r})"
+        )
+    schedule = Schedule(
+        func, definition_index=payload.get("definition_index")
+    )
+    for entry in payload.get("directives", []):
+        kind = entry.get("kind")
+        args = entry.get("args", [])
+        if kind == "split":
+            var, outer, inner, factor = args
+            schedule.split(var, outer, inner, int(factor))
+        elif kind == "reorder":
+            schedule.reorder(*args)
+        elif kind == "fuse":
+            outer, inner, fused = args
+            schedule.fuse(outer, inner, fused)
+        elif kind == "vectorize":
+            # Recorded vectorize directives name the final (possibly
+            # auto-split) loop, so no width is replayed.
+            schedule.vectorize(args[0])
+        elif kind == "parallel":
+            schedule.parallel(args[0])
+        elif kind == "unroll":
+            schedule.unroll(args[0])
+        elif kind == "store_nontemporal":
+            schedule.store_nontemporal()
+        else:
+            raise ScheduleError(f"unknown directive kind {kind!r}")
+    return schedule
+
+
+def schedule_from_json(func: Func, text: str) -> Schedule:
+    """Replay a schedule serialized by :func:`schedule_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScheduleError(f"invalid schedule JSON: {exc}") from exc
+    return schedule_from_dict(func, payload)

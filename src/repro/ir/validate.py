@@ -1,0 +1,115 @@
+"""Structural validation of schedules before lowering.
+
+``validate_schedule`` checks invariants that every legal schedule must
+satisfy; violations raise :class:`~repro.util.ScheduleError` with a message
+naming the offending loop.  The checks are deliberately structural — the
+*profitability* questions (is the column loop outermost? does the tile fit?)
+belong to the optimizer, not the IR.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.schedule import (
+    FusedInner,
+    FusedOuter,
+    IndexNode,
+    LeafIndex,
+    LoopKind,
+    Schedule,
+    SplitIndex,
+)
+from repro.util import ScheduleError, ceil_div
+
+
+def _covered_extent(tree: IndexNode, extents) -> int:
+    """Number of distinct values the tree can produce (loops assumed
+    independent), used to verify coverage of the original bound."""
+    if isinstance(tree, LeafIndex):
+        return extents[tree.loop]
+    if isinstance(tree, SplitIndex):
+        return _covered_extent(tree.outer, extents) * tree.factor
+    if isinstance(tree, (FusedOuter, FusedInner)):
+        # A fused component covers what its sources covered; the fused loop
+        # extent was constructed as the exact product.
+        if isinstance(tree, FusedOuter):
+            return ceil_div(
+                _covered_extent(tree.fused, extents), tree.inner_extent
+            )
+        return min(_covered_extent(tree.fused, extents), tree.inner_extent)
+    raise ScheduleError(f"unknown index node {tree!r}")
+
+
+def validate_schedule(schedule: Schedule) -> None:
+    """Raise :class:`ScheduleError` if the schedule is structurally broken.
+
+    Checks:
+
+    1. loop names are unique and extents positive;
+    2. every loop is consumed by exactly one original variable's index tree;
+    3. every original variable's tree covers at least its original bound
+       (with a guard present when it overshoots);
+    4. at most one loop is parallel and at most one vectorized (the subset
+       of Halide this reproduction uses);
+    5. a vectorized loop has a sane extent (<= 256).
+    """
+    names = schedule.loop_names()
+    if len(set(names)) != len(names):
+        raise ScheduleError(f"duplicate loop names: {names}")
+    extents = {}
+    for loop in schedule.loops():
+        if loop.extent <= 0:
+            raise ScheduleError(f"loop {loop.name!r} has extent {loop.extent}")
+        extents[loop.name] = loop.extent
+
+    consumed: Set[str] = set()
+    for orig, tree in schedule.index_trees().items():
+        # A tree may legitimately read one loop several times (splitting a
+        # fused loop re-reads it through FusedOuter and FusedInner), so no
+        # uniqueness requirement here — only existence.
+        used = tree.loop_names()
+        for name in used:
+            if name not in extents:
+                raise ScheduleError(
+                    f"index tree of {orig!r} reads unknown loop {name!r}"
+                )
+        consumed.update(used)
+
+        covered = _covered_extent(tree, extents)
+        bound = schedule.original_bounds()[orig]
+        if covered < bound:
+            raise ScheduleError(
+                f"schedule covers only {covered} of {bound} iterations of "
+                f"{orig!r}"
+            )
+        if covered > bound and orig not in schedule.guards():
+            raise ScheduleError(
+                f"schedule overshoots {orig!r} ({covered} > {bound}) without "
+                f"a guard"
+            )
+
+    # Fused loops feed two variables, so compare against the union instead
+    # of demanding a bijection.
+    stray = set(extents) - consumed
+    if stray:
+        raise ScheduleError(f"loop(s) {sorted(stray)} drive no variable")
+
+    parallel = [l for l in schedule.loops() if l.kind is LoopKind.PARALLEL]
+    if len(parallel) > 1:
+        raise ScheduleError(
+            f"at most one parallel loop is supported, got "
+            f"{[l.name for l in parallel]}"
+        )
+    vectorized = [l for l in schedule.loops() if l.kind is LoopKind.VECTORIZED]
+    if len(vectorized) > 1:
+        raise ScheduleError(
+            f"at most one vectorized loop is supported, got "
+            f"{[l.name for l in vectorized]}"
+        )
+    for loop in vectorized:
+        if loop.extent > 256:
+            raise ScheduleError(
+                f"vectorized loop {loop.name!r} has extent {loop.extent}; "
+                f"split it first (limit 256)"
+            )

@@ -1,0 +1,47 @@
+"""Execution simulation: loop nests -> memory trace -> cache sim -> time.
+
+The pipeline is:
+
+1. :mod:`repro.sim.trace` assigns every buffer a base address and walks a
+   lowered :class:`~repro.ir.loopnest.LoopNest`, emitting **cache-line
+   granular** access chunks (numpy-vectorized over the innermost loop).
+   Long nests are *sampled*: emission stops after a line budget and the
+   covered fraction of the iteration space is recorded so costs can be
+   extrapolated.
+2. :mod:`repro.sim.executor` feeds the chunks through a
+   :class:`~repro.cachesim.CacheHierarchy` and collects per-nest counter
+   deltas.
+3. :mod:`repro.sim.timing` converts counters into milliseconds with a
+   documented cost model (issue width, vector lanes, per-level latencies,
+   memory-level parallelism, a DRAM bandwidth roofline, and core scaling
+   for parallel loops).
+4. :mod:`repro.sim.machine` is the user-facing facade:
+   ``Machine(arch).time_funcs(...)`` and friends.
+"""
+
+from repro.sim.trace import MemoryLayout, TraceGenerator, NestTrace
+from repro.sim.executor import NestCounters, SimResult, run_nests
+from repro.sim.timing import TimingModel, NestTime
+from repro.sim.machine import Machine
+from repro.sim.interpret import (
+    BufferStore,
+    execute,
+    execute_nest,
+    execute_pipeline,
+)
+
+__all__ = [
+    "MemoryLayout",
+    "TraceGenerator",
+    "NestTrace",
+    "NestCounters",
+    "SimResult",
+    "run_nests",
+    "TimingModel",
+    "NestTime",
+    "Machine",
+    "BufferStore",
+    "execute",
+    "execute_nest",
+    "execute_pipeline",
+]

@@ -1,0 +1,145 @@
+"""The ``Machine`` facade: schedule in, milliseconds out.
+
+A :class:`Machine` bundles a platform (:class:`~repro.arch.ArchSpec`), the
+trace/simulation knobs and the timing model, and exposes one-call
+evaluation used by every experiment and baseline::
+
+    machine = Machine(intel_i7_5930k())
+    ms = machine.time_funcs([(matmul_func, schedule)])
+
+Multi-core realism is approximated the same way the paper's own model does
+it: the L3 capacity available to one thread's trace is divided by the number
+of cores when the schedule is parallel, and the L1/L2 associativity is
+divided by the SMT threads per core (or by the core count for the ARM A15's
+shared L2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.arch import ArchSpec
+from repro.cachesim import CacheHierarchy
+from repro.ir.func import Func, Pipeline
+from repro.ir.loopnest import LoopNest
+from repro.ir.lower import lower, lower_pipeline
+from repro.ir.schedule import Schedule
+from repro.sim.executor import SimResult, run_nests
+from repro.sim.timing import NestTime, TimingModel, time_nest, total_time_ms
+from repro.sim.trace import MemoryLayout
+
+FuncSchedules = Sequence[Tuple[Func, Optional[Schedule]]]
+
+
+@dataclass
+class MachineReport:
+    """A simulation outcome: time plus everything needed to explain it."""
+
+    total_ms: float
+    nest_times: List[NestTime]
+    sim: SimResult
+
+    def breakdown(self) -> str:
+        rows = []
+        for t in self.nest_times:
+            rows.append(
+                f"  {t.nest_name}: {t.total_cycles / 1e6:.2f} Mcycles "
+                f"(core {t.core_cycles / 1e6:.2f}, dram {t.dram_cycles / 1e6:.2f}, "
+                f"threads {t.threads_used:.1f})"
+            )
+        return f"total {self.total_ms:.3f} ms\n" + "\n".join(rows)
+
+
+class Machine:
+    """A simulated execution platform.
+
+    Parameters
+    ----------
+    arch:
+        The platform to model.
+    timing:
+        Timing-model constants; defaults are documented in
+        :class:`~repro.sim.timing.TimingModel`.
+    line_budget:
+        Per-nest sampling budget (line accesses) for the trace generator.
+    enable_prefetch:
+        Master prefetcher switch (ablations).
+    """
+
+    def __init__(
+        self,
+        arch: ArchSpec,
+        *,
+        timing: Optional[TimingModel] = None,
+        line_budget: int = 200_000,
+        enable_prefetch: bool = True,
+    ) -> None:
+        self.arch = arch
+        self.timing = timing or TimingModel()
+        self.line_budget = line_budget
+        self.enable_prefetch = enable_prefetch
+
+    # ------------------------------------------------------------------
+
+    def _build_hierarchy(self, parallel: bool) -> CacheHierarchy:
+        l1_div = 1
+        l2_div = 1
+        l3_div = 1
+        if parallel:
+            if self.arch.l2_shared_across_cores:
+                # ARM A15: private L1, L2 shared by every core.
+                l2_div = self.arch.n_cores
+            elif self.arch.threads_per_core > 1:
+                # Intel SMT: two threads co-resident in private L1/L2.
+                l1_div = self.arch.threads_per_core
+                l2_div = self.arch.threads_per_core
+            l3_div = self.arch.n_cores
+        return CacheHierarchy(
+            self.arch,
+            l1_ways_divisor=l1_div,
+            l2_ways_divisor=l2_div,
+            l3_capacity_divisor=l3_div,
+            enable_prefetch=self.enable_prefetch,
+        )
+
+    def run_lowered(
+        self, nests: Sequence[LoopNest], *, layout: Optional[MemoryLayout] = None
+    ) -> MachineReport:
+        """Simulate already-lowered nests and price them."""
+        parallel = any(n.parallel_loops() for n in nests)
+        hierarchy = self._build_hierarchy(parallel)
+        sim = run_nests(
+            nests, hierarchy, layout=layout, line_budget=self.line_budget
+        )
+        nest_times = [time_nest(c, self.arch, self.timing) for c in sim.counters]
+        total = total_time_ms(sim.counters, self.arch, self.timing)
+        return MachineReport(total_ms=total, nest_times=nest_times, sim=sim)
+
+    def run_funcs(self, items: FuncSchedules) -> MachineReport:
+        """Lower and simulate ``(Func, Schedule-or-None)`` pairs in order."""
+        nests: List[LoopNest] = []
+        for func, schedule in items:
+            nests.extend(lower(func, schedule))
+        return self.run_lowered(nests)
+
+    def run_pipeline(
+        self,
+        pipeline: Pipeline,
+        schedules: Optional[Dict[Func, Schedule]] = None,
+    ) -> MachineReport:
+        """Lower and simulate every stage of a pipeline."""
+        nests = lower_pipeline(pipeline, schedules)
+        return self.run_lowered(nests)
+
+    # Convenience one-liners -------------------------------------------
+
+    def time_funcs(self, items: FuncSchedules) -> float:
+        return self.run_funcs(items).total_ms
+
+    def time_pipeline(
+        self,
+        pipeline: Pipeline,
+        schedules: Optional[Dict[Func, Schedule]] = None,
+    ) -> float:
+        return self.run_pipeline(pipeline, schedules).total_ms

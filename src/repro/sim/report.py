@@ -1,0 +1,85 @@
+"""Human-readable diagnostics for simulation results.
+
+``explain`` turns a :class:`~repro.sim.machine.MachineReport` into the
+kind of analysis a performance engineer would write: per-nest hit-rate
+pyramids, prefetch usefulness, DRAM traffic decomposition, the binding
+bottleneck (core vs bandwidth) and the parallel/vector utilization the
+timing model credited.  The experiment regenerators print numbers; this
+module answers *why* a schedule got them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.executor import NestCounters
+from repro.sim.machine import MachineReport
+from repro.sim.timing import NestTime
+
+
+def _pct(part: float, whole: float) -> str:
+    if whole <= 0:
+        return "  n/a"
+    return f"{100.0 * part / whole:5.1f}%"
+
+
+def _mb(lines: float, line_size: int) -> float:
+    return lines * line_size / 1e6
+
+
+def explain_nest(counters: NestCounters, timing: NestTime, line_size: int) -> str:
+    """One nest's diagnostic block."""
+    total = counters.demand_accesses or 1
+    lines: List[str] = [f"{counters.nest.name}:"]
+    lines.append(
+        "  demand hits: L1 "
+        f"{_pct(counters.l1_hits, total)}  L2 {_pct(counters.l2_hits, total)}"
+        f"  L3 {_pct(counters.l3_hits, total)}  DRAM "
+        f"{_pct(counters.mem_lines, total)}"
+    )
+    dram_lines = (
+        counters.scaled("mem_lines")
+        + counters.scaled("prefetch_mem_lines")
+        + counters.scaled("nt_lines")
+        + counters.scaled("writeback_lines")
+    )
+    lines.append(
+        "  DRAM traffic (extrapolated): "
+        f"{_mb(dram_lines, line_size):8.1f} MB  "
+        f"(demand {_mb(counters.scaled('mem_lines'), line_size):.1f}, "
+        f"prefetch {_mb(counters.scaled('prefetch_mem_lines'), line_size):.1f}, "
+        f"NT stores {_mb(counters.scaled('nt_lines'), line_size):.1f}, "
+        f"write-backs {_mb(counters.scaled('writeback_lines'), line_size):.1f})"
+    )
+    bound = "DRAM bandwidth" if timing.dram_cycles >= timing.core_cycles else "core"
+    lines.append(
+        f"  bottleneck: {bound}  "
+        f"(core {timing.core_cycles / 1e6:.1f} Mcyc vs "
+        f"dram {timing.dram_cycles / 1e6:.1f} Mcyc; "
+        f"threads {timing.threads_used:.1f})"
+    )
+    core_total = (
+        timing.issue_cycles + timing.loop_cycles + timing.latency_cycles
+    ) or 1
+    lines.append(
+        "  core cycles: issue "
+        f"{_pct(timing.issue_cycles, core_total)}  loop-overhead "
+        f"{_pct(timing.loop_cycles, core_total)}  memory-latency "
+        f"{_pct(timing.latency_cycles, core_total)}"
+    )
+    if counters.truncated:
+        lines.append(
+            f"  (sampled: {counters.simulated_stmts} of "
+            f"{counters.total_stmts} statements, x{counters.scale:.0f} "
+            "extrapolation)"
+        )
+    return "\n".join(lines)
+
+
+def explain(report: MachineReport) -> str:
+    """Full diagnostic text for a machine report."""
+    line_size = report.sim.hierarchy.line_size
+    blocks = [f"total: {report.total_ms:.3f} ms simulated"]
+    for counters, timing in zip(report.sim.counters, report.nest_times):
+        blocks.append(explain_nest(counters, timing, line_size))
+    return "\n".join(blocks)

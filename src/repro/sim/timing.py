@@ -1,0 +1,205 @@
+"""Convert simulated cache counters into execution time.
+
+The model is a roofline-flavored combination of four components, each
+extrapolated from the sampled window by the nest's scale factor:
+
+* **issue**: ``stmts * (ops + addr_ops) * cpi`` divided by the effective
+  vector lanes when the innermost statement is vectorized.  Lanes are
+  discounted by a vector efficiency and by the fraction of references that
+  are contiguous along the vectorized variable (strided vector accesses
+  behave like gathers).
+* **loop overhead**: a couple of cycles per loop iteration at every level
+  (what tiling pays for; the paper's reason to fuse outer tile loops).
+* **memory latency**: hits below L1 cost their level's latency, divided by
+  a memory-level-parallelism factor (out-of-order cores overlap misses).
+  Lines that the prefetchers moved up the hierarchy are naturally charged
+  at the cheaper level — exactly the effect the paper's model exploits.
+* **DRAM bandwidth**: every DRAM line transfer (demand + prefetch + NT
+  stores + write-backs) consumes bus bytes; the chip-wide bandwidth is a
+  floor on execution time, shared by all cores.  This is what makes the
+  benchmarks *memory-bound* and what NT stores relieve.
+
+A parallel loop divides the core-side time by the usable thread count
+(capped by the loop's trip count — Eq. 13's motivation) times an
+efficiency; the bandwidth floor is not divided, because DRAM is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch import ArchSpec
+from repro.ir.analysis import StatementInfo, analyze_definition
+from repro.ir.loopnest import LoopNest
+from repro.ir.schedule import LoopKind
+from repro.sim.executor import NestCounters
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Tunable constants of the cost model (documented defaults)."""
+
+    cpi: float = 0.5                  # superscalar: ~2 scalar ops / cycle
+    addr_ops: float = 2.0             # per-statement addressing overhead
+    loop_overhead_cycles: float = 2.0  # per loop iteration, per level
+    mlp: float = 8.0                  # overlapped outstanding misses (~10
+                                      # line-fill buffers on modern cores)
+    #: Chip-wide DRAM bandwidth override; None -> the platform's own
+    #: ``bw_bytes_per_cycle`` (the normal case).
+    bw_bytes_per_cycle: Optional[float] = None
+    parallel_efficiency: float = 0.85
+    vector_efficiency: float = 0.8
+    smt_bonus: float = 0.25           # extra throughput per SMT sibling
+
+    def bandwidth(self, arch: ArchSpec) -> float:
+        if self.bw_bytes_per_cycle is not None:
+            return self.bw_bytes_per_cycle
+        return arch.bw_bytes_per_cycle
+
+
+@dataclass
+class NestTime:
+    """Cycle breakdown of one nest (already extrapolated)."""
+
+    nest_name: str
+    issue_cycles: float
+    loop_cycles: float
+    latency_cycles: float
+    dram_cycles: float
+    threads_used: float
+    core_cycles: float  # (issue + loop + latency) / parallel speedup
+    total_cycles: float  # max(core_cycles, dram_cycles)
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "issue": self.issue_cycles,
+            "loop": self.loop_cycles,
+            "latency": self.latency_cycles,
+            "dram": self.dram_cycles,
+            "core": self.core_cycles,
+            "total": self.total_cycles,
+        }
+
+
+def _vector_lanes(nest: LoopNest, arch: ArchSpec) -> float:
+    """Effective lanes for the nest's vectorized loop, if any."""
+    vec = nest.vectorized_loops()
+    if not vec:
+        return 1.0
+    loop = vec[0]
+    dts = nest.func.dtype.size
+    lanes = arch.vector_lanes(dts)
+    if lanes <= 1:
+        return 1.0
+    # Which original variable does the vectorized loop iterate?
+    origins = [o for o in loop.origin.split("+") if o]
+    info = analyze_definition(nest.func, nest.definition)
+    refs = [info.output] + info.inputs
+    contiguous = 0
+    affected = 0
+    for ref in refs:
+        strides = [ref.stride_of(o) for o in origins]
+        if all(s == 0 for s in strides):
+            continue
+        affected += 1
+        if any(abs(s) == 1 for s in strides):
+            contiguous += 1
+    frac = (contiguous / affected) if affected else 1.0
+    model_lanes = 1.0 + (lanes - 1) * frac
+    return max(1.0, model_lanes)
+
+
+def _loop_iterations(nest: LoopNest) -> float:
+    """Total loop iterations across all levels (full, not sampled)."""
+    total = 0.0
+    prod = 1.0
+    for loop in nest.loops:
+        prod *= loop.extent
+        if loop.kind is LoopKind.VECTORIZED:
+            # One wide iteration covers ~a SIMD register of elements.
+            total += prod / 8.0
+        elif loop.kind is LoopKind.UNROLLED:
+            total += prod * 0.25
+        else:
+            total += prod
+    return total
+
+
+def _threads_used(nest: LoopNest, arch: ArchSpec, model: TimingModel) -> float:
+    par = nest.parallel_loops()
+    if not par:
+        return 1.0
+    trip = par[0].extent
+    cores = min(arch.n_cores, trip)
+    smt_extra = 0.0
+    if trip > arch.n_cores and arch.threads_per_core > 1:
+        smt_extra = model.smt_bonus * (arch.threads_per_core - 1) * cores
+    return max(1.0, cores + smt_extra)
+
+
+def time_nest(
+    counters: NestCounters,
+    arch: ArchSpec,
+    model: Optional[TimingModel] = None,
+) -> NestTime:
+    """Extrapolate one nest's counters to a full-nest cycle estimate."""
+    model = model or TimingModel()
+    nest = counters.nest
+    scale = counters.scale
+    info_ops = nest.stmt.ops
+
+    lanes = _vector_lanes(nest, arch)
+    stmts = counters.total_stmts  # full iteration space (guarded)
+    issue = stmts * (info_ops + model.addr_ops) * model.cpi / lanes
+
+    loop_cycles = _loop_iterations(nest) * model.loop_overhead_cycles
+
+    a2 = arch.access_cost(2)
+    a3 = arch.access_cost(3)
+    amem = arch.access_cost(4)
+    latency = (
+        counters.scaled("l2_hits") * a2
+        + counters.scaled("l3_hits") * a3
+        + counters.scaled("mem_lines") * amem
+    ) / model.mlp
+    # NT stores stream through write-combining buffers: near-free at
+    # issue, a small per-line drain cost.
+    latency += counters.scaled("nt_lines") * 0.25
+
+    line_size = arch.l1.line_size
+    dram_lines = (
+        counters.scaled("mem_lines")
+        + counters.scaled("prefetch_mem_lines")
+        + counters.scaled("nt_lines")
+        + counters.scaled("writeback_lines")
+    )
+    dram_cycles = dram_lines * line_size / model.bandwidth(arch)
+
+    threads = _threads_used(nest, arch, model)
+    speedup = threads * model.parallel_efficiency if threads > 1 else 1.0
+    core_cycles = (issue + loop_cycles + latency) / speedup
+    total = max(core_cycles, dram_cycles)
+    return NestTime(
+        nest_name=nest.name,
+        issue_cycles=issue,
+        loop_cycles=loop_cycles,
+        latency_cycles=latency,
+        dram_cycles=dram_cycles,
+        threads_used=threads,
+        core_cycles=core_cycles,
+        total_cycles=total,
+    )
+
+
+def total_time_ms(
+    all_counters: Sequence[NestCounters],
+    arch: ArchSpec,
+    model: Optional[TimingModel] = None,
+) -> float:
+    """Milliseconds for a whole pipeline: nests run back to back."""
+    model = model or TimingModel()
+    cycles = sum(
+        time_nest(c, arch, model).total_cycles for c in all_counters
+    )
+    return cycles / (arch.freq_ghz * 1e6)

@@ -1,0 +1,27 @@
+"""Small shared helpers used across the reproduction packages."""
+
+from repro.util.errors import (
+    ReproError,
+    ScheduleError,
+    ClassificationError,
+    SimulationError,
+)
+from repro.util.numbers import (
+    ceil_div,
+    divisors,
+    pow2_range,
+    tile_candidates,
+    clamp,
+)
+
+__all__ = [
+    "ReproError",
+    "ScheduleError",
+    "ClassificationError",
+    "SimulationError",
+    "ceil_div",
+    "divisors",
+    "pow2_range",
+    "tile_candidates",
+    "clamp",
+]

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming from this package with a single ``except``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ScheduleError(ReproError):
+    """An illegal scheduling directive or an inconsistent schedule.
+
+    Raised, for example, when splitting an unknown variable, reordering with
+    a variable that does not belong to the loop nest, or vectorizing a loop
+    whose extent is not divisible by the vector width in strict mode.
+    """
+
+
+class ClassificationError(ReproError):
+    """The classifier could not analyze the statement.
+
+    Raised when a statement contains index expressions outside the affine
+    subset the analytical model supports (e.g. indirect accesses ``A[B[i]]``).
+    """
+
+
+class SimulationError(ReproError):
+    """The trace generator or cache simulator hit an inconsistent state."""

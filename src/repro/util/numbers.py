@@ -1,0 +1,112 @@
+"""Integer helpers: ceil-division, divisors and tile-size candidate lattices.
+
+The paper's Algorithm 2 nominally "evaluates all valid tile sizes".  Testing
+every integer up to the loop bound is neither necessary (the cost functions
+are smooth between cache-geometry breakpoints) nor what the paper's reported
+millisecond runtimes (Table 5) allow.  :func:`tile_candidates` builds the
+candidate lattice we search instead: powers of two, multiples of the cache
+line / vector width, and exact divisors of the bound, all clamped to an upper
+bound.  An exhaustive mode is available for small bounds and for tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Return ``ceil(a / b)`` for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires a positive divisor, got {b}")
+    if a < 0:
+        raise ValueError(f"ceil_div requires a non-negative dividend, got {a}")
+    return -(-a // b)
+
+
+def clamp(value: int, low: int, high: int) -> int:
+    """Clamp ``value`` into the inclusive range ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"clamp range is empty: [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def divisors(n: int) -> List[int]:
+    """Return all positive divisors of ``n`` in ascending order."""
+    if n <= 0:
+        raise ValueError(f"divisors requires a positive integer, got {n}")
+    small = []
+    large = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]
+
+
+def pow2_range(low: int, high: int) -> List[int]:
+    """Return the powers of two in the inclusive range ``[low, high]``."""
+    if low < 1:
+        low = 1
+    out = []
+    p = 1
+    while p < low:
+        p *= 2
+    while p <= high:
+        out.append(p)
+        p *= 2
+    return out
+
+
+def tile_candidates(
+    bound: int,
+    upper: int,
+    *,
+    quantum: int = 1,
+    exhaustive: bool = False,
+) -> List[int]:
+    """Candidate tile sizes for a loop of extent ``bound``.
+
+    Parameters
+    ----------
+    bound:
+        The loop extent (problem size in this dimension).
+    upper:
+        Upper bound on the tile size (e.g. returned by the cache-emulation
+        Algorithm 1, or the extent itself).
+    quantum:
+        A granularity to favor, typically the vector width or the number of
+        elements per cache line; multiples of it are included.
+    exhaustive:
+        When true, return every integer in ``[1, min(bound, upper)]``.
+
+    Returns
+    -------
+    list of int
+        Sorted, de-duplicated candidate tile sizes, always including 1, the
+        cap itself and the full extent if it fits under ``upper``.
+    """
+    if bound <= 0:
+        raise ValueError(f"tile_candidates requires a positive bound, got {bound}")
+    cap = min(bound, max(1, upper))
+    if exhaustive:
+        return list(range(1, cap + 1))
+    cands = {1, cap}
+    cands.update(p for p in pow2_range(1, cap))
+    if quantum > 1:
+        m = quantum
+        while m <= cap:
+            cands.add(m)
+            m += quantum
+            # Keep the multiple list short for very large caps.
+            if m > 16 * quantum and m < cap - quantum:
+                m = min(2 * m, cap)
+        cands.add(min(quantum, cap))
+    for d in divisors(bound):
+        if d <= cap:
+            cands.add(d)
+    if bound <= cap:
+        cands.add(bound)
+    return sorted(cands)

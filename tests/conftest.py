@@ -1,0 +1,23 @@
+"""Shared fixtures: platforms (Func factories live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import arm_cortex_a15, intel_i7_5930k, intel_i7_6700
+
+
+@pytest.fixture
+def arch():
+    """Default test platform (the i7-5930K, as in most paper experiments)."""
+    return intel_i7_5930k()
+
+
+@pytest.fixture
+def arch_6700():
+    return intel_i7_6700()
+
+
+@pytest.fixture
+def arch_arm():
+    return arm_cortex_a15()

@@ -1,0 +1,51 @@
+"""Factories for fresh test Funcs (Funcs are mutable; never share)."""
+
+from __future__ import annotations
+
+from repro.ir import Buffer, Func, RVar, Var, float32, int32
+
+
+def make_matmul(n: int = 64):
+    """Fresh matmul Func with its input buffers; returns (func, a, b)."""
+    i, j = Var("i"), Var("j")
+    k = RVar("k", n)
+    a = Buffer("A", (n, n), float32)
+    b = Buffer("B", (n, n), float32)
+    c = Func("C")
+    c[i, j] = 0.0
+    c[i, j] = c[i, j] + a[i, k] * b[k, j]
+    c.set_bounds({i: n, j: n})
+    return c, a, b
+
+
+def make_transpose_mask(n: int = 64):
+    """Fresh transpose-and-mask Func; returns (func, a, b)."""
+    x, y = Var("x"), Var("y")
+    a = Buffer("A", (n, n), int32)
+    b = Buffer("B", (n, n), int32)
+    out = Func("Tpm", int32)
+    out[y, x] = a[x, y] & b[y, x]
+    out.set_bounds({x: n, y: n})
+    return out, a, b
+
+
+def make_copy(n: int = 64):
+    """Fresh 2-D copy Func; returns (func, a)."""
+    x, y = Var("x"), Var("y")
+    a = Buffer("A", (n, n), int32)
+    out = Func("Copy", int32)
+    out[y, x] = a[y, x]
+    out.set_bounds({x: n, y: n})
+    return out, a
+
+
+def make_stencil(n: int = 64):
+    """Fresh 5-point stencil Func; returns (func, a)."""
+    x, y = Var("x"), Var("y")
+    a = Buffer("A", (n + 2, n + 2), float32)
+    out = Func("Stencil")
+    out[y, x] = (
+        a[y, x] + a[y + 1, x] + a[y + 2, x] + a[y + 1, x + 1] + a[y + 1, x + 2]
+    )
+    out.set_bounds({x: n, y: n})
+    return out, a

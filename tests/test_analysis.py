@@ -1,0 +1,186 @@
+"""Tests for the access-pattern analysis (repro.ir.analysis)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import Buffer, Func, RVar, Var, float32
+from repro.ir.analysis import (
+    AffineIndex,
+    analyze_definition,
+    analyze_func,
+)
+from repro.ir.expr import Const, VarRef
+from repro.util import ClassificationError
+
+from tests.helpers import make_copy, make_matmul, make_stencil, make_transpose_mask
+
+
+class TestAffineIndex:
+    def test_single_var(self):
+        ix = AffineIndex.from_expr(VarRef("i"))
+        assert ix.coeff_map() == {"i": 1}
+        assert ix.offset == 0
+        assert ix.is_simple
+
+    def test_var_plus_const(self):
+        ix = AffineIndex.from_expr(VarRef("i") + 2)
+        assert ix.coeff_map() == {"i": 1}
+        assert ix.offset == 2
+
+    def test_scaled_var(self):
+        ix = AffineIndex.from_expr(2 * VarRef("i") - 1)
+        assert ix.coeff_map() == {"i": 2}
+        assert ix.offset == -1
+        assert not ix.is_simple
+
+    def test_two_vars(self):
+        ix = AffineIndex.from_expr(VarRef("y") + VarRef("ky"))
+        assert ix.coeff_map() == {"y": 1, "ky": 1}
+
+    def test_subtraction_flips_sign(self):
+        ix = AffineIndex.from_expr(VarRef("i") - VarRef("j"))
+        assert ix.coeff_map() == {"i": 1, "j": -1}
+
+    def test_cancellation_drops_var(self):
+        ix = AffineIndex.from_expr(VarRef("i") - VarRef("i"))
+        assert ix.coeff_map() == {}
+        assert ix.is_constant
+
+    def test_constant(self):
+        ix = AffineIndex.from_expr(Const(5))
+        assert ix.is_constant and ix.offset == 5
+        assert ix.primary_var is None
+
+    def test_rejects_var_product(self):
+        with pytest.raises(ClassificationError):
+            AffineIndex.from_expr(VarRef("i") * VarRef("j"))
+
+    def test_rejects_division(self):
+        with pytest.raises(ClassificationError):
+            AffineIndex.from_expr(VarRef("i") / 2)
+
+    def test_rejects_float_const(self):
+        with pytest.raises(ClassificationError):
+            AffineIndex.from_expr(Const(1.5))
+
+    def test_str(self):
+        assert str(AffineIndex.from_expr(2 * VarRef("i") + 1)) == "2*i+1"
+
+    @given(
+        st.integers(-4, 4),
+        st.integers(-4, 4),
+        st.integers(-8, 8),
+    )
+    def test_roundtrip_two_var_affine(self, a, b, c):
+        expr = a * VarRef("i") + b * VarRef("j") + c
+        ix = AffineIndex.from_expr(expr)
+        coeffs = ix.coeff_map()
+        assert coeffs.get("i", 0) == a
+        assert coeffs.get("j", 0) == b
+        assert ix.offset == c
+
+
+class TestRefInfo:
+    def test_matmul_refs(self):
+        c, a, b = make_matmul(16)
+        info = analyze_func(c)
+        names = [r.name for r in info.inputs]
+        assert names == ["C", "A", "B"]
+
+    def test_leading_vars(self):
+        c, _, _ = make_matmul(16)
+        info = analyze_func(c)
+        leading = {r.name: r.leading_var for r in info.inputs}
+        assert leading == {"C": "j", "A": "k", "B": "j"}
+
+    def test_strides(self):
+        c, a, b = make_matmul(16)
+        info = analyze_func(c)
+        a_ref = [r for r in info.inputs if r.name == "A"][0]
+        assert a_ref.stride_of("i") == 16
+        assert a_ref.stride_of("k") == 1
+        assert a_ref.stride_of("j") == 0
+
+    def test_offsets(self):
+        f, _ = make_stencil(8)
+        info = analyze_func(f)
+        assert any(r.has_offsets() for r in info.inputs)
+
+    def test_dim_vars(self):
+        c, _, _ = make_matmul(16)
+        info = analyze_func(c)
+        assert info.output.dim_vars == ("i", "j")
+
+    def test_index_vars(self):
+        c, _, _ = make_matmul(16)
+        info = analyze_func(c)
+        assert info.output.index_vars == {"i", "j"}
+
+
+class TestStatementInfo:
+    def test_matmul_extra_vars(self):
+        c, _, _ = make_matmul(16)
+        info = analyze_func(c)
+        assert info.extra_input_vars == {"k"}
+        assert info.output_is_reused
+        assert info.transposed_inputs() == []
+        assert not info.is_stencil_like()
+
+    def test_transpose_mask(self):
+        f, _, _ = make_transpose_mask(16)
+        info = analyze_func(f)
+        assert info.extra_input_vars == set()
+        assert [r.name for r in info.transposed_inputs()] == ["A"]
+        assert not info.output_is_reused
+
+    def test_copy(self):
+        f, _ = make_copy(16)
+        info = analyze_func(f)
+        assert info.extra_input_vars == set()
+        assert info.transposed_inputs() == []
+        assert not info.output_is_reused
+        assert not info.is_stencil_like()
+
+    def test_stencil(self):
+        f, _ = make_stencil(16)
+        info = analyze_func(f)
+        assert info.extra_input_vars == set()
+        assert info.is_stencil_like()
+
+    def test_reduction_vars(self):
+        c, _, _ = make_matmul(16)
+        info = analyze_func(c)
+        assert info.reduction_vars == ("k",)
+
+    def test_ops_count(self):
+        c, _, _ = make_matmul(16)
+        info = analyze_func(c)
+        assert info.ops == 2  # one add, one multiply
+
+    def test_pure_definition_analysis(self):
+        c, _, _ = make_matmul(16)
+        info = analyze_definition(c, c.pure_definition)
+        assert info.inputs == []
+        assert info.reduction_vars == ()
+
+    def test_non_self_inputs(self):
+        c, a, b = make_matmul(16)
+        info = analyze_func(c)
+        assert {r.name for r in info.non_self_inputs()} == {"A", "B"}
+
+    def test_syrk_shared_array_both_patterns(self):
+        n = 16
+        i, j = Var("i"), Var("j")
+        k = RVar("k", n)
+        a = Buffer("A", (n, n), float32)
+        f = Func("Syrk")
+        f[i, j] = 0.0
+        f[i, j] = f[i, j] + a[i, k] * a[j, k]
+        info = analyze_func(f)
+        a_refs = [r for r in info.inputs if r.name == "A"]
+        assert len(a_refs) == 2
+        assert {r.dim_vars for r in a_refs} == {("i", "k"), ("j", "k")}
+
+    def test_dtype_size(self):
+        c, _, _ = make_matmul(16)
+        assert analyze_func(c).dtype_size == 4

@@ -1,0 +1,160 @@
+"""Tests for the architecture descriptions (paper Tables 1 and 3)."""
+
+import pytest
+
+from repro.arch import (
+    ArchSpec,
+    CacheSpec,
+    PLATFORMS,
+    arm_cortex_a15,
+    intel_i7_5930k,
+    intel_i7_6700,
+    platform_by_name,
+)
+
+
+class TestCacheSpec:
+    def test_num_sets(self):
+        spec = CacheSpec(size=32 * 1024, line_size=64, ways=8, latency=4)
+        assert spec.num_sets == 64
+
+    def test_num_lines(self):
+        spec = CacheSpec(size=32 * 1024, line_size=64, ways=8, latency=4)
+        assert spec.num_lines == 512
+
+    def test_elements_per_line(self):
+        spec = CacheSpec(size=32 * 1024, line_size=64, ways=8, latency=4)
+        assert spec.elements_per_line(4) == 16
+        assert spec.elements_per_line(8) == 8
+        assert spec.elements_per_line(1) == 64
+
+    def test_capacity_elements(self):
+        spec = CacheSpec(size=32 * 1024, line_size=64, ways=8, latency=4)
+        assert spec.capacity_elements(4) == 8192
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheSpec(size=0, line_size=64, ways=8, latency=4)
+
+    def test_rejects_ragged_geometry(self):
+        with pytest.raises(ValueError):
+            CacheSpec(size=1000, line_size=64, ways=8, latency=4)
+
+    def test_rejects_bad_dts(self):
+        spec = CacheSpec(size=32 * 1024, line_size=64, ways=8, latency=4)
+        with pytest.raises(ValueError):
+            spec.elements_per_line(0)
+
+
+class TestPlatformsMatchTable3:
+    """Table 3 of the paper, row by row."""
+
+    @pytest.mark.parametrize(
+        "factory,l1way,l1cs,l2way,l2cs,cores,threads",
+        [
+            (intel_i7_5930k, 8, 32, 8, 256, 6, 2),
+            (intel_i7_6700, 8, 32, 8, 256, 4, 2),
+            (arm_cortex_a15, 2, 32, 16, 512, 4, 1),
+        ],
+    )
+    def test_row(self, factory, l1way, l1cs, l2way, l2cs, cores, threads):
+        arch = factory()
+        assert arch.l1.line_size == 64
+        assert arch.l1.ways == l1way
+        assert arch.l1.size == l1cs * 1024
+        assert arch.l2.ways == l2way
+        assert arch.l2.size == l2cs * 1024
+        assert arch.n_cores == cores
+        assert arch.threads_per_core == threads
+
+    def test_arm_has_no_l3(self):
+        assert arm_cortex_a15().l3 is None
+
+    def test_intel_has_l3(self):
+        assert intel_i7_5930k().l3 is not None
+        assert intel_i7_6700().l3 is not None
+
+    def test_arm_l2_shared(self):
+        assert arm_cortex_a15().l2_shared_across_cores
+
+    def test_arm_no_nt_stores(self):
+        assert not arm_cortex_a15().supports_nt_stores
+
+    def test_intel_nt_stores(self):
+        assert intel_i7_5930k().supports_nt_stores
+
+
+class TestArchSpecDerived:
+    def test_total_threads(self):
+        assert intel_i7_5930k().total_threads == 12
+        assert arm_cortex_a15().total_threads == 4
+
+    def test_vector_lanes(self):
+        arch = intel_i7_5930k()
+        assert arch.vector_lanes(4) == 8   # AVX2 f32
+        assert arch.vector_lanes(8) == 4   # AVX2 f64
+        assert arm_cortex_a15().vector_lanes(4) == 4  # NEON f32
+
+    def test_lc(self):
+        assert intel_i7_5930k().lc(4) == 16
+        assert intel_i7_5930k().lc(8) == 8
+
+    def test_cache_level_lookup(self):
+        arch = intel_i7_5930k()
+        assert arch.cache_level(1) is arch.l1
+        assert arch.cache_level(2) is arch.l2
+        assert arch.cache_level(3) is arch.l3
+
+    def test_cache_level_errors(self):
+        with pytest.raises(ValueError):
+            intel_i7_5930k().cache_level(4)
+        with pytest.raises(ValueError):
+            arm_cortex_a15().cache_level(3)
+
+    def test_levels_tuple(self):
+        assert len(intel_i7_5930k().levels) == 3
+        assert len(arm_cortex_a15().levels) == 2
+
+    def test_effective_ways_smt(self):
+        # Intel: L1/L2 ways halved by 2 SMT threads per core.
+        arch = intel_i7_5930k()
+        assert arch.effective_ways(1) == 4
+        assert arch.effective_ways(2) == 4
+
+    def test_effective_ways_shared_l2_arm(self):
+        # ARM: one thread per core, but the L2 is shared by 4 cores —
+        # the Sec. 5.1 model change divides by NCores instead.
+        arch = arm_cortex_a15()
+        assert arch.effective_ways(1) == 2
+        assert arch.effective_ways(2) == 16 // 4
+
+    def test_access_cost_levels_increase(self):
+        arch = intel_i7_5930k()
+        costs = [arch.access_cost(level) for level in (1, 2, 3, 4)]
+        assert costs == sorted(costs)
+        assert costs[-1] == arch.mem_latency
+
+    def test_access_cost_no_l3_falls_to_memory(self):
+        arch = arm_cortex_a15()
+        assert arch.access_cost(3) == arch.mem_latency
+
+    def test_with_overrides(self):
+        arch = intel_i7_5930k().with_overrides(n_cores=1)
+        assert arch.n_cores == 1
+        assert arch.l1 == intel_i7_5930k().l1
+
+    def test_describe_mentions_name(self):
+        assert "5930K" in intel_i7_5930k().describe()
+
+
+class TestPlatformRegistry:
+    def test_lookup_all(self):
+        for key in PLATFORMS:
+            assert platform_by_name(key).name
+
+    def test_lookup_case_insensitive(self):
+        assert platform_by_name("I7-5930K").name == "Intel i7-5930K"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            platform_by_name("pentium-iii")

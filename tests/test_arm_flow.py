@@ -1,0 +1,62 @@
+"""End-to-end tests on the ARM Cortex-A15 platform (paper Sec. 5.1 / Fig. 7).
+
+The ARM platform exercises three model variations at once: no L3 (the
+weighted cost degenerates to memory latency), a shared L2 (effective
+associativity divided by cores, not threads), and no NT stores.
+"""
+
+import pytest
+
+from repro.baselines import autoschedule, baseline_schedule
+from repro.bench import make_benchmark
+from repro.core import Locality, optimize
+from repro.sim import Machine
+
+from tests.helpers import make_copy, make_matmul, make_transpose_mask
+
+
+class TestArmOptimization:
+    def test_matmul_flow(self, arch_arm):
+        c, _, _ = make_matmul(256)
+        result = optimize(c, arch_arm)
+        assert result.locality is Locality.TEMPORAL
+        assert result.temporal.cost < float("inf")
+
+    def test_no_nti_anywhere(self, arch_arm):
+        for factory in (make_copy, make_transpose_mask):
+            func = factory(256)[0]
+            result = optimize(func, arch_arm)
+            assert not result.uses_nti
+
+    def test_parallel_constraint_uses_four_threads(self, arch_arm):
+        c, _, _ = make_matmul(256)
+        result = optimize(c, arch_arm)
+        par = result.temporal.parallel_var
+        from repro.util import ceil_div
+
+        trips = ceil_div(256, result.temporal.tiles[par])
+        assert trips >= arch_arm.total_threads == 4
+
+    def test_proposed_beats_baseline_on_matmul(self, arch_arm):
+        machine = Machine(arch_arm, line_budget=25_000)
+        c1, _, _ = make_matmul(512)
+        proposed = optimize(c1, arch_arm).schedule
+        t_prop = machine.time_funcs([(c1, proposed)])
+        c2, _, _ = make_matmul(512)
+        t_base = machine.time_funcs([(c2, baseline_schedule(c2, arch_arm))])
+        assert t_prop < t_base
+
+    def test_arm_slower_than_intel(self, arch, arch_arm):
+        intel = Machine(arch, line_budget=20_000)
+        arm = Machine(arch_arm, line_budget=20_000)
+        c1, _, _ = make_matmul(256)
+        t_intel = intel.time_funcs([(c1, optimize(c1, arch).schedule)])
+        c2, _, _ = make_matmul(256)
+        t_arm = arm.time_funcs([(c2, optimize(c2, arch_arm).schedule)])
+        assert t_arm > t_intel
+
+    def test_autoscheduler_uses_l2_budget(self, arch_arm):
+        c, _, _ = make_matmul(512)
+        result = autoschedule(c, arch_arm)
+        # Budget = shared L2 (512 KB) -> footprint fits it.
+        assert result.footprint_elements <= 512 * 1024 // 4 * 1.01

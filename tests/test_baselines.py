@@ -1,0 +1,205 @@
+"""Tests for the comparison techniques (repro.baselines)."""
+
+import pytest
+
+from repro.baselines import (
+    Autotuner,
+    autoschedule,
+    baseline_schedule,
+    tss_schedule,
+    tss_tiles,
+    tts_schedule,
+    tts_tiles,
+)
+from repro.ir import LoopKind, lower
+from repro.ir.validate import validate_schedule
+from repro.sim import Machine
+
+from tests.helpers import make_copy, make_matmul, make_transpose_mask
+
+
+class TestBaselineSchedule:
+    def test_parallel_outer_vector_inner(self, arch):
+        c, _, _ = make_matmul(64)
+        s = baseline_schedule(c, arch)
+        assert s.loops()[0].kind is LoopKind.PARALLEL
+        vec = [l for l in s.loops() if l.kind is LoopKind.VECTORIZED]
+        assert len(vec) == 1
+
+    def test_contiguous_var_brought_innermost(self, arch):
+        # matmul's default order ends with k; baseline reorders j inward.
+        c, _, _ = make_matmul(64)
+        s = baseline_schedule(c, arch)
+        inner_origins = s.loops()[-1].origin
+        assert "j" in inner_origins
+
+    def test_no_tiling(self, arch):
+        c, _, _ = make_matmul(64)
+        s = baseline_schedule(c, arch)
+        kinds = [d.kind for d in s.directives]
+        assert "split" not in kinds or all(
+            d.args[0] in ("j",) for d in s.directives if d.kind == "split"
+        )
+
+    def test_validates_and_lowers(self, arch):
+        for factory in (make_matmul, make_copy, make_transpose_mask):
+            func = factory(64)[0]
+            s = baseline_schedule(func, arch)
+            validate_schedule(s)
+            assert lower(func, s)
+
+
+class TestAutoScheduler:
+    def test_reductions_untiled(self, arch):
+        c, _, _ = make_matmul(256)
+        result = autoschedule(c, arch)
+        assert result.tiles["k"] == 256
+
+    def test_output_tiles_fit_budget(self, arch):
+        c, _, _ = make_matmul(256)
+        result = autoschedule(c, arch)
+        budget = (arch.l3.size // arch.n_cores) // 4  # default LLC share
+        assert result.footprint_elements <= budget * 1.01
+
+    def test_explicit_budget_respected(self, arch):
+        c, _, _ = make_matmul(256)
+        result = autoschedule(c, arch, cache_budget_bytes=64 * 1024)
+        assert result.footprint_elements <= (64 * 1024 // 4) * 1.01
+
+    def test_enough_parallelism(self, arch):
+        c, _, _ = make_matmul(256)
+        result = autoschedule(c, arch)
+        from repro.util import ceil_div
+        grid = 1
+        for v in ("i", "j"):
+            grid *= ceil_div(256, result.tiles[v])
+        assert grid >= arch.n_cores
+
+    def test_never_nontemporal(self, arch):
+        f, _ = make_copy(256)
+        assert not autoschedule(f, arch).schedule.nontemporal
+
+    def test_validates_and_lowers(self, arch):
+        for factory in (make_matmul, make_copy, make_transpose_mask):
+            func = factory(128)[0]
+            result = autoschedule(func, arch)
+            validate_schedule(result.schedule)
+            assert lower(func, result.schedule)
+
+    def test_custom_budget_shrinks_tiles(self, arch):
+        c1, _, _ = make_matmul(256)
+        big = autoschedule(c1, arch).tiles
+        c2, _, _ = make_matmul(256)
+        small = autoschedule(c2, arch, cache_budget_bytes=8 * 1024).tiles
+        assert small["j"] <= big["j"]
+
+
+class TestAutotuner:
+    def make_machine(self, arch):
+        return Machine(arch, line_budget=4000)
+
+    def test_finds_a_schedule(self, arch):
+        c, _, _ = make_matmul(64)
+        result = Autotuner(self.make_machine(arch), evaluations=6).tune(c)
+        assert result.best_ms < float("inf")
+        assert result.evaluations == 6
+        validate_schedule(result.schedule)
+
+    def test_seed_reproducible(self, arch):
+        c1, _, _ = make_matmul(64)
+        c2, _, _ = make_matmul(64)
+        machine = self.make_machine(arch)
+        r1 = Autotuner(machine, evaluations=5, seed=7).tune(c1)
+        r2 = Autotuner(machine, evaluations=5, seed=7).tune(c2)
+        assert r1.best_tiles == r2.best_tiles
+        assert r1.best_ms == pytest.approx(r2.best_ms)
+
+    def test_more_budget_never_worse(self, arch):
+        c1, _, _ = make_matmul(64)
+        c2, _, _ = make_matmul(64)
+        machine = self.make_machine(arch)
+        short = Autotuner(machine, evaluations=3, seed=3).tune(c1)
+        long = Autotuner(machine, evaluations=10, seed=3).tune(c2)
+        assert long.best_ms <= short.best_ms + 1e-9
+
+    def test_improvements_decreasing(self, arch):
+        c, _, _ = make_matmul(64)
+        result = Autotuner(self.make_machine(arch), evaluations=8).tune(c)
+        imps = result.improvements()
+        assert imps == sorted(imps, reverse=True)
+
+    def test_reductions_not_tiled_by_default(self, arch):
+        c, _, _ = make_matmul(64)
+        result = Autotuner(self.make_machine(arch), evaluations=6).tune(c)
+        assert result.best_tiles.get("k", 64) == 64
+
+    def test_tile_reductions_flag(self, arch):
+        c, _, _ = make_matmul(64)
+        tuner = Autotuner(
+            self.make_machine(arch), evaluations=12, seed=2,
+            tile_reductions=True,
+        )
+        result = tuner.tune(c)
+        assert result.best_ms < float("inf")
+
+    def test_rejects_zero_budget(self, arch):
+        with pytest.raises(ValueError):
+            Autotuner(self.make_machine(arch), evaluations=0)
+
+
+class TestTSS:
+    def test_tiles_within_bounds(self, arch):
+        c, _, _ = make_matmul(256)
+        result = tss_tiles(c, arch)
+        for var, tile in result.tiles.items():
+            assert 1 <= tile <= 256
+
+    def test_differs_from_prefetch_aware(self, arch):
+        # TSS is prefetch-blind; on a conflict-prone size its tiles should
+        # not coincide with the proposed model's everywhere.
+        from repro.core import optimize_temporal
+
+        c1, _, _ = make_matmul(2048)
+        c2, _, _ = make_matmul(2048)
+        tss = tss_tiles(c1, arch).tiles
+        ours = optimize_temporal(c2, arch).tiles
+        assert tss != ours
+
+    def test_schedule_with_order(self, arch):
+        c, _, _ = make_matmul(128)
+        s = tss_schedule(c, arch, loop_order=["k", "i", "j"])
+        validate_schedule(s)
+        assert lower(c, s)
+
+    def test_cost_recorded(self, arch):
+        c, _, _ = make_matmul(128)
+        assert tss_tiles(c, arch).cost < float("inf")
+
+
+class TestTTS:
+    def test_tiles_within_bounds(self, arch):
+        c, _, _ = make_matmul(256)
+        result = tts_tiles(c, arch)
+        for var, tile in result.tiles.items():
+            assert 1 <= tile <= 256
+
+    def test_tts_tiles_larger_than_tss(self, arch):
+        # TurboTiling targets L2+L3, so its tile volume should be at least
+        # TSS's (which targets L1+L2).
+        c1, _, _ = make_matmul(1024)
+        c2, _, _ = make_matmul(1024)
+        tss = tss_tiles(c1, arch).tiles
+        tts = tts_tiles(c2, arch).tiles
+        vol = lambda t: t["i"] * t["j"] * t["k"]
+        assert vol(tts) >= vol(tss)
+
+    def test_schedule_lowers(self, arch):
+        c, _, _ = make_matmul(128)
+        s = tts_schedule(c, arch, loop_order=["i", "k", "j"])
+        validate_schedule(s)
+        assert lower(c, s)
+
+    def test_works_without_l3(self, arch_arm):
+        c, _, _ = make_matmul(128)
+        result = tts_tiles(c, arch_arm)
+        assert result.cost < float("inf")

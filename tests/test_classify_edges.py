@@ -1,0 +1,96 @@
+"""Classifier edge cases beyond the benchmark suite."""
+
+import pytest
+
+from repro.core import Locality, classify
+from repro.ir import Buffer, Func, RVar, Var, float32
+from repro.util import ClassificationError
+
+
+def _bound(f, **kw):
+    f.set_bounds({Var(k): v for k, v in kw.items()})
+    return f
+
+
+class TestEdgeStatements:
+    def test_1d_reduction_is_temporal(self):
+        n = 32
+        x = Var("x")
+        r = RVar("r", n)
+        a = Buffer("A", (n, n), float32)
+        f = Func("F")
+        f[x] = 0.0
+        f[x] = f[x] + a[x, r]
+        f.set_bounds({x: n})
+        assert classify(f).locality is Locality.TEMPORAL
+
+    def test_constant_index_input(self):
+        # Broadcasting a row: A[0, x] — no temporal reuse, no transpose.
+        n = 16
+        x, y = Var("x"), Var("y")
+        a = Buffer("A", (n, n), float32)
+        f = Func("F")
+        f[y, x] = a[0, x]
+        f.set_bounds({x: n, y: n})
+        decision = classify(f)
+        assert decision.locality is Locality.NONE
+        assert decision.use_nti
+
+    def test_reversed_1d_not_transposed(self):
+        # out[x] = a[x] + b[x]: 1-D can't be transposed.
+        n = 16
+        x = Var("x")
+        a = Buffer("A", (n,), float32)
+        b = Buffer("B", (n,), float32)
+        f = Func("F")
+        f[x] = a[x] + b[x]
+        f.set_bounds({x: n})
+        assert classify(f).locality is Locality.NONE
+
+    def test_3d_transposed_pair(self):
+        # out[z, y, x] = a[z, x, y]: x/y swapped in the last two dims.
+        n = 8
+        x, y, z = Var("x"), Var("y"), Var("z")
+        a = Buffer("A", (n, n, n), float32)
+        f = Func("F")
+        f[z, y, x] = a[z, x, y]
+        f.set_bounds({x: n, y: n, z: n})
+        decision = classify(f)
+        assert decision.locality is Locality.SPATIAL
+        assert [r.name for r in decision.transposed] == ["A"]
+
+    def test_scaled_index_not_stencil(self):
+        # Strided access a[2*x]: same variable set, no constant offsets —
+        # classified as contiguous/none (no transformation).
+        n = 16
+        x = Var("x")
+        a = Buffer("A", (2 * n,), float32)
+        f = Func("F")
+        f[x] = a[2 * x]
+        f.set_bounds({x: n})
+        assert classify(f).locality is Locality.NONE
+
+    def test_nonaffine_index_raises(self):
+        n = 8
+        x, y = Var("x"), Var("y")
+        a = Buffer("A", (n * n,), float32)
+        f = Func("F")
+        f[y, x] = a[x * y]
+        f.set_bounds({x: n, y: n})
+        with pytest.raises(ClassificationError):
+            classify(f)
+
+    def test_accumulating_transpose_is_temporal_no_nti(self):
+        # out[y,x] += A[x,y]: output reused -> temporal? No extra input
+        # vars, transposed input... but self-read forbids NTI; the Fig. 2
+        # tree sends it to the spatial optimizer (no extra indices).
+        n = 16
+        x, y = Var("x"), Var("y")
+        a = Buffer("A", (n, n), float32)
+        f = Func("F")
+        f[y, x] = 0.0
+        f[y, x] = f[y, x] + a[x, y]
+        f.set_bounds({x: n, y: n})
+        decision = classify(f)
+        assert decision.locality is Locality.SPATIAL
+        assert not decision.use_nti

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_optimize_defaults(self):
+        args = build_parser().parse_args(["optimize", "matmul"])
+        assert args.platform == "i7-5930k"
+        assert not args.fast
+
+    def test_compare_budget(self):
+        args = build_parser().parse_args(
+            ["compare", "gemm", "--budget", "123", "--autotune", "5"]
+        )
+        assert args.budget == 123
+        assert args.autotune == 5
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul" in out and "arm-a15" in out
+
+    def test_optimize_fast(self, capsys):
+        assert main(["optimize", "matmul", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "temporal" in out
+        assert "schedule:" in out
+
+    def test_optimize_show_nest(self, capsys):
+        assert main(["optimize", "copy", "--fast", "--show-nest"]) == 0
+        out = capsys.readouterr().out
+        assert "for (" in out
+
+    def test_optimize_extra_kernel(self, capsys):
+        assert main(["optimize", "jacobi2d", "--fast"]) == 0
+        assert "stencil" in capsys.readouterr().out
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["optimize", "nonsense"])
+
+    def test_compare_fast(self, capsys):
+        assert main(
+            ["compare", "copy", "--fast", "--budget", "3000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "proposed+NTI" in out and "baseline" in out
+
+    def test_codegen_to_stdout(self, capsys):
+        assert main(["codegen", "copy", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "void copy(" in out
+
+    def test_codegen_to_file(self, tmp_path, capsys):
+        target = tmp_path / "k.c"
+        assert main(["codegen", "copy", "--fast", "-o", str(target)]) == 0
+        assert "void copy(" in target.read_text()
+
+    def test_optimize_halide_output(self, capsys):
+        assert main(["optimize", "matmul", "--fast", "--halide"]) == 0
+        out = capsys.readouterr().out
+        assert ".split(" in out and "C.update()" in out

@@ -1,0 +1,240 @@
+"""Tests for the analytical cost equations (repro.core.costs).
+
+The key tests here evaluate the generalized model on the paper's own
+worked example (tiled matmul, Listing 1) and check the *exact closed
+forms* of Eqs. 1, 5, 6, 10 and 12.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.costs import (
+    RefPattern,
+    extract_patterns,
+    level1_misses,
+    level2_misses,
+    order_cost,
+    spatial_partial_cost,
+    spatial_working_sets,
+    total_cost,
+    working_set_l1,
+    working_set_l2,
+)
+from repro.ir.analysis import analyze_func
+
+from tests.helpers import make_matmul, make_transpose_mask
+
+LC = 16  # f32 elements per 64B line
+
+# The paper's example: B_i = B_j = B_k = N, tiles T_i, T_j, T_k,
+# intra order (i, k, j), inter order (ii, kk, jj).
+INTRA = ["i", "k", "j"]
+INTER = ["i", "k", "j"]
+
+
+def matmul_patterns():
+    c, _, _ = make_matmul(64)
+    return extract_patterns(analyze_func(c))
+
+
+def tiles(ti, tk, tj):
+    return {"i": ti, "k": tk, "j": tj}
+
+
+def bounds(n):
+    return {"i": n, "k": n, "j": n}
+
+
+class TestPatternExtraction:
+    def test_three_patterns_c_deduped(self):
+        pats = matmul_patterns()
+        names = sorted(p.name for p in pats)
+        assert names == ["A", "B", "C"]  # C read+write counted once
+
+    def test_leading_vars(self):
+        pats = {p.name: p for p in matmul_patterns()}
+        assert pats["C"].leading_var == "j"
+        assert pats["A"].leading_var == "k"
+        assert pats["B"].leading_var == "j"
+
+    def test_strides_recorded(self):
+        pats = {p.name: p for p in matmul_patterns()}
+        assert pats["A"].stride_of("i") == 64
+        assert pats["A"].stride_of("k") == 1
+        assert pats["A"].stride_of("j") == 0
+
+
+class TestEq1WorkingSetL1:
+    def test_exact_form(self):
+        # Eq. 1: wsL1 = Tj + Tk + Tj*Tk.
+        ws = working_set_l1(matmul_patterns(), tiles(8, 4, 32), INTRA, LC)
+        assert ws == 32 + 4 + 32 * 4
+
+    def test_grows_with_tiles(self):
+        small = working_set_l1(matmul_patterns(), tiles(8, 4, 32), INTRA, LC)
+        big = working_set_l1(matmul_patterns(), tiles(8, 8, 64), INTRA, LC)
+        assert big > small
+
+
+class TestEq6WorkingSetL2:
+    def test_exact_form(self):
+        # Eq. 6: wsL2 = Tj*Ti + Tk*Ti + Tj*Tk.
+        ws = working_set_l2(matmul_patterns(), tiles(8, 4, 32), INTRA, LC)
+        assert ws == 32 * 8 + 4 * 8 + 32 * 4
+
+
+class TestEq5LevelOneMisses:
+    def test_exact_form(self):
+        # Eq. 5: CL1 = (Ti + Ti + Tk) * (Bi*Bj*Bk) / (Ti*Tj*Tk).
+        n, ti, tk, tj = 64, 8, 4, 32
+        got = level1_misses(
+            matmul_patterns(), tiles(ti, tk, tj), bounds(n), INTRA, LC
+        )
+        trips = (n // ti) * (n // tk) * (n // tj)
+        assert got == (ti + ti + tk) * trips
+
+    def test_prefetch_blind_variant_larger(self):
+        n, ti, tk, tj = 64, 8, 4, 32
+        aware = level1_misses(
+            matmul_patterns(), tiles(ti, tk, tj), bounds(n), INTRA, LC
+        )
+        blind = level1_misses(
+            matmul_patterns(), tiles(ti, tk, tj), bounds(n), INTRA, LC,
+            prefetch_aware=False,
+        )
+        assert blind > aware
+
+    def test_prefetch_blind_exact(self):
+        # Eq. 2 per row: a row of Tj elements costs ceil(Tj/lc) misses.
+        n, ti, tk, tj = 64, 8, 4, 32
+        blind = level1_misses(
+            matmul_patterns(), tiles(ti, tk, tj), bounds(n), INTRA, LC,
+            prefetch_aware=False,
+        )
+        trips = (n // ti) * (n // tk) * (n // tj)
+        per_tile = (
+            ti * (tj // LC)          # C rows
+            + ti * 1                 # A rows (Tk=4 < lc -> 1 line)
+            + tk * (tj // LC)        # B rows
+        )
+        assert blind == per_tile * trips
+
+
+class TestEq10LevelTwoMisses:
+    def test_exact_form(self):
+        # Eq. 10: CL2 = (Ti*Bj/Tj + Ti + Tk*Bj/Tj) * (Bi/Ti) * (Bk/Tk).
+        n, ti, tk, tj = 64, 8, 4, 32
+        got = level2_misses(
+            matmul_patterns(), tiles(ti, tk, tj), bounds(n), INTRA, INTER, LC
+        )
+        expected = (ti * (n // tj) + ti + tk * (n // tj)) * (n // ti) * (n // tk)
+        assert got == expected
+
+
+class TestEq11TotalCost:
+    def test_weighted_sum(self, arch):
+        n, ti, tk, tj = 64, 8, 4, 32
+        pats = matmul_patterns()
+        c1 = level1_misses(pats, tiles(ti, tk, tj), bounds(n), INTRA, LC)
+        c2 = level2_misses(pats, tiles(ti, tk, tj), bounds(n), INTRA, INTER, LC)
+        total = total_cost(
+            arch, pats, tiles(ti, tk, tj), bounds(n), INTRA, INTER, dts=4
+        )
+        assert total == pytest.approx(
+            arch.access_cost(2) * c1 + arch.access_cost(3) * c2
+        )
+
+
+class TestEq12OrderCost:
+    def test_listing1_order(self):
+        # Paper: Corder = Bj*Bk/(Tj*Tk) + Bj*Ti/Tj + Ti*Tk.
+        n, ti, tk, tj = 64, 8, 4, 32
+        full = [(v, "inter") for v in INTER] + [(v, "intra") for v in INTRA]
+        got = order_cost(full, tiles(ti, tk, tj), bounds(n))
+        expected = (n // tj) * (n // tk) + (n // tj) * ti + ti * tk
+        assert got == expected
+
+    def test_adjacent_pairs_cost_nothing(self):
+        # ii immediately outside i: distance product over empty range = ...
+        full = [("i", "inter"), ("i", "intra")]
+        assert order_cost(full, {"i": 4}, {"i": 16}) == 1.0
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            order_cost([("i", "banana")], {"i": 4}, {"i": 16})
+
+    def test_vars_without_both_levels_free(self):
+        full = [("i", "inter"), ("j", "intra")]
+        assert order_cost(full, {"i": 1, "j": 8}, {"i": 8, "j": 8}) == 0.0
+
+
+class TestStridedFootprints:
+    def test_strided_ref_charged_lines(self):
+        # syrk-like A[j,k] with j varying, k fixed: lc elements per entry.
+        pat = RefPattern("A", ("j", "k"))
+        ws = working_set_l1([pat], {"j": 8, "k": 4}, ["x", "j"], LC)
+        assert ws == 8 * LC
+
+    def test_contiguous_ref_charged_elements(self):
+        pat = RefPattern("A", ("j", "k"))
+        ws = working_set_l1([pat], {"j": 8, "k": 4}, ["x", "j", "k"], LC)
+        assert ws == 8 * 4
+
+
+class TestSpatialEquations:
+    def test_transposed_cost_eq15(self):
+        # Eq. 15: (Bx*By / Ty) * (Tx / lc) for the transposed array.
+        pat = RefPattern("A", ("x", "y"))  # out is (y, x): A transposed
+        got = spatial_partial_cost(
+            pat, output_leading="x", tile_width=LC, tile_height=32,
+            bounds={"x": 256, "y": 256}, lc=LC,
+        )
+        assert got == (256 * 256 / 32) * (LC / LC)
+
+    def test_contiguous_cost_eq17_constant(self):
+        pat = RefPattern("B", ("y", "x"))
+        for width in (LC, 2 * LC, 8 * LC):
+            got = spatial_partial_cost(
+                pat, output_leading="x", tile_width=width, tile_height=16,
+                bounds={"x": 256, "y": 256}, lc=LC,
+            )
+            assert got == 256 * 256 / LC
+
+    def test_transposed_prefers_narrow_tall(self):
+        pat = RefPattern("A", ("x", "y"))
+        narrow_tall = spatial_partial_cost(
+            pat, "x", LC, 64, {"x": 256, "y": 256}, LC
+        )
+        wide_short = spatial_partial_cost(
+            pat, "x", 4 * LC, 16, {"x": 256, "y": 256}, LC
+        )
+        assert narrow_tall < wide_short
+
+    def test_working_sets_eq18_19(self):
+        ws1, ws2 = spatial_working_sets(2, LC, 32, LC)
+        assert ws1 == LC * LC + LC      # lc*Tx + Tx
+        assert ws2 == 2 * LC * 32       # 2*Tx*Ty
+
+
+class TestCostProperties:
+    @given(
+        ti=st.sampled_from([1, 2, 4, 8]),
+        tk=st.sampled_from([1, 2, 4, 8]),
+        tj=st.sampled_from([16, 32, 64]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_misses_positive_and_finite(self, ti, tk, tj):
+        pats = matmul_patterns()
+        c1 = level1_misses(pats, tiles(ti, tk, tj), bounds(64), INTRA, LC)
+        c2 = level2_misses(pats, tiles(ti, tk, tj), bounds(64), INTRA, INTER, LC)
+        assert 0 < c1 < float("inf")
+        assert 0 < c2 < float("inf")
+
+    @given(tj=st.sampled_from([16, 32, 64]))
+    @settings(max_examples=10, deadline=None)
+    def test_prefetch_awareness_never_hurts(self, tj):
+        pats = matmul_patterns()
+        t = tiles(8, 4, tj)
+        aware = level1_misses(pats, t, bounds(64), INTRA, LC)
+        blind = level1_misses(pats, t, bounds(64), INTRA, LC, prefetch_aware=False)
+        assert aware <= blind

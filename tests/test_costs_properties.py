@@ -1,0 +1,92 @@
+"""Property-style relationships of the cost equations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.costs import (
+    extract_patterns,
+    level1_misses,
+    level2_misses,
+    order_cost,
+)
+from repro.ir.analysis import analyze_func
+
+from tests.helpers import make_matmul
+
+LC = 16
+INTRA = ["i", "k", "j"]
+INTER = ["i", "k", "j"]
+
+
+def patterns():
+    c, _, _ = make_matmul(64)
+    return extract_patterns(analyze_func(c))
+
+
+def bounds(n=64):
+    return {"i": n, "k": n, "j": n}
+
+
+class TestScalingLaws:
+    @given(n=st.sampled_from([32, 64, 128]))
+    @settings(max_examples=6, deadline=None)
+    def test_misses_scale_cubically_with_problem(self, n):
+        # Fixed tiles: total misses must scale with the iteration space.
+        pats = patterns()
+        tiles = {"i": 8, "k": 4, "j": 16}
+        small = level1_misses(pats, tiles, bounds(n), INTRA, LC)
+        big = level1_misses(pats, tiles, bounds(2 * n), INTRA, LC)
+        assert big == pytest.approx(8 * small)
+
+    def test_l1_misses_decrease_with_wider_column_tile(self):
+        # Wider rows amortize per-row misses (prefetch-aware counting).
+        pats = patterns()
+        narrow = level1_misses(
+            pats, {"i": 8, "k": 4, "j": 16}, bounds(), INTRA, LC
+        )
+        wide = level1_misses(
+            pats, {"i": 8, "k": 4, "j": 64}, bounds(), INTRA, LC
+        )
+        assert wide < narrow
+
+    def test_l2_misses_decrease_with_taller_i_tile(self):
+        pats = patterns()
+        short = level2_misses(
+            pats, {"i": 2, "k": 4, "j": 16}, bounds(), INTRA, INTER, LC
+        )
+        tall = level2_misses(
+            pats, {"i": 16, "k": 4, "j": 16}, bounds(), INTRA, INTER, LC
+        )
+        assert tall < short
+
+
+class TestOrderCostStructure:
+    def test_pairing_loops_beats_separating_them(self):
+        # ii immediately outside i must cost no more than ii far away.
+        tiles = {"i": 8, "k": 8, "j": 8}
+        b = bounds()
+        paired = order_cost(
+            [("k", "inter"), ("j", "inter"), ("i", "inter"),
+             ("i", "intra"), ("k", "intra"), ("j", "intra")],
+            tiles, b,
+        )
+        separated = order_cost(
+            [("i", "inter"), ("k", "inter"), ("j", "inter"),
+             ("k", "intra"), ("j", "intra"), ("i", "intra")],
+            tiles, b,
+        )
+        assert paired <= separated
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_nonnegative_for_random_orders(self, seed):
+        import random as _random
+
+        rng = _random.Random(seed)
+        tiles = {"i": 8, "k": 8, "j": 8}
+        inter = ["i", "k", "j"]
+        intra = ["i", "k", "j"]
+        rng.shuffle(inter)
+        rng.shuffle(intra)
+        full = [(v, "inter") for v in inter] + [(v, "intra") for v in intra]
+        assert order_cost(full, tiles, bounds()) >= 0

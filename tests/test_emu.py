@@ -1,0 +1,151 @@
+"""Tests for Algorithm 1 — the cache-emulation tile bound (repro.core.emu)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import arm_cortex_a15, intel_i7_5930k
+from repro.core.emu import EmuParams, emu, emu_l1, emu_l2
+
+
+class TestBasicProperties:
+    def test_returns_at_least_one_row(self, arch):
+        assert emu_l1(
+            arch, row_width_elems=10**6, row_stride_elems=2048,
+            max_rows=64, dts=4,
+        ) >= 1
+
+    def test_capped_by_max_rows(self, arch):
+        out = emu_l1(
+            arch, row_width_elems=16, row_stride_elems=33, max_rows=3, dts=4
+        )
+        assert out <= 3
+
+    def test_small_problem_fits_entirely(self, arch):
+        # 4 rows of one line each, odd stride: trivially conflict-free.
+        out = emu_l1(
+            arch, row_width_elems=16, row_stride_elems=1040, max_rows=4, dts=4
+        )
+        assert out == 4
+
+    def test_l2_bound_not_smaller_geometry(self, arch):
+        # L2 is bigger, so for the same modest row the bound should not
+        # collapse below L1's for friendly strides.
+        l1 = emu_l1(
+            arch, row_width_elems=64, row_stride_elems=1040, max_rows=512, dts=4
+        )
+        l2 = emu_l2(
+            arch, row_width_elems=64, row_stride_elems=1040, max_rows=512, dts=4
+        )
+        assert l2 >= l1
+
+    def test_power_of_two_stride_bounded_by_way_wrap(self, arch):
+        # 2048 f32 = 8KB row stride: row start positions wrap within the
+        # emulated way every 8 rows in L1, so the bound is
+        # positions * effective ways = 8 * 4 = 32 (the paper's Ti=32).
+        aliased = emu_l1(
+            arch, row_width_elems=512, row_stride_elems=2048,
+            max_rows=512, dts=4,
+        )
+        assert aliased == 32
+        # An odd (padded) stride wraps later and allows more rows.
+        padded = emu_l1(
+            arch, row_width_elems=64, row_stride_elems=2048 + 16,
+            max_rows=512, dts=4,
+        )
+        assert padded > aliased
+
+    def test_wider_rows_never_increase_bound(self, arch):
+        narrow = emu_l1(
+            arch, row_width_elems=32, row_stride_elems=1040,
+            max_rows=512, dts=4,
+        )
+        wide = emu_l1(
+            arch, row_width_elems=512, row_stride_elems=1040,
+            max_rows=512, dts=4,
+        )
+        assert wide <= narrow
+
+
+class TestVariants:
+    def test_l1_pads_prefetched_line(self, arch):
+        # The L1 variant charges one extra prefetched line per row, so a
+        # one-element row still occupies two lines; the emulated capacity
+        # (paper's Nsets * effective ways, line-indexed) caps the rows.
+        one_elem = emu_l1(
+            arch, row_width_elems=1, row_stride_elems=1040,
+            max_rows=10**6, dts=4,
+        )
+        emulated_sets = arch.l1.size // (arch.l1.ways * 4)
+        assert one_elem <= emulated_sets * arch.effective_ways(1)
+        assert one_elem >= 1
+
+    def test_l2_halves_sets(self, arch):
+        # Verify through capacity: an odd-stride one-line row fills at
+        # most (sets/2) * effective_ways rows.
+        bound = emu_l2(
+            arch, row_width_elems=16, row_stride_elems=16 * 1040,
+            max_rows=10**6, dts=4,
+        )
+        assert bound <= (arch.l2.num_sets // 2) * arch.effective_ways(2) + 1
+
+    def test_arm_shared_l2_tighter(self):
+        arm = arm_cortex_a15()
+        # ARM divides L2 ways by NCores (4): 16 -> 4.
+        bound = emu_l2(
+            arm, row_width_elems=16, row_stride_elems=1040,
+            max_rows=10**6, dts=4,
+        )
+        relaxed = emu_l2(
+            arm.with_overrides(l2_shared_across_cores=False),
+            row_width_elems=16, row_stride_elems=1040,
+            max_rows=10**6, dts=4,
+        )
+        assert bound <= relaxed
+
+
+class TestValidation:
+    def test_rejects_bad_level(self, arch):
+        with pytest.raises(ValueError):
+            emu(arch, EmuParams(level=3, row_width_elems=1,
+                                row_stride_elems=1, max_rows=1, dts=4))
+
+    def test_rejects_bad_width(self, arch):
+        with pytest.raises(ValueError):
+            emu_l1(arch, row_width_elems=0, row_stride_elems=1,
+                   max_rows=1, dts=4)
+
+    def test_rejects_bad_rows(self, arch):
+        with pytest.raises(ValueError):
+            emu_l1(arch, row_width_elems=1, row_stride_elems=1,
+                   max_rows=0, dts=4)
+
+
+class TestPropertyBased:
+    @given(
+        width=st.integers(1, 2048),
+        stride=st.integers(1, 4096),
+        level=st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bound_in_range_and_deterministic(self, width, stride, level):
+        arch = intel_i7_5930k()
+        params = EmuParams(
+            level=level, row_width_elems=width, row_stride_elems=stride,
+            max_rows=256, dts=4,
+        )
+        out1 = emu(arch, params)
+        out2 = emu(arch, params)
+        assert out1 == out2
+        assert 1 <= out1 <= 256
+
+    @given(stride=st.integers(17, 4096))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_effective_ways(self, stride):
+        # More associativity (no SMT halving) never reduces the bound.
+        arch = intel_i7_5930k()
+        single_thread = arch.with_overrides(threads_per_core=1)
+        smt = emu_l1(arch, row_width_elems=64, row_stride_elems=stride,
+                     max_rows=256, dts=4)
+        full = emu_l1(single_thread, row_width_elems=64,
+                      row_stride_elems=stride, max_rows=256, dts=4)
+        assert full >= smt

@@ -1,0 +1,143 @@
+"""Tests for the expression AST (repro.ir.expr)."""
+
+import pytest
+
+from repro.ir.expr import (
+    Access,
+    BinOp,
+    Cast,
+    Const,
+    VarRef,
+    maximum,
+    minimum,
+    wrap,
+)
+from repro.ir.func import Buffer, float32
+
+
+class TestWrap:
+    def test_int(self):
+        assert wrap(3) == Const(3)
+
+    def test_float(self):
+        assert wrap(2.5) == Const(2.5)
+
+    def test_bool_becomes_int(self):
+        assert wrap(True) == Const(1)
+
+    def test_expr_passthrough(self):
+        e = VarRef("i")
+        assert wrap(e) is e
+
+    def test_rejects_junk(self):
+        with pytest.raises(TypeError):
+            wrap("not an expr")
+
+
+class TestOperators:
+    def test_add(self):
+        e = VarRef("i") + 1
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert e.rhs == Const(1)
+
+    def test_radd(self):
+        e = 1 + VarRef("i")
+        assert e.lhs == Const(1)
+
+    def test_sub_and_rsub(self):
+        assert (VarRef("i") - 1).op == "-"
+        assert (1 - VarRef("i")).lhs == Const(1)
+
+    def test_mul_div(self):
+        assert (VarRef("i") * 2).op == "*"
+        assert (VarRef("i") / 2).op == "/"
+
+    def test_and_or(self):
+        assert (VarRef("i") & 1).op == "&"
+        assert (VarRef("i") | 1).op == "|"
+
+    def test_neg(self):
+        e = -VarRef("i")
+        assert e.op == "-" and e.lhs == Const(0)
+
+    def test_min_max_helpers(self):
+        assert minimum(VarRef("i"), 3).op == "min"
+        assert maximum(VarRef("i"), 3).op == "max"
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("^", Const(1), Const(2))
+
+
+class TestEqualityAndHash:
+    def test_const_equality(self):
+        assert Const(1) == Const(1)
+        assert Const(1) != Const(2)
+
+    def test_varref_equality(self):
+        assert VarRef("i") == VarRef("i")
+        assert VarRef("i") != VarRef("j")
+
+    def test_binop_structural(self):
+        a = VarRef("i") + 1
+        b = VarRef("i") + 1
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_cast_equality(self):
+        assert Cast("f32", Const(1)) == Cast("f32", Const(1))
+        assert Cast("f32", Const(1)) != Cast("f64", Const(1))
+
+    def test_varref_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            VarRef("")
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        e = (VarRef("i") + 1) * VarRef("j")
+        kinds = [type(n).__name__ for n in e.walk()]
+        assert kinds[0] == "BinOp"
+        assert kinds.count("VarRef") == 2
+        assert kinds.count("Const") == 1
+
+    def test_count_ops(self):
+        e = (VarRef("i") + 1) * VarRef("j") - 2
+        assert e.count_ops() == 3
+
+    def test_count_ops_leaf(self):
+        assert VarRef("i").count_ops() == 0
+
+    def test_accesses_in_order(self):
+        buf = Buffer("A", (4, 4), float32)
+        e = buf[VarRef("i"), VarRef("j")] + buf[VarRef("j"), VarRef("i")]
+        accs = list(e.accesses())
+        assert len(accs) == 2
+        assert all(isinstance(a, Access) for a in accs)
+
+    def test_cast_children(self):
+        inner = VarRef("i") + 1
+        assert Cast("f32", inner).children() == (inner,)
+
+
+class TestAccess:
+    def test_requires_matching_rank(self):
+        buf = Buffer("A", (4, 4), float32)
+        with pytest.raises(ValueError):
+            Access(buf, [VarRef("i")])
+
+    def test_requires_some_index(self):
+        buf = Buffer("A", (4,), float32)
+        with pytest.raises(ValueError):
+            Access(buf, [])
+
+    def test_indices_wrapped(self):
+        buf = Buffer("A", (4,), float32)
+        acc = Access(buf, [2])
+        assert acc.indices == (Const(2),)
+
+    def test_identity_on_buffer(self):
+        a1 = Buffer("A", (4,), float32)
+        a2 = Buffer("A", (4,), float32)
+        assert Access(a1, [0]) != Access(a2, [0])  # different objects
+        assert Access(a1, [0]) == Access(a1, [0])

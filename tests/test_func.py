@@ -1,0 +1,202 @@
+"""Tests for Var/RVar/Buffer/Func/Pipeline (repro.ir.func)."""
+
+import pytest
+
+from repro.ir import Buffer, Func, Pipeline, RVar, Var, float32, float64, int32
+from repro.util import ReproError, ScheduleError
+
+from tests.helpers import make_matmul
+
+
+class TestDTypes:
+    def test_sizes(self):
+        assert float32.size == 4
+        assert float64.size == 8
+        assert int32.size == 4
+
+    def test_str(self):
+        assert str(float32) == "float32"
+
+
+class TestVars:
+    def test_var_is_expr(self):
+        i = Var("i")
+        assert (i + 1).lhs is i
+
+    def test_rvar_carries_extent(self):
+        k = RVar("k", 64)
+        assert k.extent == 64
+        assert k.min == 0
+
+    def test_rvar_rejects_bad_extent(self):
+        with pytest.raises(ValueError):
+            RVar("k", 0)
+
+    def test_repr(self):
+        assert "i" in repr(Var("i"))
+        assert "64" in repr(RVar("k", 64))
+
+
+class TestBuffer:
+    def test_shape_and_elements(self):
+        b = Buffer("A", (4, 8), float32)
+        assert b.num_elements == 32
+        assert b.size_bytes == 128
+
+    def test_strides_row_major(self):
+        b = Buffer("A", (4, 8, 2), float32)
+        assert b.strides_elements() == (16, 2, 1)
+
+    def test_1d_stride(self):
+        assert Buffer("A", (10,), float32).strides_elements() == (1,)
+
+    def test_indexing_builds_access(self):
+        b = Buffer("A", (4, 4), float32)
+        acc = b[Var("i"), Var("j")]
+        assert acc.buffer is b
+
+    def test_single_index_no_tuple(self):
+        b = Buffer("A", (4,), float32)
+        assert b[Var("i")].indices[0] == Var("i")
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Buffer("A", (0, 4))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Buffer("", (4,))
+
+
+class TestFuncDefinitions:
+    def test_pure_then_update(self):
+        c, _, _ = make_matmul(16)
+        assert len(c.definitions) == 2
+        assert not c.pure_definition.is_update
+        assert c.updates[0].is_update
+
+    def test_main_definition_is_last(self):
+        c, _, _ = make_matmul(16)
+        assert c.main_definition() is c.definitions[-1]
+
+    def test_rvars_collected(self):
+        c, _, _ = make_matmul(16)
+        assert [rv.name for rv in c.main_definition().rvars] == ["k"]
+
+    def test_pure_def_has_no_rvars(self):
+        c, _, _ = make_matmul(16)
+        assert c.pure_definition.rvars == ()
+
+    def test_all_vars_order(self):
+        c, _, _ = make_matmul(16)
+        assert c.main_definition().var_names() == ("i", "j", "k")
+
+    def test_lhs_must_be_pure_vars(self):
+        f = Func("F")
+        with pytest.raises(ScheduleError):
+            f[RVar("r", 4)] = 0.0
+
+    def test_lhs_rejects_duplicates(self):
+        f = Func("F")
+        i = Var("i")
+        with pytest.raises(ScheduleError):
+            f[i, i] = 0.0
+
+    def test_update_must_reuse_pure_vars(self):
+        f = Func("F")
+        i, j = Var("i"), Var("j")
+        f[i, j] = 0.0
+        with pytest.raises(ScheduleError):
+            f[j, i] = 1.0
+
+    def test_var_cannot_be_both_pure_and_reduction(self):
+        f = Func("F")
+        i = Var("i")
+        a = Buffer("A", (8, 8))
+        f[i] = 0.0
+        with pytest.raises(ScheduleError):
+            f[i] = f[i] + a[i, RVar("i", 8)]
+
+    def test_read_before_definition_raises(self):
+        f = Func("F")
+        with pytest.raises(ReproError):
+            f[Var("i")]
+
+    def test_dims(self):
+        c, _, _ = make_matmul(16)
+        assert c.dims == 2
+
+
+class TestFuncBounds:
+    def test_shape_after_bounds(self):
+        c, _, _ = make_matmul(16)
+        assert c.shape == (16, 16)
+        assert c.num_elements == 256
+
+    def test_bound_of_pure_and_rvar(self):
+        c, _, _ = make_matmul(16)
+        assert c.bound_of("i") == 16
+        assert c.bound_of("k") == 16
+
+    def test_bound_of_unknown(self):
+        c, _, _ = make_matmul(16)
+        with pytest.raises(KeyError):
+            c.bound_of("zz")
+
+    def test_shape_without_bounds_raises(self):
+        f = Func("F")
+        f[Var("i")] = 0.0
+        with pytest.raises(ReproError):
+            _ = f.shape
+
+    def test_set_bounds_rejects_nonpositive(self):
+        f = Func("F")
+        i = Var("i")
+        f[i] = 0.0
+        with pytest.raises(ValueError):
+            f.set_bounds({i: 0})
+
+    def test_strides(self):
+        c, _, _ = make_matmul(16)
+        assert c.strides_elements() == (16, 1)
+
+
+class TestFuncInputs:
+    def test_input_buffers_excludes_self(self):
+        c, a, b = make_matmul(16)
+        inputs = c.input_buffers()
+        assert a in inputs and b in inputs
+        assert c not in inputs
+
+    def test_input_buffers_dedupe(self):
+        n = 8
+        i, j = Var("i"), Var("j")
+        k = RVar("k", n)
+        a = Buffer("A", (n, n))
+        f = Func("Syrk")
+        f[i, j] = 0.0
+        f[i, j] = f[i, j] + a[i, k] * a[j, k]
+        assert f.input_buffers() == [a]
+
+
+class TestPipeline:
+    def test_output_is_last(self):
+        c, _, _ = make_matmul(8)
+        p = Pipeline([c])
+        assert p.output is c
+
+    def test_iteration_order(self):
+        c1, _, _ = make_matmul(8)
+        c2, _, _ = make_matmul(8)
+        p = Pipeline([c1, c2], name="two")
+        assert list(p) == [c1, c2]
+        assert len(p) == 2
+        assert p.name == "two"
+
+    def test_default_name(self):
+        c, _, _ = make_matmul(8)
+        assert Pipeline([c]).name == "C"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Pipeline([])

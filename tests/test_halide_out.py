@@ -1,0 +1,73 @@
+"""Tests for the Halide schedule emitter (repro.ir.halide_out)."""
+
+import pytest
+
+from repro.core import optimize
+from repro.ir import Schedule
+from repro.ir.halide_out import emit_halide
+
+from tests.helpers import make_copy, make_matmul, make_transpose_mask
+
+
+class TestEmitHalide:
+    def test_listing3_shape(self):
+        # Reproduce the paper's Listing 3 structure.
+        c, _, _ = make_matmul(2048)
+        s = Schedule(c)
+        s.split("j", "j_o", "j_i", 512)
+        s.split("i", "i_o", "i_i", 32)
+        s.reorder("j_i", "i_i", "j_o", "i_o")
+        s.vectorize("j_i_partial" if False else "j_i")
+        s.parallel("i_o")
+        text = emit_halide(s)
+        assert "C.update()" in text
+        assert ".split(j, j_o, j_i, 512)" in text
+        assert ".reorder(j_i, i_i, j_o, i_o)" in text
+        assert ".vectorize(j_i)" in text
+        assert text.rstrip().endswith(".parallel(i_o);")
+
+    def test_var_declarations(self):
+        c, _, _ = make_matmul(64)
+        s = Schedule(c)
+        s.split("i", "io", "ii", 8)
+        text = emit_halide(s)
+        assert text.startswith("Var io, ii;")
+
+    def test_no_declarations_flag(self):
+        c, _, _ = make_matmul(64)
+        s = Schedule(c)
+        s.split("i", "io", "ii", 8)
+        assert "Var " not in emit_halide(s, declare_vars=False)
+
+    def test_pure_definition_stage(self):
+        c, _, _ = make_matmul(64)
+        s = Schedule(c, definition_index=0)
+        s.parallel("i")
+        text = emit_halide(s)
+        assert text.splitlines()[0].startswith("C")
+        assert ".update" not in text
+
+    def test_nontemporal_rendered(self, arch):
+        f, _ = make_copy(256)
+        result = optimize(f, arch)
+        text = emit_halide(result.schedule)
+        assert ".store_nontemporal()" in text
+
+    def test_fuse_rendered(self):
+        c, _, _ = make_matmul(16)
+        s = Schedule(c)
+        s.fuse("i", "j", "ij")
+        assert ".fuse(i, j, ij)" in emit_halide(s)
+
+    def test_default_schedule_comment(self):
+        c, _, _ = make_matmul(16)
+        s = Schedule(c)
+        assert "default schedule" in emit_halide(s)
+
+    def test_optimizer_output_emits(self, arch):
+        for factory in (make_matmul, make_transpose_mask):
+            func = factory(256)[0]
+            result = optimize(func, arch)
+            text = emit_halide(result.schedule)
+            assert ".split(" in text
+            assert ";" in text

@@ -1,0 +1,118 @@
+"""End-to-end shape assertions on the simulator (scaled-down sizes).
+
+These encode the paper's *qualitative* claims — who wins and why — at
+sizes small enough for CI.  The full-size numbers live in the bench
+harness and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.arch import intel_i7_5930k
+from repro.baselines import autoschedule, baseline_schedule
+from repro.bench import make_benchmark
+from repro.core import optimize
+from repro.core.optimizer import optimize_pipeline
+from repro.sim import Machine
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return Machine(intel_i7_5930k(), line_budget=25_000)
+
+
+def run_with(machine, case, technique):
+    arch = machine.arch
+    schedules = {}
+    for stage in case.pipeline:
+        if technique == "proposed":
+            schedules[stage] = optimize(stage, arch, allow_nti=False).schedule
+        elif technique == "proposed_nti":
+            schedules[stage] = optimize(stage, arch, allow_nti=True).schedule
+        elif technique == "autoscheduler":
+            schedules[stage] = autoschedule(stage, arch).schedule
+        elif technique == "baseline":
+            schedules[stage] = baseline_schedule(stage, arch)
+        else:
+            raise KeyError(technique)
+    return machine.time_pipeline(case.pipeline, schedules)
+
+
+class TestTemporalBenchmarksShape:
+    """Proposed must beat the untiled baseline on reuse-rich kernels at
+    sizes that exceed the caches."""
+
+    @pytest.mark.parametrize("name,size", [
+        ("matmul", 512),
+        ("gemm", 512),
+    ])
+    def test_proposed_beats_baseline(self, machine, name, size):
+        proposed = run_with(machine, make_benchmark(name, n=size), "proposed")
+        baseline = run_with(machine, make_benchmark(name, n=size), "baseline")
+        assert proposed < baseline
+
+    def test_proposed_at_least_ties_autoscheduler_on_matmul(self, machine):
+        proposed = run_with(machine, make_benchmark("matmul", n=512), "proposed")
+        auto = run_with(machine, make_benchmark("matmul", n=512), "autoscheduler")
+        assert proposed <= auto * 1.05
+
+
+class TestSpatialBenchmarksShape:
+    def test_tiling_beats_baseline_on_transpose(self, machine):
+        proposed = run_with(machine, make_benchmark("tp", n=1024), "proposed")
+        baseline = run_with(machine, make_benchmark("tp", n=1024), "baseline")
+        assert proposed < baseline
+
+    def test_nti_helps_on_every_write_once_kernel(self, machine):
+        for name in ("tpm", "tp", "copy", "mask"):
+            plain = run_with(machine, make_benchmark(name, n=1024), "proposed")
+            nti = run_with(machine, make_benchmark(name, n=1024), "proposed_nti")
+            assert nti < plain, name
+
+    def test_copy_untransformed_matches_autoscheduler(self, machine):
+        # With NTI off, the classifier leaves copy alone; so does the
+        # Auto-Scheduler: both should land in the same place.
+        ours = run_with(machine, make_benchmark("copy", n=1024), "proposed")
+        auto = run_with(machine, make_benchmark("copy", n=1024), "autoscheduler")
+        assert ours == pytest.approx(auto, rel=0.1)
+
+
+class TestSyrkFamilyShape:
+    def test_syrk_close_to_baseline_at_paper_scale(self, machine):
+        # Paper Sec. 5.1: syrk performs similar to the baseline schedule.
+        proposed = run_with(machine, make_benchmark("syrk", n=512), "proposed")
+        baseline = run_with(machine, make_benchmark("syrk", n=512), "baseline")
+        assert proposed <= baseline * 1.2
+
+
+class TestPipelines:
+    def test_3mm_proposed_beats_baseline(self, machine):
+        proposed = run_with(machine, make_benchmark("3mm", n=256), "proposed")
+        baseline = run_with(machine, make_benchmark("3mm", n=256), "baseline")
+        assert proposed < baseline * 1.1
+
+    def test_doitgen_runs_all_stages(self, machine):
+        case = make_benchmark("doitgen", n=64)
+        schedules = optimize_pipeline(case.pipeline, machine.arch)
+        report = machine.run_pipeline(case.pipeline, schedules)
+        assert len(report.nest_times) == 3  # init, update, copy-back
+        assert report.total_ms > 0
+
+
+class TestOptimizerRuntime:
+    """Table 5's claim: milliseconds for shallow nests."""
+
+    def test_matmul_under_a_second(self):
+        import time
+
+        case = make_benchmark("matmul", n=2048)
+        start = time.perf_counter()
+        optimize(case.funcs[0], intel_i7_5930k())
+        assert time.perf_counter() - start < 1.0
+
+    def test_spatial_under_a_second(self):
+        import time
+
+        case = make_benchmark("tpm", n=4096)
+        start = time.perf_counter()
+        optimize(case.funcs[0], intel_i7_5930k())
+        assert time.perf_counter() - start < 1.0

@@ -1,0 +1,117 @@
+"""Edge-case tests for the interpreter's store semantics."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Buffer, Func, RVar, Schedule, Var, float32
+from repro.sim import execute
+
+
+class TestReductionStoreSemantics:
+    def test_overwrite_semantics_last_iteration_wins(self):
+        # f[x] = a[x, r] with no self-reference: each r overwrites, so the
+        # final value is the last reduction iteration's.
+        n, m = 8, 5
+        x = Var("x")
+        r = RVar("r", m)
+        a = Buffer("A", (n, m), float32)
+        f = Func("F")
+        f[x] = 0.0
+        f[x] = a[x, r]
+        f.set_bounds({x: n})
+        a_v = np.arange(n * m, dtype=np.float32).reshape(n, m)
+        out = execute(f, None, {a: a_v})
+        np.testing.assert_array_equal(out, a_v[:, -1])
+
+    def test_accumulation_with_coefficient(self):
+        n, m = 6, 7
+        x = Var("x")
+        r = RVar("r", m)
+        a = Buffer("A", (n, m), float32)
+        f = Func("F")
+        f[x] = 0.0
+        f[x] = f[x] + 2.0 * a[x, r]
+        f.set_bounds({x: n})
+        a_v = np.ones((n, m), dtype=np.float32)
+        out = execute(f, None, {a: a_v})
+        np.testing.assert_allclose(out, np.full(n, 2.0 * m))
+
+    def test_guarded_reduction(self):
+        # Imperfectly split reduction: guards must clip the extra lanes.
+        n, m = 4, 10
+        x = Var("x")
+        r = RVar("r", m)
+        a = Buffer("A", (n, m), float32)
+        f = Func("F")
+        f[x] = 0.0
+        f[x] = f[x] + a[x, r]
+        f.set_bounds({x: n})
+        s = Schedule(f)
+        s.split("r", "ro", "ri", 4)  # 3*4 = 12 > 10: guard on r
+        a_v = np.random.default_rng(0).standard_normal((n, m)).astype(np.float32)
+        out = execute(f, s, {a: a_v})
+        np.testing.assert_allclose(out, a_v.sum(axis=1), rtol=1e-5)
+
+    def test_reduction_innermost_after_reorder(self):
+        # Put the reduction var innermost explicitly: exercises the
+        # scalar-store/vector-rhs fold path.
+        n = 8
+        i, j = Var("i"), Var("j")
+        k = RVar("k", n)
+        a = Buffer("A", (n, n), float32)
+        b = Buffer("B", (n, n), float32)
+        c = Func("C")
+        c[i, j] = 0.0
+        c[i, j] = c[i, j] + a[i, k] * b[k, j]
+        c.set_bounds({i: n, j: n})
+        s = Schedule(c)
+        s.reorder("k", "j", "i")  # k innermost
+        rng = np.random.default_rng(1)
+        a_v = rng.standard_normal((n, n)).astype(np.float32)
+        b_v = rng.standard_normal((n, n)).astype(np.float32)
+        out = execute(c, s, {a: a_v, b: b_v})
+        np.testing.assert_allclose(
+            out, a_v.astype(np.float64) @ b_v, rtol=1e-4
+        )
+
+    def test_zero_dim_reduction_constant(self):
+        # Pure definition only: constant fill.
+        n = 6
+        x = Var("x")
+        f = Func("F")
+        f[x] = 3.5
+        f.set_bounds({x: n})
+        out = execute(f)
+        np.testing.assert_array_equal(out, np.full(n, 3.5, dtype=np.float32))
+
+
+class TestDtypeHandling:
+    def test_integer_ops_stay_exact(self):
+        from repro.ir import int32
+
+        n = 8
+        x, y = Var("x"), Var("y")
+        a = Buffer("A", (n, n), int32)
+        b = Buffer("B", (n, n), int32)
+        f = Func("F", int32)
+        f[y, x] = a[y, x] | b[y, x]
+        f.set_bounds({x: n, y: n})
+        rng = np.random.default_rng(2)
+        a_v = rng.integers(0, 1 << 30, size=(n, n))
+        b_v = rng.integers(0, 1 << 30, size=(n, n))
+        out = execute(f, None, {a: a_v, b: b_v})
+        np.testing.assert_array_equal(out, a_v | b_v)
+
+    def test_float64_func(self):
+        from repro.ir import float64
+
+        n = 4
+        x = Var("x")
+        a = Buffer("A", (n,), float64)
+        f = Func("F", float64)
+        f[x] = a[x] * 0.5
+        f.set_bounds({x: n})
+        a_v = np.arange(n, dtype=np.float64)
+        out = execute(f, None, {a: a_v})
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, a_v * 0.5)

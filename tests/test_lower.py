@@ -1,0 +1,128 @@
+"""Tests for lowering and the lowered loop-nest IR."""
+
+import pytest
+
+from repro.ir import Pipeline, Schedule, lower, lower_pipeline
+from repro.ir.schedule import LoopKind
+from repro.util import ScheduleError
+
+from tests.helpers import make_copy, make_matmul
+
+
+class TestLowerBasics:
+    def test_one_nest_per_definition(self):
+        c, _, _ = make_matmul(8)
+        nests = lower(c)
+        assert len(nests) == 2
+        assert nests[0].name == "C"
+        assert nests[1].name == "C.update0"
+
+    def test_default_loops(self):
+        c, _, _ = make_matmul(8)
+        nests = lower(c)
+        assert nests[0].loop_names() == ["i", "j"]
+        assert nests[1].loop_names() == ["i", "j", "k"]
+
+    def test_schedule_applies_to_its_definition_only(self):
+        c, _, _ = make_matmul(8)
+        s = Schedule(c)
+        s.split("i", "io", "ii", 4)
+        nests = lower(c, s)
+        assert nests[0].loop_names() == ["i", "j"]  # pure def untouched
+        assert "io" in nests[1].loop_names()
+
+    def test_schedule_func_mismatch(self):
+        c1, _, _ = make_matmul(8)
+        c2, _, _ = make_matmul(8)
+        with pytest.raises(ScheduleError):
+            lower(c1, Schedule(c2))
+
+    def test_stmt_store_targets_func(self):
+        c, _, _ = make_matmul(8)
+        nest = lower(c)[1]
+        assert nest.stmt.store.buffer is c
+
+    def test_stmt_reads_include_self(self):
+        c, _, _ = make_matmul(8)
+        nest = lower(c)[1]
+        names = [a.buffer.name for a in nest.stmt.reads]
+        assert names == ["C", "A", "B"]
+
+    def test_nontemporal_flag_propagates(self):
+        f, _ = make_copy(8)
+        s = Schedule(f)
+        s.store_nontemporal()
+        nest = lower(f, s)[0]
+        assert nest.stmt.nontemporal
+
+    def test_guards_propagate(self):
+        c, _, _ = make_matmul(10)
+        s = Schedule(c)
+        s.split("i", "io", "ii", 4)
+        nest = lower(c, s)[1]
+        assert nest.stmt.guards == {"i": 10}
+
+
+class TestLoopNestAccessors:
+    def test_total_iterations(self):
+        c, _, _ = make_matmul(8)
+        nest = lower(c)[1]
+        assert nest.total_iterations() == 8 * 8 * 8
+
+    def test_depth_and_innermost(self):
+        c, _, _ = make_matmul(8)
+        nest = lower(c)[1]
+        assert nest.depth == 3
+        assert nest.innermost().name == "k"
+
+    def test_loop_lookup(self):
+        c, _, _ = make_matmul(8)
+        nest = lower(c)[1]
+        assert nest.loop("j").extent == 8
+        with pytest.raises(KeyError):
+            nest.loop("zz")
+
+    def test_kind_queries(self):
+        c, _, _ = make_matmul(8)
+        s = Schedule(c)
+        s.vectorize("k").parallel("i")
+        nest = lower(c, s)[1]
+        assert [l.name for l in nest.parallel_loops()] == ["i"]
+        assert [l.name for l in nest.vectorized_loops()] == ["k"]
+
+    def test_stmt_ops(self):
+        c, _, _ = make_matmul(8)
+        assert lower(c)[1].stmt.ops == 2
+
+
+class TestLowerPipeline:
+    def test_stage_order(self):
+        c1, _, _ = make_matmul(8)
+        c2, _, _ = make_matmul(8)
+        nests = lower_pipeline(Pipeline([c1, c2]))
+        assert len(nests) == 4
+        assert nests[0].func is c1 and nests[2].func is c2
+
+    def test_per_stage_schedules(self):
+        c1, _, _ = make_matmul(8)
+        c2, _, _ = make_matmul(8)
+        s2 = Schedule(c2)
+        s2.parallel("i")
+        nests = lower_pipeline(Pipeline([c1, c2]), {c2: s2})
+        assert nests[1].parallel_loops() == []
+        assert [l.name for l in nests[3].parallel_loops()] == ["i"]
+
+
+class TestGuardedIterations:
+    def test_equals_original_space(self):
+        c, _, _ = make_matmul(10)
+        s = Schedule(c)
+        s.split("i", "io", "ii", 4)  # overshoots: 3*4 = 12 > 10
+        nest = lower(c, s)[1]
+        assert nest.total_iterations() == 12 * 10 * 10
+        assert nest.guarded_iterations() == 10 * 10 * 10
+
+    def test_matches_total_when_perfect(self):
+        c, _, _ = make_matmul(8)
+        nest = lower(c)[1]
+        assert nest.guarded_iterations() == nest.total_iterations()

@@ -1,0 +1,193 @@
+"""Tests for the end-to-end optimization flow (repro.core.optimizer) and
+the schedule construction helpers (repro.core.standard)."""
+
+import pytest
+
+from repro.bench import make_benchmark, size_for
+from repro.core import Locality, optimize
+from repro.core.optimizer import optimize_pipeline
+from repro.core.standard import build_schedule, untransformed_schedule
+from repro.ir import LoopKind, lower
+from repro.ir.validate import validate_schedule
+
+from tests.helpers import make_copy, make_matmul, make_stencil, make_transpose_mask
+
+
+class TestBuildSchedule:
+    def test_splits_strict_tiles_only(self, arch):
+        c, _, _ = make_matmul(64)
+        schedule = build_schedule(
+            c, arch,
+            tiles={"i": 8, "j": 64, "k": 1},
+            inter_order=["i", "k"],
+            intra_order=["i", "j"],
+            parallelize=False,  # keep the split structure visible (no fuse)
+            vectorize=False,    # ... and no vector split of j
+        )
+        names = schedule.loop_names()
+        assert "i_o" in names and "i_i" in names   # split
+        assert "j" in names and "j_o" not in names  # tile == bound
+        assert "k" in names and "k_i" not in names  # tile == 1
+
+    def test_validates(self, arch):
+        c, _, _ = make_matmul(64)
+        schedule = build_schedule(
+            c, arch,
+            tiles={"i": 8, "j": 16, "k": 8},
+            inter_order=["i", "k", "j"],
+            intra_order=["i", "k", "j"],
+        )
+        validate_schedule(schedule)
+
+    def test_vectorizes_innermost(self, arch):
+        c, _, _ = make_matmul(64)
+        schedule = build_schedule(
+            c, arch,
+            tiles={"i": 8, "j": 16, "k": 8},
+            inter_order=["i", "k", "j"],
+            intra_order=["i", "k", "j"],
+        )
+        vec = [l for l in schedule.loops() if l.kind is LoopKind.VECTORIZED]
+        assert len(vec) == 1
+        assert vec[0].extent <= arch.vector_lanes(4)
+
+    def test_parallelizes_outer(self, arch):
+        c, _, _ = make_matmul(64)
+        schedule = build_schedule(
+            c, arch,
+            tiles={"i": 8, "j": 16, "k": 8},
+            inter_order=["i", "k", "j"],
+            intra_order=["i", "k", "j"],
+        )
+        par = [l for l in schedule.loops() if l.kind is LoopKind.PARALLEL]
+        assert len(par) == 1
+        assert schedule.loops()[0].kind is LoopKind.PARALLEL
+
+    def test_fuses_when_outer_trips_too_small(self, arch):
+        # 64/32 = 2 trips < 12 threads: must fuse with the next inter loop.
+        c, _, _ = make_matmul(64)
+        schedule = build_schedule(
+            c, arch,
+            tiles={"i": 32, "j": 8, "k": 8},
+            inter_order=["i", "k", "j"],
+            intra_order=["i", "k", "j"],
+        )
+        par = [l for l in schedule.loops() if l.kind is LoopKind.PARALLEL]
+        assert par and "_f" in par[0].name
+
+    def test_nontemporal_only_if_supported(self, arch, arch_arm):
+        f1, _ = make_copy(64)
+        s = build_schedule(
+            f1, arch, tiles={"x": 64, "y": 1}, inter_order=["y"],
+            intra_order=["x"], nontemporal=True,
+        )
+        assert s.nontemporal
+        f2, _ = make_copy(64)
+        s_arm = build_schedule(
+            f2, arch_arm, tiles={"x": 64, "y": 1}, inter_order=["y"],
+            intra_order=["x"], nontemporal=True,
+        )
+        assert not s_arm.nontemporal
+
+
+class TestUntransformedSchedule:
+    def test_keeps_loop_order(self, arch):
+        f, _ = make_copy(64)
+        s = untransformed_schedule(f, arch)
+        origins = [l.origin for l in s.loops()]
+        assert origins[0] == "y"
+
+    def test_vectorizes_and_parallelizes(self, arch):
+        f, _ = make_copy(64)
+        s = untransformed_schedule(f, arch)
+        kinds = {l.kind for l in s.loops()}
+        assert LoopKind.VECTORIZED in kinds
+        assert LoopKind.PARALLEL in kinds
+
+
+class TestOptimizeFlow:
+    def test_matmul_temporal_path(self, arch):
+        c, _, _ = make_matmul(256)
+        result = optimize(c, arch)
+        assert result.locality is Locality.TEMPORAL
+        assert result.temporal is not None
+        assert result.spatial is None
+        assert not result.uses_nti
+        validate_schedule(result.schedule)
+
+    def test_transpose_spatial_path(self, arch):
+        f, _, _ = make_transpose_mask(256)
+        result = optimize(f, arch)
+        assert result.locality is Locality.SPATIAL
+        assert result.spatial is not None
+        assert result.uses_nti
+        validate_schedule(result.schedule)
+
+    def test_copy_untransformed_path(self, arch):
+        f, _ = make_copy(256)
+        result = optimize(f, arch)
+        assert result.locality is Locality.NONE
+        assert result.temporal is None and result.spatial is None
+        assert result.uses_nti
+
+    def test_stencil_untransformed(self, arch):
+        f, _ = make_stencil(64)
+        result = optimize(f, arch)
+        assert result.locality is Locality.NONE
+
+    def test_allow_nti_false(self, arch):
+        f, _ = make_copy(256)
+        result = optimize(f, arch, allow_nti=False)
+        assert not result.uses_nti
+
+    def test_arm_never_nti(self, arch_arm):
+        f, _ = make_copy(256)
+        result = optimize(f, arch_arm)
+        assert not result.uses_nti
+
+    def test_runtime_recorded(self, arch):
+        c, _, _ = make_matmul(64)
+        result = optimize(c, arch)
+        assert 0 < result.runtime_seconds < 60
+
+    def test_schedules_lower_cleanly(self, arch):
+        for factory in (make_matmul, make_transpose_mask):
+            func = factory(64)[0]
+            result = optimize(func, arch)
+            nests = lower(func, result.schedule)
+            assert nests
+
+    def test_describe(self, arch):
+        c, _, _ = make_matmul(64)
+        assert "runtime" in optimize(c, arch).describe()
+
+    def test_parallelize_vectorize_switches(self, arch):
+        c, _, _ = make_matmul(64)
+        result = optimize(c, arch, parallelize=False, vectorize=False)
+        kinds = {l.kind for l in result.schedule.loops()}
+        assert LoopKind.PARALLEL not in kinds
+        assert LoopKind.VECTORIZED not in kinds
+
+
+class TestOptimizePipeline:
+    def test_all_stages_scheduled(self, arch):
+        case = make_benchmark("3mm", **size_for("3mm", small=True))
+        schedules = optimize_pipeline(case.pipeline, arch)
+        assert set(schedules) == set(case.funcs)
+
+    def test_doitgen_stage_classes(self, arch):
+        case = make_benchmark("doitgen", n=32)
+        schedules = optimize_pipeline(case.pipeline, arch)
+        sum_stage, copy_stage = case.funcs
+        assert not schedules[sum_stage].nontemporal  # accumulation
+        assert schedules[copy_stage].nontemporal     # copy-back
+
+    @pytest.mark.parametrize(
+        "name", ["matmul", "gemm", "trmm", "syrk", "syr2k", "tpm", "tp",
+                 "copy", "mask", "doitgen"]
+    )
+    def test_every_benchmark_schedules_and_lowers(self, arch, name):
+        case = make_benchmark(name, **size_for(name, small=True))
+        schedules = optimize_pipeline(case.pipeline, arch)
+        for func, schedule in schedules.items():
+            assert lower(func, schedule)

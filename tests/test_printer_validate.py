@@ -1,0 +1,120 @@
+"""Tests for the pseudo-C printer and the schedule validator."""
+
+import pytest
+
+from repro.ir import Schedule, lower, print_expr, print_nest
+from repro.ir.expr import Const, VarRef, minimum
+from repro.ir.printer import print_index_tree
+from repro.ir.schedule import LeafIndex, SplitIndex
+from repro.ir.validate import validate_schedule
+from repro.util import ScheduleError
+
+from tests.helpers import make_copy, make_matmul
+
+
+class TestPrintExpr:
+    def test_simple(self):
+        assert print_expr(VarRef("i") + 1) == "i + 1"
+
+    def test_precedence_parens(self):
+        e = (VarRef("i") + 1) * VarRef("j")
+        assert print_expr(e) == "(i + 1) * j"
+
+    def test_no_spurious_parens(self):
+        e = VarRef("i") * VarRef("j") + 1
+        assert print_expr(e) == "i * j + 1"
+
+    def test_min_prints_as_call(self):
+        assert print_expr(minimum(VarRef("i"), 3)) == "min(i, 3)"
+
+    def test_const(self):
+        assert print_expr(Const(7)) == "7"
+
+    def test_access(self):
+        c, a, _ = make_matmul(8)
+        assert print_expr(a[VarRef("i"), VarRef("k")]) == "A[i][k]"
+
+
+class TestPrintNest:
+    def test_matmul_default(self):
+        c, _, _ = make_matmul(8)
+        text = print_nest(lower(c)[1])
+        assert "for (i = 0; i < 8; i++)" in text
+        assert "C[i][j] = C[i][j] + A[i][k] * B[k][j];" in text
+
+    def test_scheduled_nest_annotations(self):
+        c, _, _ = make_matmul(8)
+        s = Schedule(c)
+        s.split("i", "io", "ii", 4).vectorize("k").parallel("io")
+        text = print_nest(lower(c, s)[1])
+        assert "// parallel" in text
+        assert "// vectorized" in text
+        assert "i = (io * 4 + ii);" in text
+
+    def test_guard_printed(self):
+        c, _, _ = make_matmul(10)
+        s = Schedule(c)
+        s.split("i", "io", "ii", 4)
+        text = print_nest(lower(c, s)[1])
+        assert "if (i >= 10) continue;" in text
+
+    def test_nontemporal_annotation(self):
+        f, _ = make_copy(8)
+        s = Schedule(f)
+        s.store_nontemporal()
+        assert "non-temporal" in print_nest(lower(f, s)[0])
+
+    def test_index_tree_printer(self):
+        tree = SplitIndex(LeafIndex("io"), LeafIndex("ii"), 4)
+        assert print_index_tree(tree) == "(io * 4 + ii)"
+
+
+class TestValidator:
+    def test_valid_schedule_passes(self):
+        c, _, _ = make_matmul(16)
+        s = Schedule(c)
+        s.split("i", "io", "ii", 4).vectorize("k").parallel("io")
+        validate_schedule(s)  # should not raise
+
+    def test_two_parallel_loops_rejected(self):
+        c, _, _ = make_matmul(16)
+        s = Schedule(c)
+        s.parallel("i")
+        s.parallel("j")
+        with pytest.raises(ScheduleError):
+            validate_schedule(s)
+
+    def test_two_vectorized_loops_rejected(self):
+        c, _, _ = make_matmul(16)
+        s = Schedule(c)
+        s.vectorize("j")
+        s.vectorize("k")
+        with pytest.raises(ScheduleError):
+            validate_schedule(s)
+
+    def test_huge_vectorized_loop_rejected(self):
+        c, _, _ = make_matmul(1024)
+        s = Schedule(c)
+        s.vectorize("k")
+        with pytest.raises(ScheduleError):
+            validate_schedule(s)
+
+    def test_guarded_overshoot_accepted(self):
+        c, _, _ = make_matmul(10)
+        s = Schedule(c)
+        s.split("i", "io", "ii", 4)
+        validate_schedule(s)
+
+    def test_fused_schedule_passes(self):
+        c, _, _ = make_matmul(16)
+        s = Schedule(c)
+        s.fuse("i", "j", "ij")
+        validate_schedule(s)
+
+    def test_lower_validates_by_default(self):
+        c, _, _ = make_matmul(16)
+        s = Schedule(c)
+        s.parallel("i")
+        s.parallel("j")
+        with pytest.raises(ScheduleError):
+            lower(c, s)

@@ -1,0 +1,195 @@
+"""Property-based tests of the deepest invariants.
+
+The central one: **scheduling is semantics-preserving** — any legal
+composition of splits, reorders and fusions must make the statement visit
+exactly the same set of original index tuples as the untransformed nest.
+The trace generator's index-reconstruction machinery is the code under
+test; hypothesis drives random schedules.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import Buffer, Func, Schedule, Var, RVar, float32, lower
+from repro.ir.schedule import LoopKind
+from repro.ir.validate import validate_schedule
+from repro.sim.trace import MemoryLayout, TraceGenerator, _eval_index_tree
+from repro.util import ScheduleError
+
+
+def tiny_matmul(ni, nj, nk):
+    i, j = Var("i"), Var("j")
+    k = RVar("k", nk)
+    a = Buffer("A", (ni, nk), float32)
+    b = Buffer("B", (nk, nj), float32)
+    c = Func("C")
+    c[i, j] = c_init = 0.0
+    c[i, j] = c[i, j] + a[i, k] * b[k, j]
+    c.set_bounds({i: ni, j: nj})
+    return c
+
+
+def visited_tuples(nest):
+    """Enumerate all (i, j, k) tuples the lowered nest executes."""
+    out = set()
+    loops = nest.loops
+    trees = nest.stmt.index_trees
+    guards = nest.stmt.guards
+    bounds = {v: nest.func.bound_of(v) for v in trees}
+
+    def rec(depth, env):
+        if depth == len(loops):
+            values = {v: int(_eval_index_tree(t, env)) for v, t in trees.items()}
+            for var, bound in guards.items():
+                if values[var] >= bound:
+                    return
+            for var, bound in bounds.items():
+                assert 0 <= values[var] < bound + max(
+                    0, 0 if var in guards else 0
+                )
+            out.add(tuple(sorted(values.items())))
+            return
+        loop = loops[depth]
+        for v in range(loop.extent):
+            env[loop.name] = v
+            rec(depth + 1, env)
+
+    rec(0, {})
+    return out
+
+
+# Strategy: a random sequence of schedule operations on a 3-var nest.
+@st.composite
+def random_schedule_ops(draw):
+    ops = []
+    n_ops = draw(st.integers(0, 4))
+    for _ in range(n_ops):
+        ops.append(
+            draw(
+                st.sampled_from(["split_i", "split_j", "split_k", "reorder", "fuse"])
+            )
+        )
+    factors = [draw(st.sampled_from([2, 3, 4])) for _ in ops]
+    seed = draw(st.integers(0, 2**31 - 1))
+    return list(zip(ops, factors)), seed
+
+
+class TestSchedulingPreservesIterationSpace:
+    @given(random_schedule_ops(), st.sampled_from([(4, 4, 4), (5, 3, 4), (6, 6, 2)]))
+    @settings(max_examples=40, deadline=None)
+    def test_same_tuples_visited(self, ops_seed, sizes):
+        import random as _random
+
+        ops, seed = ops_seed
+        rng = _random.Random(seed)
+        ni, nj, nk = sizes
+
+        reference = tiny_matmul(ni, nj, nk)
+        ref_tuples = visited_tuples(lower(reference)[1])
+
+        func = tiny_matmul(ni, nj, nk)
+        schedule = Schedule(func)
+        fresh = 0
+        for op, factor in ops:
+            try:
+                if op.startswith("split_"):
+                    var = op[-1]
+                    candidates = [
+                        l.name
+                        for l in schedule.loops()
+                        if l.origin == var and l.kind is LoopKind.SERIAL
+                    ]
+                    if not candidates:
+                        continue
+                    target = rng.choice(candidates)
+                    fresh += 1
+                    schedule.split(target, f"{target}_o{fresh}",
+                                   f"{target}_i{fresh}", factor)
+                elif op == "reorder":
+                    names = schedule.loop_names()
+                    rng.shuffle(names)
+                    schedule.reorder(*names)
+                elif op == "fuse":
+                    loops = schedule.loops()
+                    serial_adjacent = [
+                        (loops[p].name, loops[p + 1].name)
+                        for p in range(len(loops) - 1)
+                        if loops[p].kind is LoopKind.SERIAL
+                        and loops[p + 1].kind is LoopKind.SERIAL
+                    ]
+                    if not serial_adjacent:
+                        continue
+                    a, b = rng.choice(serial_adjacent)
+                    fresh += 1
+                    schedule.fuse(a, b, f"f{fresh}")
+            except ScheduleError:
+                continue
+
+        validate_schedule(schedule)
+        got = visited_tuples(lower(func, schedule)[1])
+        assert got == ref_tuples
+
+
+class TestTraceFootprintInvariance:
+    @given(
+        ti=st.sampled_from([1, 2, 3, 4, 8]),
+        tj=st.sampled_from([1, 2, 5, 8]),
+        tk=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_tiling_preserves_touched_lines(self, ti, tj, tk):
+        def lines_by_ref(func, schedule):
+            nest = lower(func, schedule)[1]
+            gen = TraceGenerator(nest, MemoryLayout(), 64, line_budget=10**9)
+            out = {}
+            for ch in gen.chunks():
+                out.setdefault((ch.ref_id, ch.is_store), set()).update(
+                    ch.lines.tolist()
+                )
+            return out
+
+        ref = tiny_matmul(8, 8, 8)
+        baseline = lines_by_ref(ref, None)
+
+        func = tiny_matmul(8, 8, 8)
+        schedule = Schedule(func)
+        for var, tile in (("i", ti), ("j", tj), ("k", tk)):
+            if tile > 1:
+                schedule.split(var, f"{var}_o", f"{var}_i", tile)
+        assert lines_by_ref(func, schedule) == baseline
+
+
+class TestGuardProperties:
+    @given(
+        n=st.integers(3, 17),
+        factor=st.integers(2, 8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_imperfect_splits_cover_exactly_n(self, n, factor):
+        x, y = Var("x"), Var("y")
+        a = Buffer("A", (n, n), float32)
+        f = Func("F")
+        f[y, x] = a[y, x]
+        f.set_bounds({x: n, y: n})
+        schedule = Schedule(f)
+        schedule.split("x", "xo", "xi", factor)
+        nest = lower(f, schedule)[0]
+        gen = TraceGenerator(nest, MemoryLayout(), 64, line_budget=10**9)
+        list(gen.chunks())
+        assert gen.record.simulated_stmts == n * n
+
+
+class TestCacheNeverOvercommits:
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_hierarchy_respects_capacity(self, lines):
+        from repro.arch import intel_i7_5930k
+        from repro.cachesim import CacheHierarchy
+
+        h = CacheHierarchy(intel_i7_5930k())
+        for line in lines:
+            h.access(line, ref_id=line % 3)
+        for cache in h.levels:
+            for s in cache._sets:
+                assert len(s) <= cache.ways

@@ -1,0 +1,56 @@
+"""Tests for the simulation diagnostics (repro.sim.report)."""
+
+import pytest
+
+from repro.core import optimize
+from repro.sim import Machine
+from repro.sim.report import explain, explain_nest
+
+from tests.helpers import make_copy, make_matmul
+
+
+class TestExplain:
+    def _report(self, arch, factory=make_matmul, n=64):
+        func = factory(n)[0]
+        machine = Machine(arch, line_budget=10_000)
+        schedule = optimize(func, arch).schedule
+        return machine.run_funcs([(func, schedule)])
+
+    def test_mentions_every_nest(self, arch):
+        report = self._report(arch)
+        text = explain(report)
+        assert "C:" in text
+        assert "C.update0:" in text
+
+    def test_hit_pyramid_present(self, arch):
+        text = explain(self._report(arch))
+        assert "L1" in text and "DRAM" in text
+
+    def test_bottleneck_named(self, arch):
+        text = explain(self._report(arch))
+        assert "bottleneck:" in text
+        assert ("core" in text) or ("DRAM bandwidth" in text)
+
+    def test_traffic_decomposition(self, arch):
+        text = explain(self._report(arch, make_copy, 256))
+        assert "write-backs" in text
+        assert "MB" in text
+
+    def test_sampling_note_when_truncated(self, arch):
+        func = make_matmul(256)[0]
+        machine = Machine(arch, line_budget=1_000)
+        report = machine.run_funcs([(func, None)])
+        text = explain(report)
+        assert "sampled:" in text
+
+    def test_total_first_line(self, arch):
+        text = explain(self._report(arch))
+        assert text.splitlines()[0].startswith("total:")
+
+    def test_explain_nest_standalone(self, arch):
+        report = self._report(arch)
+        block = explain_nest(
+            report.sim.counters[0], report.nest_times[0],
+            report.sim.hierarchy.line_size,
+        )
+        assert "demand hits" in block

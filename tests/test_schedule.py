@@ -1,0 +1,246 @@
+"""Tests for the scheduling language (repro.ir.schedule)."""
+
+import pytest
+
+from repro.ir import Schedule, LoopKind
+from repro.ir.schedule import (
+    FusedInner,
+    FusedOuter,
+    LeafIndex,
+    SplitIndex,
+)
+from repro.util import ScheduleError
+
+from tests.helpers import make_matmul
+
+
+def fresh_schedule(n=16):
+    c, _, _ = make_matmul(n)
+    return Schedule(c), c
+
+
+class TestConstruction:
+    def test_default_loops_pure_then_rvars(self):
+        s, _ = fresh_schedule()
+        assert s.loop_names() == ["i", "j", "k"]
+
+    def test_default_extents(self):
+        s, _ = fresh_schedule(32)
+        assert [l.extent for l in s.loops()] == [32, 32, 32]
+
+    def test_targets_main_definition(self):
+        s, c = fresh_schedule()
+        assert s.definition_index == 1
+
+    def test_explicit_definition_index(self):
+        c, _, _ = make_matmul(8)
+        s = Schedule(c, definition_index=0)
+        assert s.loop_names() == ["i", "j"]
+
+    def test_bad_definition_index(self):
+        c, _, _ = make_matmul(8)
+        with pytest.raises(ScheduleError):
+            Schedule(c, definition_index=5)
+
+    def test_identity_index_trees(self):
+        s, _ = fresh_schedule()
+        assert s.index_tree("i") == LeafIndex("i")
+
+
+class TestSplit:
+    def test_replaces_loop_in_place(self):
+        s, _ = fresh_schedule(16)
+        s.split("i", "io", "ii", 4)
+        assert s.loop_names() == ["io", "ii", "j", "k"]
+        assert s.loops()[0].extent == 4
+        assert s.loops()[1].extent == 4
+
+    def test_index_tree(self):
+        s, _ = fresh_schedule(16)
+        s.split("i", "io", "ii", 4)
+        assert s.index_tree("i") == SplitIndex(
+            LeafIndex("io"), LeafIndex("ii"), 4
+        )
+
+    def test_nested_split_tree_is_correct(self):
+        # Regression: (io*4 + (im*2 + ii)), NOT ((io*4+im)*2 + ii).
+        s, _ = fresh_schedule(16)
+        s.split("i", "io", "im", 4)
+        s.split("im", "imo", "imi", 2)
+        tree = s.index_tree("i")
+        assert tree == SplitIndex(
+            LeafIndex("io"),
+            SplitIndex(LeafIndex("imo"), LeafIndex("imi"), 2),
+            4,
+        )
+
+    def test_imperfect_split_guards(self):
+        s, _ = fresh_schedule(10)
+        s.split("i", "io", "ii", 4)
+        assert s.guards() == {"i": 10}
+        assert s.loops()[0].extent == 3  # ceil(10/4)
+
+    def test_perfect_split_no_guard(self):
+        s, _ = fresh_schedule(16)
+        s.split("i", "io", "ii", 4)
+        assert s.guards() == {}
+
+    def test_factor_clamped_to_extent(self):
+        s, _ = fresh_schedule(8)
+        s.split("i", "io", "ii", 100)
+        assert s.loops()[1].extent == 8
+        assert s.loops()[0].extent == 1
+
+    def test_rejects_duplicate_names(self):
+        s, _ = fresh_schedule()
+        with pytest.raises(ScheduleError):
+            s.split("i", "j", "ii", 4)  # "j" exists
+
+    def test_rejects_bad_factor(self):
+        s, _ = fresh_schedule()
+        with pytest.raises(ScheduleError):
+            s.split("i", "io", "ii", 0)
+
+    def test_rejects_unknown_loop(self):
+        s, _ = fresh_schedule()
+        with pytest.raises(ScheduleError):
+            s.split("zz", "a", "b", 4)
+
+    def test_rejects_same_outer_inner(self):
+        s, _ = fresh_schedule()
+        with pytest.raises(ScheduleError):
+            s.split("i", "x", "x", 4)
+
+    def test_cannot_split_vectorized(self):
+        s, _ = fresh_schedule()
+        s.vectorize("k")
+        with pytest.raises(ScheduleError):
+            s.split("k", "ko", "ki", 4)
+
+
+class TestReorder:
+    def test_halide_convention_innermost_first(self):
+        s, _ = fresh_schedule()
+        s.reorder("i", "j", "k")  # i innermost
+        assert s.loop_names() == ["k", "j", "i"]
+
+    def test_outer_to_inner_helper(self):
+        s, _ = fresh_schedule()
+        s.reorder_outer_to_inner("k", "j", "i")
+        assert s.loop_names() == ["k", "j", "i"]
+
+    def test_partial_reorder_keeps_unlisted(self):
+        s, _ = fresh_schedule()
+        s.split("i", "io", "ii", 4)  # io ii j k
+        s.reorder("j", "k")  # swap j and k among their slots
+        assert s.loop_names() == ["io", "ii", "k", "j"]
+
+    def test_rejects_duplicates(self):
+        s, _ = fresh_schedule()
+        with pytest.raises(ScheduleError):
+            s.reorder("i", "i")
+
+    def test_rejects_unknown(self):
+        s, _ = fresh_schedule()
+        with pytest.raises(ScheduleError):
+            s.reorder("i", "zz")
+
+
+class TestFuse:
+    def test_fuse_adjacent(self):
+        s, _ = fresh_schedule(16)
+        s.fuse("i", "j", "ij")
+        assert s.loop_names() == ["ij", "k"]
+        assert s.loops()[0].extent == 256
+
+    def test_fused_index_trees(self):
+        s, _ = fresh_schedule(16)
+        s.fuse("i", "j", "ij")
+        assert s.index_tree("i") == FusedOuter(LeafIndex("ij"), 16)
+        assert s.index_tree("j") == FusedInner(LeafIndex("ij"), 16)
+
+    def test_fuse_requires_adjacency(self):
+        s, _ = fresh_schedule()
+        with pytest.raises(ScheduleError):
+            s.fuse("i", "k", "ik")  # j in between
+
+    def test_fuse_requires_order(self):
+        s, _ = fresh_schedule()
+        with pytest.raises(ScheduleError):
+            s.fuse("j", "i", "ji")  # j is inside i
+
+    def test_fuse_rejects_nonserial(self):
+        s, _ = fresh_schedule()
+        s.parallel("i")
+        with pytest.raises(ScheduleError):
+            s.fuse("i", "j", "ij")
+
+    def test_fuse_of_split_outers(self):
+        s, _ = fresh_schedule(16)
+        s.split("i", "io", "ii", 4)
+        s.split("j", "jo", "ji", 4)
+        s.reorder("ji", "ii", "jo", "io")  # io jo ii ji ... k trails
+        s.fuse("io", "jo", "iojo")
+        assert s.loop_names()[0] == "iojo"
+        assert s.loops()[0].extent == 16
+
+
+class TestVectorizeParallelUnroll:
+    def test_vectorize_marks_kind(self):
+        s, _ = fresh_schedule()
+        s.vectorize("k")
+        assert s.loops()[2].kind is LoopKind.VECTORIZED
+
+    def test_vectorize_with_width_splits(self):
+        s, _ = fresh_schedule(64)
+        s.vectorize("k", width=8)
+        names = s.loop_names()
+        assert "k_vo" in names and "k_vi" in names
+        inner = [l for l in s.loops() if l.name == "k_vi"][0]
+        assert inner.extent == 8
+        assert inner.kind is LoopKind.VECTORIZED
+
+    def test_vectorize_short_loop_no_split(self):
+        s, _ = fresh_schedule(8)
+        s.vectorize("k", width=8)
+        assert s.loop_names() == ["i", "j", "k"]
+
+    def test_parallel(self):
+        s, _ = fresh_schedule()
+        s.parallel("i")
+        assert s.loops()[0].kind is LoopKind.PARALLEL
+
+    def test_unroll(self):
+        s, _ = fresh_schedule()
+        s.unroll("j")
+        assert s.loops()[1].kind is LoopKind.UNROLLED
+
+    def test_store_nontemporal_flag(self):
+        s, _ = fresh_schedule()
+        assert not s.nontemporal
+        s.store_nontemporal()
+        assert s.nontemporal
+
+
+class TestTileHelper:
+    def test_tile_structure(self):
+        s, _ = fresh_schedule(16)
+        s.tile("i", "j", "io", "jo", "ii", "ji", 4, 8)
+        assert s.loop_names() == ["io", "jo", "ii", "ji", "k"]
+        extents = {l.name: l.extent for l in s.loops()}
+        assert extents == {"io": 4, "jo": 2, "ii": 4, "ji": 8, "k": 16}
+
+
+class TestDescribe:
+    def test_describe_mentions_directives(self):
+        s, _ = fresh_schedule()
+        s.split("i", "io", "ii", 4).parallel("io")
+        text = s.describe()
+        assert "split" in text and "parallel" in text
+
+    def test_directives_recorded_in_order(self):
+        s, _ = fresh_schedule()
+        s.split("i", "io", "ii", 4)
+        s.vectorize("k")
+        kinds = [d.kind for d in s.directives]
+        assert kinds == ["split", "vectorize"]

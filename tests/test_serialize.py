@@ -1,0 +1,106 @@
+"""Tests for schedule serialization (repro.ir.serialize)."""
+
+import numpy as np
+import pytest
+
+from repro.core import optimize
+from repro.ir import Schedule
+from repro.ir.serialize import (
+    schedule_from_dict,
+    schedule_from_json,
+    schedule_to_dict,
+    schedule_to_json,
+)
+from repro.sim import execute
+from repro.util import ScheduleError
+
+from tests.helpers import make_copy, make_matmul
+
+
+def roundtrip(schedule, fresh_func):
+    return schedule_from_json(fresh_func, schedule_to_json(schedule))
+
+
+class TestRoundTrip:
+    def test_loops_identical(self):
+        c1, _, _ = make_matmul(64)
+        s1 = Schedule(c1)
+        s1.split("i", "io", "ii", 8).split("j", "jo", "ji", 16)
+        s1.reorder("ji", "ii", "k", "jo", "io")
+        s1.vectorize("ji").parallel("io")
+
+        c2, _, _ = make_matmul(64)
+        s2 = roundtrip(s1, c2)
+        assert s2.loop_names() == s1.loop_names()
+        assert [l.extent for l in s2.loops()] == [l.extent for l in s1.loops()]
+        assert [l.kind for l in s2.loops()] == [l.kind for l in s1.loops()]
+
+    def test_nontemporal_preserved(self):
+        f1, _ = make_copy(64)
+        s1 = Schedule(f1)
+        s1.store_nontemporal()
+        f2, _ = make_copy(64)
+        assert roundtrip(s1, f2).nontemporal
+
+    def test_optimizer_schedule_roundtrips_numerically(self, arch):
+        n = 32
+        c1, a1, b1 = make_matmul(n)
+        schedule = optimize(c1, arch).schedule
+        rng = np.random.default_rng(0)
+        a_v = rng.standard_normal((n, n)).astype(np.float32)
+        b_v = rng.standard_normal((n, n)).astype(np.float32)
+        expected = execute(c1, schedule, {a1: a_v, b1: b_v})
+
+        c2, a2, b2 = make_matmul(n)
+        replayed = roundtrip(schedule, c2)
+        out = execute(c2, replayed, {a2: a_v, b2: b_v})
+        np.testing.assert_allclose(out, expected, rtol=1e-6)
+
+    def test_fuse_roundtrip(self):
+        c1, _, _ = make_matmul(16)
+        s1 = Schedule(c1)
+        s1.fuse("i", "j", "ij")
+        c2, _, _ = make_matmul(16)
+        s2 = roundtrip(s1, c2)
+        assert s2.loop_names() == ["ij", "k"]
+
+    def test_definition_index_preserved(self):
+        c1, _, _ = make_matmul(16)
+        s1 = Schedule(c1, definition_index=0)
+        c2, _, _ = make_matmul(16)
+        assert roundtrip(s1, c2).definition_index == 0
+
+
+class TestErrors:
+    def test_bad_format(self):
+        c, _, _ = make_matmul(16)
+        with pytest.raises(ScheduleError):
+            schedule_from_dict(c, {"format": "nope"})
+
+    def test_bad_json(self):
+        c, _, _ = make_matmul(16)
+        with pytest.raises(ScheduleError):
+            schedule_from_json(c, "{not json")
+
+    def test_unknown_directive(self):
+        c, _, _ = make_matmul(16)
+        payload = schedule_to_dict(Schedule(c))
+        payload["directives"] = [{"kind": "teleport", "args": []}]
+        with pytest.raises(ScheduleError):
+            schedule_from_dict(c, payload)
+
+    def test_incompatible_func_fails_loudly(self):
+        c1, _, _ = make_matmul(16)
+        s1 = Schedule(c1)
+        s1.split("k", "ko", "ki", 4)
+        f2, _ = make_copy(16)  # has no loop named k
+        with pytest.raises(ScheduleError):
+            schedule_from_dict(f2, schedule_to_dict(s1))
+
+    def test_dict_is_json_compatible(self):
+        import json
+
+        c, _, _ = make_matmul(16)
+        s = Schedule(c)
+        s.split("i", "io", "ii", 4)
+        json.dumps(schedule_to_dict(s))  # must not raise

@@ -1,0 +1,200 @@
+"""Tests for the executor, timing model and Machine facade."""
+
+import pytest
+
+from repro.arch import arm_cortex_a15, intel_i7_5930k
+from repro.cachesim import CacheHierarchy
+from repro.ir import Schedule, lower
+from repro.sim import Machine, run_nests
+from repro.sim.timing import TimingModel, time_nest, total_time_ms
+
+from tests.helpers import make_copy, make_matmul, make_transpose_mask
+
+
+def simulate(func, schedule=None, arch=None, budget=10**9, prefetch=True):
+    arch = arch or intel_i7_5930k()
+    hierarchy = CacheHierarchy(arch, enable_prefetch=prefetch)
+    nests = lower(func, schedule)
+    return run_nests(nests, hierarchy, line_budget=budget)
+
+
+class TestExecutor:
+    def test_counters_per_nest(self):
+        c, _, _ = make_matmul(16)
+        sim = simulate(c)
+        assert len(sim.counters) == 2
+        assert sim.counters[0].nest.name == "C"
+        assert sim.counters[1].nest.name == "C.update0"
+
+    def test_demand_accesses_positive(self):
+        c, _, _ = make_matmul(16)
+        sim = simulate(c)
+        assert sim.counters[1].demand_accesses > 0
+
+    def test_hits_plus_misses_consistent(self):
+        c, _, _ = make_matmul(16)
+        sim = simulate(c)
+        total_hits = sum(
+            c.l1_hits + c.l2_hits + c.l3_hits + c.mem_lines
+            for c in sim.counters
+        )
+        assert total_hits == sim.hierarchy.stats.total_accesses
+
+    def test_nest_named_lookup(self):
+        c, _, _ = make_matmul(8)
+        sim = simulate(c)
+        assert sim.nest_named("C.update0").nest.definition_index == 1
+        with pytest.raises(KeyError):
+            sim.nest_named("nope")
+
+    def test_nt_store_counters(self):
+        f, _ = make_copy(32)
+        s = Schedule(f)
+        s.store_nontemporal()
+        sim = simulate(f, s)
+        counters = sim.counters[0]
+        lines_per_array = 32 * 32 * 4 // 64
+        assert counters.nt_lines == lines_per_array
+        assert counters.writeback_lines == 0
+
+    def test_normal_store_writebacks(self):
+        f, _ = make_copy(32)
+        sim = simulate(f)
+        counters = sim.counters[0]
+        lines_per_array = 32 * 32 * 4 // 64
+        assert counters.writeback_lines == lines_per_array
+
+    def test_scaling_on_truncation(self):
+        c, _, _ = make_matmul(64)
+        sim = simulate(c, budget=500)
+        assert sim.counters[1].scale > 1.0
+        assert sim.counters[1].scaled("mem_lines") >= sim.counters[1].mem_lines
+
+    def test_total_scaled(self):
+        c, _, _ = make_matmul(16)
+        sim = simulate(c)
+        assert sim.total_scaled("mem_lines") >= sim.counters[1].mem_lines
+
+
+class TestTimingModel:
+    def test_components_positive(self, arch):
+        c, _, _ = make_matmul(16)
+        sim = simulate(c, arch=arch)
+        t = time_nest(sim.counters[1], arch)
+        assert t.issue_cycles > 0
+        assert t.loop_cycles > 0
+        assert t.total_cycles >= t.dram_cycles
+        assert t.total_cycles >= t.core_cycles
+
+    def test_parallel_reduces_core_time(self, arch):
+        c1, _, _ = make_matmul(64)
+        serial = simulate(c1, arch=arch)
+        c2, _, _ = make_matmul(64)
+        s = Schedule(c2)
+        s.parallel("i")
+        parallel = simulate(c2, s, arch=arch)
+        t_serial = time_nest(serial.counters[1], arch)
+        t_parallel = time_nest(parallel.counters[1], arch)
+        assert t_parallel.threads_used > 1
+        assert t_parallel.core_cycles < t_serial.core_cycles
+
+    def test_vectorize_reduces_issue(self, arch):
+        c1, _, _ = make_matmul(64)
+        plain = simulate(c1, arch=arch)
+        c2, _, _ = make_matmul(64)
+        s = Schedule(c2)
+        s.reorder("j", "k", "i")
+        s.vectorize("j", 8)
+        vec = simulate(c2, s, arch=arch)
+        assert (
+            time_nest(vec.counters[1], arch).issue_cycles
+            < time_nest(plain.counters[1], arch).issue_cycles
+        )
+
+    def test_total_time_sums_nests(self, arch):
+        c, _, _ = make_matmul(16)
+        sim = simulate(c, arch=arch)
+        model = TimingModel()
+        total = total_time_ms(sim.counters, arch, model)
+        parts = sum(
+            time_nest(x, arch, model).total_cycles for x in sim.counters
+        )
+        assert total == pytest.approx(parts / (arch.freq_ghz * 1e6))
+
+    def test_threads_capped_by_trip_count(self, arch):
+        c, _, _ = make_matmul(16)
+        s = Schedule(c)
+        s.split("i", "io", "ii", 8)  # io has 2 trips < 6 cores
+        s.parallel("io")
+        sim = simulate(c, s, arch=arch)
+        t = time_nest(sim.counters[1], arch)
+        assert t.threads_used <= 2
+
+    def test_breakdown_keys(self, arch):
+        c, _, _ = make_matmul(16)
+        sim = simulate(c, arch=arch)
+        keys = set(time_nest(sim.counters[1], arch).breakdown())
+        assert {"issue", "loop", "latency", "dram", "core", "total"} <= keys
+
+
+class TestMachine:
+    def test_time_funcs_positive(self, arch):
+        machine = Machine(arch, line_budget=20000)
+        c, _, _ = make_matmul(32)
+        assert machine.time_funcs([(c, None)]) > 0
+
+    def test_report_breakdown(self, arch):
+        machine = Machine(arch, line_budget=20000)
+        c, _, _ = make_matmul(32)
+        report = machine.run_funcs([(c, None)])
+        assert "total" in report.breakdown()
+        assert len(report.nest_times) == 2
+
+    def test_deterministic(self, arch):
+        machine = Machine(arch, line_budget=20000)
+        c1, _, _ = make_matmul(32)
+        c2, _, _ = make_matmul(32)
+        assert machine.time_funcs([(c1, None)]) == pytest.approx(
+            machine.time_funcs([(c2, None)])
+        )
+
+    def test_prefetch_off_is_slower_for_streams(self, arch):
+        f1, _ = make_copy(128)
+        with_pf = Machine(arch, line_budget=50000)
+        without_pf = Machine(arch, line_budget=50000, enable_prefetch=False)
+        t_on = with_pf.time_funcs([(f1, None)])
+        f2, _ = make_copy(128)
+        t_off = without_pf.time_funcs([(f2, None)])
+        assert t_off > t_on
+
+    def test_nti_reduces_time_on_streaming_store(self, arch):
+        machine = Machine(arch, line_budget=50000)
+        f1, _ = make_copy(256)
+        s1 = Schedule(f1)
+        s1.vectorize("x", 8).parallel("y")
+        plain = machine.time_funcs([(f1, s1)])
+        f2, _ = make_copy(256)
+        s2 = Schedule(f2)
+        s2.vectorize("x", 8).parallel("y")
+        s2.store_nontemporal()
+        nti = machine.time_funcs([(f2, s2)])
+        assert nti < plain
+
+    def test_arm_machine_runs(self, arch_arm):
+        machine = Machine(arch_arm, line_budget=20000)
+        c, _, _ = make_matmul(32)
+        assert machine.time_funcs([(c, None)]) > 0
+
+    def test_pipeline_time_is_sum_of_stage_runs(self, arch):
+        from repro.ir import Pipeline
+
+        machine = Machine(arch, line_budget=20000)
+        c1, _, _ = make_matmul(16)
+        c2, _, _ = make_matmul(16)
+        both = machine.time_pipeline(Pipeline([c1, c2]))
+        assert both > machine.time_funcs([(c1, None)]) * 0.9
+
+    def test_shared_l2_divisor_on_arm(self, arch_arm):
+        machine = Machine(arch_arm)
+        hierarchy = machine._build_hierarchy(parallel=True)
+        assert hierarchy.levels[1].ways < arch_arm.l2.ways

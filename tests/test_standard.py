@@ -1,0 +1,107 @@
+"""Tests for repro.core.standard's naming helpers and edge cases."""
+
+import pytest
+
+from repro.core.standard import (
+    build_schedule,
+    inter_loop_name,
+    intra_loop_name,
+    untransformed_schedule,
+)
+from repro.ir.schedule import LoopKind
+
+from tests.helpers import make_copy, make_matmul
+
+
+BOUNDS = {"i": 64, "j": 64, "k": 64}
+
+
+class TestLoopNames:
+    def test_split_var_names(self):
+        tiles = {"i": 8, "j": 64, "k": 64}
+        assert inter_loop_name("i", tiles, BOUNDS) == "i_o"
+        assert intra_loop_name("i", tiles, BOUNDS) == "i_i"
+
+    def test_untiled_var_is_intra_only(self):
+        tiles = {"j": 64}
+        assert intra_loop_name("j", tiles, BOUNDS) == "j"
+        with pytest.raises(ValueError):
+            inter_loop_name("j", tiles, BOUNDS)
+
+    def test_tile_one_is_inter_only(self):
+        tiles = {"k": 1}
+        assert inter_loop_name("k", tiles, BOUNDS) == "k"
+        with pytest.raises(ValueError):
+            intra_loop_name("k", tiles, BOUNDS)
+
+
+class TestBuildScheduleEdges:
+    def test_multi_fuse_until_enough_threads(self, arch):
+        # Both outer trip counts are tiny: i (2 trips) and k (2 trips)
+        # fuse to 4, still < 12 threads, then j joins for 16.
+        c, _, _ = make_matmul(64)
+        schedule = build_schedule(
+            c, arch,
+            tiles={"i": 32, "j": 16, "k": 32},
+            inter_order=["i", "k", "j"],
+            intra_order=["i", "k", "j"],
+        )
+        par = [l for l in schedule.loops() if l.kind is LoopKind.PARALLEL]
+        assert par
+        assert par[0].extent >= arch.total_threads
+
+    def test_no_parallel_when_no_inter_loops(self, arch):
+        c, _, _ = make_matmul(64)
+        schedule = build_schedule(
+            c, arch,
+            tiles={"i": 64, "j": 64, "k": 64},
+            inter_order=[],
+            intra_order=["i", "k", "j"],
+        )
+        assert not [l for l in schedule.loops() if l.kind is LoopKind.PARALLEL]
+
+    def test_vectorize_targets_last_intra_var(self, arch):
+        # With j fully inter-tile, the innermost intra variable is k; its
+        # intra loop is the one vectorized.
+        c, _, _ = make_matmul(64)
+        schedule = build_schedule(
+            c, arch,
+            tiles={"i": 8, "j": 1, "k": 8},
+            inter_order=["i", "k", "j"],
+            intra_order=["i", "k"],
+        )
+        vec = [l for l in schedule.loops() if l.kind is LoopKind.VECTORIZED]
+        assert len(vec) == 1 and vec[0].origin == "k"
+
+    def test_arm_vector_width(self, arch_arm):
+        c, _, _ = make_matmul(64)
+        schedule = build_schedule(
+            c, arch_arm,
+            tiles={"i": 8, "j": 16, "k": 8},
+            inter_order=["i", "k", "j"],
+            intra_order=["i", "k", "j"],
+        )
+        vec = [l for l in schedule.loops() if l.kind is LoopKind.VECTORIZED]
+        assert vec[0].extent <= arch_arm.vector_lanes(4)
+
+
+class TestUntransformed:
+    def test_single_loop_func(self, arch):
+        from repro.ir import Buffer, Func, Var
+
+        a = Buffer("A", (64,))
+        f = Func("F")
+        x = Var("x")
+        f[x] = a[x]
+        f.set_bounds({x: 64})
+        schedule = untransformed_schedule(f, arch)
+        # The vector split introduces an outer loop which then gets
+        # parallelized; the vectorized lane loop stays innermost.
+        loops = schedule.loops()
+        assert loops[-1].kind is LoopKind.VECTORIZED
+        assert all(l.origin == "x" for l in loops)
+
+    def test_nti_flag(self, arch):
+        f, _ = make_copy(64)
+        s = untransformed_schedule(f, arch, nontemporal=True)
+        assert s.nontemporal

@@ -1,0 +1,46 @@
+"""Tests for the statistics containers (repro.cachesim.stats)."""
+
+import pytest
+
+from repro.cachesim.stats import HierarchyStats, LevelStats
+
+
+class TestLevelStats:
+    def test_accesses(self):
+        s = LevelStats("L1", hits=7, misses=3)
+        assert s.accesses == 10
+
+    def test_miss_rate(self):
+        s = LevelStats("L1", hits=7, misses=3)
+        assert s.miss_rate == pytest.approx(0.3)
+
+    def test_miss_rate_empty(self):
+        assert LevelStats("L1").miss_rate == 0.0
+
+    def test_repr(self):
+        s = LevelStats("L2", hits=1, misses=2, prefetch_hits=1)
+        text = repr(s)
+        assert "L2" in text and "1 hits" in text
+
+
+class TestHierarchyStats:
+    def make(self):
+        return HierarchyStats(
+            levels=[LevelStats("L1"), LevelStats("L2"), LevelStats("L3")],
+            memory_lines=10,
+            prefetch_memory_lines=20,
+            nt_store_lines=5,
+            writeback_lines=3,
+        )
+
+    def test_level_lookup_is_one_based(self):
+        stats = self.make()
+        assert stats.level(1).name == "L1"
+        assert stats.level(3).name == "L3"
+
+    def test_dram_lines_total(self):
+        assert self.make().dram_lines_total == 10 + 20 + 5 + 3
+
+    def test_summary_mentions_everything(self):
+        text = self.make().summary()
+        assert "L1" in text and "NT-store" in text and "writebacks" in text

@@ -1,0 +1,146 @@
+"""Focused unit tests for the timing model internals (repro.sim.timing)."""
+
+import pytest
+
+from repro.arch import arm_cortex_a15, intel_i7_5930k
+from repro.ir import Schedule, lower
+from repro.sim.executor import NestCounters
+from repro.sim.timing import TimingModel, _threads_used, _vector_lanes, time_nest
+
+from tests.helpers import make_copy, make_matmul, make_transpose_mask
+
+
+def counters_for(nest, **kw):
+    c = NestCounters(nest=nest)
+    c.total_stmts = nest.total_iterations()
+    c.simulated_stmts = c.total_stmts
+    for key, value in kw.items():
+        setattr(c, key, value)
+    return c
+
+
+class TestTimingModelConfig:
+    def test_bandwidth_defaults_to_platform(self):
+        model = TimingModel()
+        assert model.bandwidth(intel_i7_5930k()) == 16.0
+        assert model.bandwidth(arm_cortex_a15()) == 3.0
+
+    def test_bandwidth_override(self):
+        model = TimingModel(bw_bytes_per_cycle=5.0)
+        assert model.bandwidth(intel_i7_5930k()) == 5.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TimingModel().mlp = 2.0
+
+
+class TestVectorLanes:
+    def test_no_vectorized_loop(self, arch):
+        c, _, _ = make_matmul(16)
+        nest = lower(c)[1]
+        assert _vector_lanes(nest, arch) == 1.0
+
+    def test_contiguous_vector_full_lanes(self, arch):
+        f, _ = make_copy(64)
+        s = Schedule(f)
+        s.vectorize("x", 8)
+        nest = lower(f, s)[0]
+        lanes = _vector_lanes(nest, arch)
+        assert lanes > 4  # both refs contiguous along x
+
+    def test_gather_discounts_lanes(self, arch):
+        # tpm vectorized over x: A[x][y] is strided along x -> discount.
+        f, _, _ = make_transpose_mask(64)
+        s = Schedule(f)
+        s.vectorize("x", 8)
+        nest = lower(f, s)[0]
+        f2, _ = make_copy(64)
+        s2 = Schedule(f2)
+        s2.vectorize("x", 8)
+        nest2 = lower(f2, s2)[0]
+        assert _vector_lanes(nest, arch) < _vector_lanes(nest2, arch)
+
+    def test_arm_fewer_lanes(self, arch_arm):
+        f, _ = make_copy(64)
+        s = Schedule(f)
+        s.vectorize("x", 4)
+        nest = lower(f, s)[0]
+        assert _vector_lanes(nest, arch_arm) <= 4
+
+
+class TestThreadsUsed:
+    def test_serial_nest(self, arch):
+        c, _, _ = make_matmul(16)
+        nest = lower(c)[1]
+        assert _threads_used(nest, arch, TimingModel()) == 1.0
+
+    def test_parallel_capped_by_cores_plus_smt(self, arch):
+        c, _, _ = make_matmul(64)
+        s = Schedule(c)
+        s.parallel("i")
+        nest = lower(c, s)[1]
+        threads = _threads_used(nest, arch, TimingModel())
+        assert arch.n_cores <= threads <= arch.total_threads
+
+    def test_short_parallel_loop(self, arch):
+        c, _, _ = make_matmul(64)
+        s = Schedule(c)
+        s.split("i", "io", "ii", 32)
+        s.parallel("io")
+        nest = lower(c, s)[1]
+        assert _threads_used(nest, arch, TimingModel()) == 2.0
+
+    def test_arm_no_smt_bonus(self, arch_arm):
+        c, _, _ = make_matmul(64)
+        s = Schedule(c)
+        s.parallel("i")
+        nest = lower(c, s)[1]
+        assert _threads_used(nest, arch_arm, TimingModel()) == 4.0
+
+
+class TestTimeNest:
+    def test_dram_floor_binds_for_heavy_traffic(self, arch):
+        # Prefetched DRAM lines cost bandwidth but no exposed latency, so
+        # a prefetch-heavy stream is exactly the roofline-bound case.
+        c, _, _ = make_matmul(16)
+        nest = lower(c)[1]
+        counters = counters_for(nest, prefetch_mem_lines=10**6, l1_hits=10**4)
+        t = time_nest(counters, arch)
+        assert t.total_cycles == t.dram_cycles
+
+    def test_core_binds_for_cache_resident(self, arch):
+        c, _, _ = make_matmul(16)
+        nest = lower(c)[1]
+        counters = counters_for(nest, l1_hits=10**4)
+        t = time_nest(counters, arch)
+        assert t.total_cycles == t.core_cycles
+
+    def test_latency_scales_with_level(self, arch):
+        c, _, _ = make_matmul(16)
+        nest = lower(c)[1]
+        l2_heavy = counters_for(nest, l2_hits=1000)
+        l3_heavy = counters_for(nest, l3_hits=1000)
+        assert (
+            time_nest(l3_heavy, arch).latency_cycles
+            > time_nest(l2_heavy, arch).latency_cycles
+        )
+
+    def test_scale_multiplies_memory_terms(self, arch):
+        c, _, _ = make_matmul(16)
+        nest = lower(c)[1]
+        small = counters_for(nest, mem_lines=100)
+        scaled = counters_for(nest, mem_lines=100)
+        scaled.simulated_stmts = scaled.total_stmts // 4
+        t_small = time_nest(small, arch)
+        t_scaled = time_nest(scaled, arch)
+        assert t_scaled.dram_cycles == pytest.approx(4 * t_small.dram_cycles)
+
+    def test_nt_lines_cheaper_than_demand_misses(self, arch):
+        c, _, _ = make_matmul(16)
+        nest = lower(c)[1]
+        nt = counters_for(nest, nt_lines=1000)
+        demand = counters_for(nest, mem_lines=1000)
+        assert (
+            time_nest(nt, arch).latency_cycles
+            < time_nest(demand, arch).latency_cycles
+        )
