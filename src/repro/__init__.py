@@ -25,8 +25,10 @@ Quickstart::
 Package map: :mod:`repro.ir` (the Halide-like DSL), :mod:`repro.arch`
 (platforms), :mod:`repro.cachesim` + :mod:`repro.sim` (the simulated
 hardware), :mod:`repro.core` (the paper's optimizer), :mod:`repro.baselines`
-(comparison techniques), :mod:`repro.bench` (Table 4's benchmarks) and
-:mod:`repro.experiments` (one regenerator per table/figure).
+(comparison techniques), :mod:`repro.robust` (graceful degradation:
+``safe_optimize`` with fallback chain, deadlines and fault injection),
+:mod:`repro.bench` (Table 4's benchmarks) and :mod:`repro.experiments`
+(one regenerator per table/figure).
 """
 
 from repro.arch import ArchSpec, CacheSpec, platform_by_name
@@ -50,7 +52,20 @@ from repro.ir import (
     lower,
     print_nest,
 )
+from repro.robust import (
+    Diagnostics,
+    FallbackPolicy,
+    SafeResult,
+    safe_optimize,
+    safe_optimize_pipeline,
+)
 from repro.sim import Machine
+from repro.util import (
+    Deadline,
+    DeadlineExceeded,
+    ReproError,
+    ValidationError,
+)
 
 __version__ = "1.0.0"
 
@@ -75,5 +90,14 @@ __all__ = [
     "lower",
     "print_nest",
     "Machine",
+    "Diagnostics",
+    "FallbackPolicy",
+    "SafeResult",
+    "safe_optimize",
+    "safe_optimize_pipeline",
+    "Deadline",
+    "DeadlineExceeded",
+    "ReproError",
+    "ValidationError",
     "__version__",
 ]

@@ -4,6 +4,7 @@ Examples::
 
     python -m repro optimize matmul --platform i7-5930k
     python -m repro optimize tpm --platform i7-6700 --show-nest
+    python -m repro optimize matmul --lenient --deadline-ms 200
     python -m repro compare gemm --platform arm-a15 --budget 30000
     python -m repro codegen matmul -o matmul_kernel.c
     python -m repro list
@@ -11,6 +12,19 @@ Examples::
 ``optimize`` runs the paper's flow on a benchmark and prints the decision
 trail; ``compare`` measures all techniques on the simulator (one Fig. 4
 row); ``codegen`` emits the optimized schedule as a C translation unit.
+
+Robustness posture (see ``docs/API.md``, *Failure modes*):
+
+* default / ``--strict`` — any optimizer failure aborts with a clean
+  one-line error and exit code 4 (no traceback);
+* ``--lenient`` — failures degrade down the fallback chain of
+  :func:`repro.robust.safe_optimize`; the run still succeeds, prints the
+  diagnostics, and exits with code 3 so scripts can tell a degraded run
+  from a clean one;
+* ``--deadline-ms`` — per-stage optimizer budget in either mode.
+
+Exit codes: 0 = ok, 2 = argparse usage error, 3 = completed but fell back
+to a degraded schedule, 4 = hard failure.
 """
 
 from __future__ import annotations
@@ -21,10 +35,15 @@ import sys
 from repro.arch import PLATFORMS, platform_by_name
 from repro.baselines import Autotuner, autoschedule, baseline_schedule
 from repro.bench import EXTRAS, SUITE, make_benchmark, make_extra, size_for
-from repro.core import optimize
 from repro.ir import lower, print_nest
 from repro.ir.codegen_c import codegen
+from repro.robust import FallbackPolicy, safe_optimize
 from repro.sim import Machine
+from repro.util import ReproError
+
+EXIT_OK = 0
+EXIT_FALLBACK = 3
+EXIT_HARD = 4
 
 
 def _make_case(name: str, fast: bool):
@@ -37,47 +56,88 @@ def _make_case(name: str, fast: bool):
     )
 
 
+def _resolve_platform(name: str):
+    """Friendly lookup: a typo'd platform must not print a traceback."""
+    try:
+        return platform_by_name(name)
+    except KeyError:
+        raise SystemExit(
+            f"unknown platform {name!r}; see `python -m repro list`"
+        ) from None
+
+
+def _policy(args, *, allow_nti: bool = True) -> FallbackPolicy:
+    try:
+        if args.lenient:
+            return FallbackPolicy.lenient(
+                deadline_ms=args.deadline_ms, allow_nti=allow_nti
+            )
+        return FallbackPolicy.strict_policy(
+            deadline_ms=args.deadline_ms, allow_nti=allow_nti
+        )
+    except ValueError as exc:
+        # e.g. --deadline-ms -5: a flag typo must not print a traceback.
+        raise SystemExit(f"invalid options: {exc}") from None
+
+
 def cmd_list(_args) -> int:
     print("Table 4 benchmarks:", ", ".join(sorted(SUITE)))
     print("extra kernels:     ", ", ".join(sorted(EXTRAS)))
     print("platforms:         ", ", ".join(sorted(PLATFORMS)))
-    return 0
+    return EXIT_OK
 
 
 def cmd_optimize(args) -> int:
-    arch = platform_by_name(args.platform)
+    arch = _resolve_platform(args.platform)
     case = _make_case(args.benchmark, args.fast)
+    policy = _policy(args, allow_nti=not args.no_nti)
+    fell_back = False
     for stage in case.pipeline:
-        result = optimize(stage, arch, allow_nti=not args.no_nti)
-        print(result.describe())
+        safe = safe_optimize(stage, arch, policy)
+        fell_back = fell_back or safe.fell_back
+        if safe.result is not None:
+            print(safe.result.describe())
+        else:
+            print(safe.describe())
+        if args.lenient and safe.result is not None and safe.diagnostics:
+            print(safe.diagnostics.summary())
         if args.show_nest:
-            nests = lower(stage, result.schedule)
+            nests = lower(stage, safe.schedule)
             print(print_nest(nests[-1]))
         if args.halide:
             from repro.ir.halide_out import emit_halide
 
-            print(emit_halide(result.schedule))
+            print(emit_halide(safe.schedule))
         print()
-    return 0
+    return EXIT_FALLBACK if fell_back else EXIT_OK
 
 
 def cmd_compare(args) -> int:
-    arch = platform_by_name(args.platform)
+    arch = _resolve_platform(args.platform)
     machine = Machine(arch, line_budget=args.budget)
     times = {}
+    fell_back = False
 
     def fresh():
         return _make_case(args.benchmark, args.fast)
 
+    def proposed_schedules(funcs, allow_nti):
+        nonlocal fell_back
+        policy = _policy(args, allow_nti=allow_nti)
+        out = {}
+        for f in funcs:
+            safe = safe_optimize(f, arch, policy)
+            fell_back = fell_back or safe.fell_back
+            out[f] = safe.schedule
+        return out
+
     case = fresh()
     times["proposed"] = machine.time_pipeline(
-        case.pipeline,
-        {f: optimize(f, arch, allow_nti=False).schedule for f in case.funcs},
+        case.pipeline, proposed_schedules(case.funcs, allow_nti=False)
     )
     case = fresh()
     times["proposed+NTI"] = machine.time_pipeline(
-        case.pipeline,
-        {f: optimize(f, arch, allow_nti=True).schedule for f in case.funcs},
+        case.pipeline, proposed_schedules(case.funcs, allow_nti=True)
     )
     case = fresh()
     times["auto-scheduler"] = machine.time_pipeline(
@@ -97,24 +157,32 @@ def cmd_compare(args) -> int:
     print(f"{args.benchmark} on {arch.name}:")
     for name, ms in sorted(times.items(), key=lambda kv: kv[1]):
         print(f"  {name:22s} {ms:10.2f} ms   rel {fastest / ms:4.2f}")
-    return 0
+    return EXIT_FALLBACK if fell_back else EXIT_OK
 
 
 def cmd_codegen(args) -> int:
-    arch = platform_by_name(args.platform)
+    arch = _resolve_platform(args.platform)
     case = _make_case(args.benchmark, args.fast)
+    policy = _policy(args, allow_nti=not args.no_nti)
+    fell_back = False
     nests = []
     for stage in case.pipeline:
-        result = optimize(stage, arch, allow_nti=not args.no_nti)
-        nests.extend(lower(stage, result.schedule))
+        safe = safe_optimize(stage, arch, policy)
+        fell_back = fell_back or safe.fell_back
+        nests.extend(lower(stage, safe.schedule))
     source = codegen(nests, function_name=args.benchmark.replace("-", "_"))
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(source)
+        try:
+            with open(args.output, "w") as handle:
+                handle.write(source)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot write {args.output!r}: {exc.strerror or exc}"
+            ) from None
         print(f"wrote {args.output}")
     else:
         print(source)
-    return 0
+    return EXIT_FALLBACK if fell_back else EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -134,6 +202,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scaled-down problem size")
         p.add_argument("--no-nti", action="store_true",
                        help="disable non-temporal stores")
+        p.add_argument("--deadline-ms", type=float, default=None,
+                       metavar="MS",
+                       help="per-stage optimizer time budget")
+        mode = p.add_mutually_exclusive_group()
+        mode.add_argument("--strict", action="store_true",
+                          help="fail hard on any optimizer error (default)")
+        mode.add_argument("--lenient", action="store_true",
+                          help="degrade through the fallback chain instead "
+                               "of failing; exit code 3 when degraded")
 
     p_opt = sub.add_parser("optimize", help="run the optimization flow")
     common(p_opt)
@@ -163,7 +240,12 @@ def main(argv=None) -> int:
         "compare": cmd_compare,
         "codegen": cmd_codegen,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except ReproError as exc:
+        # Hard failure: a clean one-line report, never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_HARD
 
 
 if __name__ == "__main__":

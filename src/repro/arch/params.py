@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.util import ceil_div
+from repro.util.errors import ValidationError
 
 
 @dataclass(frozen=True)
@@ -48,11 +49,30 @@ class CacheSpec:
 
     def __post_init__(self) -> None:
         if self.size <= 0 or self.line_size <= 0 or self.ways <= 0:
-            raise ValueError("cache size, line size and ways must be positive")
+            raise ValidationError(
+                "cache size, line size and ways must be positive"
+            )
+        if self.line_size & (self.line_size - 1):
+            raise ValidationError(
+                f"cache line size must be a power of two, got {self.line_size}"
+            )
+        if not 8 <= self.line_size <= 4096:
+            raise ValidationError(
+                f"cache line size {self.line_size}B is outside the plausible "
+                f"8B..4096B range"
+            )
         if self.size % (self.line_size * self.ways) != 0:
-            raise ValueError(
+            raise ValidationError(
                 f"cache size {self.size} is not a whole number of "
                 f"{self.ways}-way sets of {self.line_size}B lines"
+            )
+        if self.latency <= 0:
+            raise ValidationError(
+                f"cache latency must be positive cycles, got {self.latency}"
+            )
+        if self.shared_by_cores <= 0:
+            raise ValidationError(
+                f"shared_by_cores must be positive, got {self.shared_by_cores}"
             )
 
     @property
@@ -72,7 +92,9 @@ class CacheSpec:
     def elements_per_line(self, dts: int) -> int:
         """Number of ``dts``-byte elements in one cache line (paper's ``lc``)."""
         if dts <= 0:
-            raise ValueError(f"data type size must be positive, got {dts}")
+            raise ValidationError(
+                f"data type size must be positive, got {dts}"
+            )
         return max(1, self.line_size // dts)
 
     def capacity_elements(self, dts: int) -> int:
@@ -141,9 +163,36 @@ class ArchSpec:
 
     def __post_init__(self) -> None:
         if self.n_cores <= 0 or self.threads_per_core <= 0:
-            raise ValueError("core and thread counts must be positive")
+            raise ValidationError("core and thread counts must be positive")
         if self.vector_width_bytes <= 0:
-            raise ValueError("vector width must be positive")
+            raise ValidationError("vector width must be positive")
+        if self.l1.size > self.l2.size:
+            raise ValidationError(
+                f"{self.name}: L1 ({self.l1.size}B) larger than L2 "
+                f"({self.l2.size}B) is not a plausible hierarchy"
+            )
+        if self.l3 is not None and self.l3.size < self.l2.size:
+            raise ValidationError(
+                f"{self.name}: L3 ({self.l3.size}B) smaller than L2 "
+                f"({self.l2.size}B) is not a plausible hierarchy"
+            )
+        if self.l1.line_size != self.l2.line_size:
+            raise ValidationError(
+                f"{self.name}: the model assumes one line size across "
+                f"levels, got L1={self.l1.line_size}B L2={self.l2.line_size}B"
+            )
+        if self.mem_latency <= 0:
+            raise ValidationError(
+                f"memory latency must be positive cycles, got {self.mem_latency}"
+            )
+        if self.freq_ghz <= 0 or self.bw_bytes_per_cycle <= 0:
+            raise ValidationError(
+                "clock frequency and DRAM bandwidth must be positive"
+            )
+        if self.l2_prefetches_per_access < 0 or self.l2_max_prefetch_distance < 0:
+            raise ValidationError(
+                "prefetcher degree and distance must be non-negative"
+            )
 
     # ----- derived quantities used by the analytical model -----
 

@@ -28,6 +28,7 @@ from typing import List, Optional
 
 from repro.ir.analysis import RefInfo, StatementInfo, analyze_func
 from repro.ir.func import Func
+from repro.util import checkpoint
 
 
 class Locality(enum.Enum):
@@ -55,6 +56,7 @@ class Classification:
 
 def classify(func: Func) -> Classification:
     """Classify the main definition of ``func`` (Fig. 2's decision tree)."""
+    checkpoint("classification")
     info = analyze_func(func)
     use_nti = not info.output_is_reused
     transposed = info.transposed_inputs()

@@ -18,11 +18,13 @@ reports this "optimization runtime" per benchmark, and
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.arch import ArchSpec
+from repro.util import Deadline, active_deadline, checkpoint
 from repro.core.classify import Classification, Locality, classify
 from repro.core.spatial import SpatialResult, optimize_spatial
 from repro.core.standard import build_schedule, untransformed_schedule
@@ -71,6 +73,7 @@ def optimize(
     parallelize: bool = True,
     vectorize: bool = True,
     exhaustive: bool = False,
+    deadline: Optional[Deadline] = None,
 ) -> OptimizationResult:
     """Run the full optimization flow on ``func``'s main definition.
 
@@ -87,7 +90,36 @@ def optimize(
         Master switches for the standard optimizations.
     exhaustive:
         Evaluate every integer tile size instead of the candidate lattice.
+    deadline:
+        Optional time budget.  Installed as the ambient deadline for the
+        whole flow, so the cooperative checkpoints inside classification
+        and the Algorithm-2/3 candidate loops raise
+        :class:`~repro.util.DeadlineExceeded` once it expires.  ``None``
+        keeps whatever deadline an outer caller (e.g.
+        :func:`repro.robust.safe_optimize`) already installed.
     """
+    with contextlib.ExitStack() as stack:
+        if deadline is not None:
+            stack.enter_context(active_deadline(deadline))
+        return _optimize_under_deadline(
+            func,
+            arch,
+            allow_nti=allow_nti,
+            parallelize=parallelize,
+            vectorize=vectorize,
+            exhaustive=exhaustive,
+        )
+
+
+def _optimize_under_deadline(
+    func: Func,
+    arch: ArchSpec,
+    *,
+    allow_nti: bool,
+    parallelize: bool,
+    vectorize: bool,
+    exhaustive: bool,
+) -> OptimizationResult:
     start = time.perf_counter()
     classification = classify(func)
     use_nti = allow_nti and classification.use_nti and arch.supports_nt_stores
@@ -179,9 +211,28 @@ def optimize_pipeline(
     arch: ArchSpec,
     *,
     allow_nti: bool = True,
+    parallelize: bool = True,
+    vectorize: bool = True,
+    exhaustive: bool = False,
+    deadline: Optional[Deadline] = None,
 ) -> Dict[Func, Schedule]:
-    """Optimize every stage of a pipeline independently (compute_root)."""
+    """Optimize every stage of a pipeline independently (compute_root).
+
+    All keyword switches are forwarded to :func:`optimize` per stage; a
+    ``deadline`` is shared across the whole pipeline, not per stage.
+    """
     out: Dict[Func, Schedule] = {}
-    for stage in pipeline:
-        out[stage] = optimize(stage, arch, allow_nti=allow_nti).schedule
+    with contextlib.ExitStack() as stack:
+        if deadline is not None:
+            stack.enter_context(active_deadline(deadline))
+        for stage in pipeline:
+            checkpoint(f"pipeline stage {stage.name}")
+            out[stage] = optimize(
+                stage,
+                arch,
+                allow_nti=allow_nti,
+                parallelize=parallelize,
+                vectorize=vectorize,
+                exhaustive=exhaustive,
+            ).schedule
     return out

@@ -31,7 +31,7 @@ from repro.core.costs import (
 from repro.core.emu import emu_l2
 from repro.ir.analysis import StatementInfo, analyze_func
 from repro.ir.func import Func
-from repro.util import ceil_div, tile_candidates
+from repro.util import ceil_div, checkpoint, tile_candidates
 
 
 @dataclass
@@ -124,6 +124,9 @@ def optimize_spatial(
             bounds[row], max_h, exhaustive=exhaustive
         )
         for t_h in height_cands:
+            # Cooperative deadline probe: Algorithm 3's search must stay
+            # interruptible per candidate.
+            checkpoint("spatial tile search")
             evaluated += 1
             ws1, ws2 = spatial_working_sets(n_arrays, t_w, t_h, lc)
             if ws1 > l1_capacity or ws2 > l2_capacity:

@@ -45,7 +45,7 @@ from repro.core.costs import (
 from repro.core.emu import emu_l1, emu_l2
 from repro.ir.analysis import StatementInfo, analyze_func
 from repro.ir.func import Func
-from repro.util import ceil_div, tile_candidates
+from repro.util import ceil_div, checkpoint, tile_candidates
 
 
 @dataclass
@@ -214,6 +214,9 @@ def optimize_temporal(
             for t_d2 in d2_cands:
                 for t_d3 in d3_cands:
                     for rest_tiles in itertools.product(*rest_cands):
+                        # Cooperative deadline probe: Algorithm 2's search
+                        # must stay interruptible per candidate.
+                        checkpoint("temporal tile search")
                         tiles = {c: t_c}
                         if d2:
                             tiles[d2] = t_d2
@@ -403,6 +406,7 @@ def _order_step(
 
     for inter_mid in itertools.permutations(free_inter):
         inter = ([par_var] if par_var else []) + list(inter_mid) + m_tail
+        checkpoint("temporal order search")
         for intra_mid in itertools.permutations(free_intra):
             intra = l_head + list(intra_mid) + [c]
             full = [(v, "inter") for v in inter] + [(v, "intra") for v in intra]

@@ -45,7 +45,7 @@ from repro.ir.analysis import (
     analyze_func,
 )
 from repro.ir.printer import print_nest, print_expr
-from repro.ir.validate import validate_schedule
+from repro.ir.validate import validate_func, validate_schedule
 from repro.ir.codegen_c import codegen, codegen_nest, signature_buffers
 from repro.ir.halide_out import emit_halide
 from repro.ir.serialize import (
@@ -92,6 +92,7 @@ __all__ = [
     "analyze_func",
     "print_nest",
     "print_expr",
+    "validate_func",
     "validate_schedule",
     "codegen",
     "codegen_nest",

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.ir.expr import Access, Expr, ExprLike, VarRef, wrap
-from repro.util import ReproError, ScheduleError
+from repro.util import ReproError, ScheduleError, ValidationError
 
 
 @dataclass(frozen=True)
@@ -39,7 +39,9 @@ class DType:
 
     def __post_init__(self) -> None:
         if self.size <= 0:
-            raise ValueError(f"dtype size must be positive, got {self.size}")
+            raise ValidationError(
+                f"dtype size must be positive, got {self.size}"
+            )
 
     def __str__(self) -> str:
         return self.name
@@ -77,7 +79,9 @@ class RVar(VarRef):
     def __init__(self, name: str, extent: int, min: int = 0) -> None:
         super().__init__(name)
         if extent <= 0:
-            raise ValueError(f"RVar {name!r} needs a positive extent, got {extent}")
+            raise ValidationError(
+                f"RVar {name!r} needs a positive extent, got {extent}"
+            )
         self.min = min
         self.extent = extent
 
@@ -98,10 +102,12 @@ class Buffer:
         self, name: str, shape: Sequence[int], dtype: DType = float32
     ) -> None:
         if not name:
-            raise ValueError("buffer name must be non-empty")
+            raise ValidationError("buffer name must be non-empty")
         shape = tuple(int(s) for s in shape)
         if any(s <= 0 for s in shape):
-            raise ValueError(f"buffer {name!r} has a non-positive extent: {shape}")
+            raise ValidationError(
+                f"buffer {name!r} has a non-positive extent: {shape}"
+            )
         self.name = name
         self.shape: Tuple[int, ...] = shape
         self.dtype = dtype
@@ -177,7 +183,7 @@ class Func:
 
     def __init__(self, name: str, dtype: DType = float32) -> None:
         if not name:
-            raise ValueError("Func name must be non-empty")
+            raise ValidationError("Func name must be non-empty")
         self.name = name
         self.dtype = dtype
         self.definitions: List[Definition] = []
@@ -255,7 +261,7 @@ class Func:
         """
         for var, extent in bounds.items():
             if extent <= 0:
-                raise ValueError(
+                raise ValidationError(
                     f"extent for {var.name!r} must be positive, got {extent}"
                 )
             self._bounds[var.name] = int(extent)

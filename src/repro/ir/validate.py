@@ -1,16 +1,20 @@
-"""Structural validation of schedules before lowering.
+"""Structural validation of schedules and Funcs before lowering.
 
 ``validate_schedule`` checks invariants that every legal schedule must
 satisfy; violations raise :class:`~repro.util.ScheduleError` with a message
-naming the offending loop.  The checks are deliberately structural — the
-*profitability* questions (is the column loop outermost? does the tile fit?)
-belong to the optimizer, not the IR.
+naming the offending loop.  ``validate_func`` is the input gate of the
+robust optimization flow: it rejects algorithm definitions the analytical
+model cannot process (no definition, missing or non-positive bounds) with
+:class:`~repro.util.ValidationError` *before* any search runs.  The checks
+are deliberately structural — the *profitability* questions (is the column
+loop outermost? does the tile fit?) belong to the optimizer, not the IR.
 """
 
 from __future__ import annotations
 
 from typing import Set
 
+from repro.ir.func import Func
 from repro.ir.schedule import (
     FusedInner,
     FusedOuter,
@@ -20,7 +24,44 @@ from repro.ir.schedule import (
     Schedule,
     SplitIndex,
 )
-from repro.util import ScheduleError, ceil_div
+from repro.util import ScheduleError, ValidationError, ceil_div
+
+
+def validate_func(func: Func) -> None:
+    """Raise :class:`ValidationError` if ``func`` is not optimizable.
+
+    Checks, in order:
+
+    1. the Func has at least one definition;
+    2. every pure variable of the main definition has a bound set;
+    3. every bound (pure extents and reduction extents) is a positive
+       integer — zero or negative iteration spaces are rejected here
+       instead of surfacing as divide-by-zero deep inside the cost model.
+    """
+    if not func.definitions:
+        raise ValidationError(
+            f"Func {func.name!r} has no definition; nothing to optimize"
+        )
+    definition = func.main_definition()
+    for var in definition.lhs_vars:
+        try:
+            bound = func.bound_of(var.name)
+        except KeyError:
+            raise ValidationError(
+                f"Func {func.name!r}: no bound set for pure var "
+                f"{var.name!r}; call set_bounds first"
+            ) from None
+        if bound <= 0:
+            raise ValidationError(
+                f"Func {func.name!r}: bound of {var.name!r} must be "
+                f"positive, got {bound}"
+            )
+    for rvar in definition.rvars:
+        if rvar.extent <= 0:
+            raise ValidationError(
+                f"Func {func.name!r}: reduction var {rvar.name!r} has "
+                f"non-positive extent {rvar.extent}"
+            )
 
 
 def _covered_extent(tree: IndexNode, extents) -> int:

@@ -1,0 +1,302 @@
+"""Fault injection for proving the degradation paths.
+
+The robustness guarantee of :func:`repro.robust.safe_optimize` — *every
+failure lands on a legal schedule* — is only as good as the failures the
+test suite can manufacture.  This module injects configurable faults into
+the flow's seams:
+
+========== ==================================================== ===========
+site       what is wrapped                                      default exc
+========== ==================================================== ===========
+classify   :func:`repro.core.classify.classify`                 ClassificationError
+emu        :func:`repro.core.emu.emu` (tile-bound emulation)    ReproError
+cost       :func:`repro.core.costs.total_cost` /                ReproError
+           :func:`repro.core.costs.spatial_partial_cost`
+simulate   :func:`repro.sim.executor.run_nests`                 SimulationError
+schedule   :func:`repro.core.standard.build_schedule`           ScheduleError
+analyze    :func:`repro.ir.analysis.analyze_func`               ClassificationError
+========== ==================================================== ===========
+
+Three fault kinds are supported, each firing on the *N*-th call to the
+site (and optionally a limited number of subsequent calls):
+
+* ``raise`` — raise an exception (default per site, overridable);
+* ``deadline`` — exhaust the ambient :class:`~repro.util.Deadline`
+  (via :meth:`~repro.util.deadline.Deadline.force_expire`), so the next
+  cooperative checkpoint raises :class:`~repro.util.DeadlineExceeded`
+  exactly as a genuinely slow search would;
+* ``poison`` — return a configurable value (default ``nan``) instead of
+  calling the real function, modelling a numerically corrupted cost model.
+
+Use as a context manager or decorator::
+
+    with FaultInjector(raise_on("classify")):
+        result = safe_optimize(func, arch)     # lands on a fallback rung
+
+Injection patches the functions in their defining modules *and* in the
+namespaces of the known importers (``optimize`` binds ``classify`` at
+import time), and restores everything on exit, even when the body raises.
+"""
+
+from __future__ import annotations
+
+import functools
+import importlib
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.util import DeadlineExceeded, ReproError, current_deadline
+from repro.util.errors import (
+    ClassificationError,
+    ScheduleError,
+    SimulationError,
+)
+
+KIND_RAISE = "raise"
+KIND_DEADLINE = "deadline"
+KIND_POISON = "poison"
+
+_KINDS = (KIND_RAISE, KIND_DEADLINE, KIND_POISON)
+
+#: site -> [(module, attribute), ...]: every namespace holding a reference
+#: that must be patched for the fault to be visible to the flow.
+_PATCH_TABLE: Dict[str, List[Tuple[str, str]]] = {
+    "classify": [
+        ("repro.core.classify", "classify"),
+        ("repro.core.optimizer", "classify"),
+    ],
+    "emu": [
+        # emu_l1/emu_l2 call through this module-global, so one patch
+        # covers both Algorithm-2 and Algorithm-3 bound queries.
+        ("repro.core.emu", "emu"),
+    ],
+    "cost": [
+        ("repro.core.costs", "total_cost"),
+        ("repro.core.temporal", "total_cost"),
+        ("repro.core.costs", "spatial_partial_cost"),
+        ("repro.core.spatial", "spatial_partial_cost"),
+    ],
+    "simulate": [
+        ("repro.sim.executor", "run_nests"),
+        ("repro.sim.machine", "run_nests"),
+    ],
+    # The two seams below exist to drive the fallback chain all the way
+    # down in tests: "schedule" fails every rung that materializes tiles
+    # (proposed + auto-scheduler), "analyze" fails every rung that inspects
+    # the statement (proposed + auto-scheduler + baseline), leaving only
+    # the untransformed rung standing.
+    "schedule": [
+        ("repro.core.standard", "build_schedule"),
+        ("repro.core.optimizer", "build_schedule"),
+        ("repro.baselines.autoscheduler", "build_schedule"),
+    ],
+    "analyze": [
+        ("repro.ir.analysis", "analyze_func"),
+        ("repro.core.classify", "analyze_func"),
+        ("repro.core.temporal", "analyze_func"),
+        ("repro.core.spatial", "analyze_func"),
+        ("repro.baselines.autoscheduler", "analyze_func"),
+        ("repro.baselines.baseline", "analyze_func"),
+    ],
+}
+
+_DEFAULT_EXC: Dict[str, Callable[[str], ReproError]] = {
+    "classify": lambda site: ClassificationError(
+        "injected fault: classification failed"
+    ),
+    "emu": lambda site: ReproError("injected fault: cache emulation failed"),
+    "cost": lambda site: ReproError("injected fault: cost evaluation failed"),
+    "simulate": lambda site: SimulationError(
+        "injected fault: simulator inconsistency"
+    ),
+    "schedule": lambda site: ScheduleError(
+        "injected fault: schedule construction failed"
+    ),
+    "analyze": lambda site: ClassificationError(
+        "injected fault: statement analysis failed"
+    ),
+}
+
+
+@dataclass
+class FaultSpec:
+    """One fault: *where*, *what kind*, and *when* it fires.
+
+    Attributes
+    ----------
+    site:
+        One of ``classify``, ``emu``, ``cost``, ``simulate``.
+    kind:
+        ``raise``, ``deadline`` or ``poison``.
+    on_call:
+        1-based call index at which the fault starts firing.
+    count:
+        How many consecutive calls fire (``None`` = every call from
+        ``on_call`` on).
+    exc:
+        Exception *instance* to raise for ``raise`` faults; defaults to
+        the site's natural error type.
+    value:
+        Return value for ``poison`` faults (default NaN; use
+        ``float("inf")`` for infinity poisoning).
+    """
+
+    site: str
+    kind: str = KIND_RAISE
+    on_call: int = 1
+    count: Optional[int] = None
+    exc: Optional[BaseException] = None
+    value: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if self.site not in _PATCH_TABLE:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; known: "
+                f"{sorted(_PATCH_TABLE)}"
+            )
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {list(_KINDS)}"
+            )
+        if self.on_call < 1:
+            raise ValueError(f"on_call is 1-based, got {self.on_call}")
+        if self.count is not None and self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+    def fires(self, call_index: int) -> bool:
+        """Whether the fault is armed for the given 1-based call index."""
+        if call_index < self.on_call:
+            return False
+        if self.count is None:
+            return True
+        return call_index < self.on_call + self.count
+
+
+def raise_on(
+    site: str,
+    n: int = 1,
+    exc: Optional[BaseException] = None,
+    count: Optional[int] = None,
+) -> FaultSpec:
+    """Fault: raise on the ``n``-th call to ``site`` (and onwards)."""
+    return FaultSpec(site=site, kind=KIND_RAISE, on_call=n, count=count, exc=exc)
+
+
+def poison(
+    site: str, value: float = float("nan"), n: int = 1
+) -> FaultSpec:
+    """Fault: return ``value`` (NaN/inf) instead of the real result."""
+    return FaultSpec(site=site, kind=KIND_POISON, on_call=n, value=value)
+
+
+def exhaust_deadline(site: str, n: int = 1) -> FaultSpec:
+    """Fault: expire the ambient deadline when ``site`` is called."""
+    return FaultSpec(site=site, kind=KIND_DEADLINE, on_call=n)
+
+
+class FaultInjector:
+    """Context manager / decorator installing a set of :class:`FaultSpec`.
+
+    Call counters are **per site** (shared across that site's patched
+    functions) and reset on every ``__enter__``, so one injector can be
+    reused across tests.  :meth:`calls` exposes the counters for
+    asserting that a fault actually fired.
+    """
+
+    def __init__(self, *specs: FaultSpec) -> None:
+        if not specs:
+            raise ValueError("FaultInjector needs at least one FaultSpec")
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self._counters: Dict[str, int] = {}
+        self._saved: List[Tuple[object, str, object]] = []
+        self._active = False
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def calls(self, site: str) -> int:
+        """How many times ``site`` has been called under injection."""
+        return self._counters.get(site, 0)
+
+    def _specs_for(self, site: str) -> List[FaultSpec]:
+        return [s for s in self.specs if s.site == site]
+
+    def _fire(self, site: str) -> Optional[FaultSpec]:
+        """Record a call to ``site``; return the spec that fires, if any."""
+        self._counters[site] = self._counters.get(site, 0) + 1
+        index = self._counters[site]
+        for spec in self._specs_for(site):
+            if spec.fires(index):
+                return spec
+        return None
+
+    def _wrap(self, site: str, original: Callable) -> Callable:
+        @functools.wraps(original)
+        def wrapper(*args, **kwargs):
+            spec = self._fire(site)
+            if spec is None:
+                return original(*args, **kwargs)
+            if spec.kind == KIND_RAISE:
+                raise spec.exc if spec.exc is not None else _DEFAULT_EXC[site](site)
+            if spec.kind == KIND_DEADLINE:
+                deadline = current_deadline()
+                if deadline is None:
+                    # No budget to exhaust: surface the intent directly so
+                    # the fault is never silently absorbed.
+                    raise DeadlineExceeded(
+                        f"injected fault: {site} exhausted a deadline, but "
+                        f"no deadline was active"
+                    )
+                deadline.force_expire()
+                return original(*args, **kwargs)
+            # KIND_POISON: skip the real computation entirely.
+            return spec.value
+
+        return wrapper
+
+    # -- installation --------------------------------------------------
+
+    def __enter__(self) -> "FaultInjector":
+        if self._active:
+            raise RuntimeError("FaultInjector is not re-entrant")
+        self._active = True
+        self._counters = {}
+        sites = {spec.site for spec in self.specs}
+        # Wrap each distinct original once so sites with several aliases
+        # (classify in two namespaces) share one wrapper and counter.
+        wrappers: Dict[int, Callable] = {}
+        try:
+            for site in sorted(sites):
+                for module_name, attr in _PATCH_TABLE[site]:
+                    module = importlib.import_module(module_name)
+                    original = getattr(module, attr)
+                    key = id(original)
+                    if key not in wrappers:
+                        wrappers[key] = self._wrap(site, original)
+                    self._saved.append((module, attr, original))
+                    setattr(module, attr, wrappers[key])
+        except BaseException:
+            self.__exit__(None, None, None)
+            raise
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        while self._saved:
+            module, attr, original = self._saved.pop()
+            setattr(module, attr, original)
+        self._active = False
+
+    # -- decorator support ---------------------------------------------
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with self:
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def inject(*specs: FaultSpec) -> FaultInjector:
+    """Sugar: ``with inject(raise_on("classify")): ...``."""
+    return FaultInjector(*specs)

@@ -28,6 +28,7 @@ from repro.ir.schedule import Schedule
 from repro.sim.executor import SimResult, run_nests
 from repro.sim.timing import NestTime, TimingModel, time_nest, total_time_ms
 from repro.sim.trace import MemoryLayout
+from repro.util import ValidationError, checkpoint
 
 FuncSchedules = Sequence[Tuple[Func, Optional[Schedule]]]
 
@@ -75,6 +76,10 @@ class Machine:
         line_budget: int = 200_000,
         enable_prefetch: bool = True,
     ) -> None:
+        if line_budget <= 0:
+            raise ValidationError(
+                f"line budget must be positive, got {line_budget}"
+            )
         self.arch = arch
         self.timing = timing or TimingModel()
         self.line_budget = line_budget
@@ -107,6 +112,7 @@ class Machine:
         self, nests: Sequence[LoopNest], *, layout: Optional[MemoryLayout] = None
     ) -> MachineReport:
         """Simulate already-lowered nests and price them."""
+        checkpoint("simulation")
         parallel = any(n.parallel_loops() for n in nests)
         hierarchy = self._build_hierarchy(parallel)
         sim = run_nests(

@@ -5,6 +5,14 @@ from repro.util.errors import (
     ScheduleError,
     ClassificationError,
     SimulationError,
+    ValidationError,
+    DeadlineExceeded,
+)
+from repro.util.deadline import (
+    Deadline,
+    active_deadline,
+    checkpoint,
+    current_deadline,
 )
 from repro.util.numbers import (
     ceil_div,
@@ -19,6 +27,12 @@ __all__ = [
     "ScheduleError",
     "ClassificationError",
     "SimulationError",
+    "ValidationError",
+    "DeadlineExceeded",
+    "Deadline",
+    "active_deadline",
+    "checkpoint",
+    "current_deadline",
     "ceil_div",
     "divisors",
     "pow2_range",

@@ -1,0 +1,149 @@
+"""Cooperative deadlines for the optimization flow.
+
+The paper reports optimizer runtime as a first-class result (Table 5), but
+the search loops of Algorithms 2 and 3 have no intrinsic time bound: an
+adversarial problem size can make the candidate enumeration arbitrarily
+slow.  This module provides the cooperative budget machinery that
+:func:`repro.robust.safe_optimize` uses to bound each fallback rung:
+
+* :class:`Deadline` — a ``time.perf_counter``-based budget with an explicit
+  expiry, checked (never preempted) at well-known points;
+* :func:`active_deadline` — a context manager installing a deadline into a
+  :class:`contextvars.ContextVar`, so deeply nested search loops need no
+  parameter threading;
+* :func:`checkpoint` — the probe the candidate loops of
+  ``optimize_temporal`` / ``optimize_spatial`` (and the simulator) call;
+  it raises :class:`~repro.util.errors.DeadlineExceeded` when the active
+  deadline has expired and is a cheap no-op otherwise.
+
+Checkpoints are *cooperative*: a deadline can only fire at a checkpoint,
+so the guarantee is "the search stops within one candidate evaluation of
+the budget", not a hard preemption — the same discipline production
+autoschedulers use to stay signal-safe.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from typing import Iterator, Optional
+
+from repro.util.errors import DeadlineExceeded
+
+
+class Deadline:
+    """A wall-clock budget measured with ``time.perf_counter``.
+
+    Parameters
+    ----------
+    budget_seconds:
+        How long the guarded work may run.  ``None`` means unbounded (every
+        probe is a no-op), which lets callers thread one object through
+        unconditionally.
+    label:
+        Human-readable name included in the ``DeadlineExceeded`` message
+        (e.g. the fallback rung being attempted).
+    """
+
+    __slots__ = ("budget_seconds", "label", "_started_at", "_expires_at")
+
+    def __init__(
+        self, budget_seconds: Optional[float], label: str = "optimize"
+    ) -> None:
+        if budget_seconds is not None and budget_seconds < 0:
+            raise ValueError(
+                f"deadline budget must be >= 0, got {budget_seconds}"
+            )
+        self.budget_seconds = budget_seconds
+        self.label = label
+        self._started_at = time.perf_counter()
+        self._expires_at = (
+            None
+            if budget_seconds is None
+            else self._started_at + budget_seconds
+        )
+
+    # -- introspection -------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was created."""
+        return time.perf_counter() - self._started_at
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (never negative), or ``None`` when unbounded."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.perf_counter())
+
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        if self._expires_at is None:
+            return False
+        return time.perf_counter() >= self._expires_at
+
+    # -- enforcement ---------------------------------------------------
+
+    def check(self, stage: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget has run out."""
+        if self.expired():
+            where = f" during {stage}" if stage else ""
+            raise DeadlineExceeded(
+                f"deadline {self.label!r} exhausted after "
+                f"{self.elapsed() * 1000:.1f} ms "
+                f"(budget {self.budget_seconds * 1000:.1f} ms){where}"
+            )
+
+    def force_expire(self) -> None:
+        """Expire the deadline immediately.
+
+        Used by the fault-injection framework to model a stage exhausting
+        its budget without actually sleeping through it.
+        """
+        now = time.perf_counter()
+        self._expires_at = now
+        if self.budget_seconds is None:
+            self.budget_seconds = now - self._started_at
+
+    def __repr__(self) -> str:
+        if self.budget_seconds is None:
+            return f"Deadline({self.label!r}, unbounded)"
+        return (
+            f"Deadline({self.label!r}, budget={self.budget_seconds * 1000:.1f}ms, "
+            f"remaining={(self.remaining() or 0.0) * 1000:.1f}ms)"
+        )
+
+
+_ACTIVE: contextvars.ContextVar[Optional[Deadline]] = contextvars.ContextVar(
+    "repro_active_deadline", default=None
+)
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline installed by the nearest :func:`active_deadline`."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def active_deadline(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Install ``deadline`` as the ambient deadline for the ``with`` body.
+
+    Passing ``None`` explicitly clears any outer deadline, so a rung that
+    must always complete (the untransformed fallback) can opt out.
+    """
+    token = _ACTIVE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _ACTIVE.reset(token)
+
+
+def checkpoint(stage: str = "") -> None:
+    """Cooperative probe: raise if the ambient deadline has expired.
+
+    A no-op when no deadline is active, so the optimizer's candidate loops
+    can call this unconditionally.
+    """
+    deadline = _ACTIVE.get()
+    if deadline is not None:
+        deadline.check(stage)

@@ -28,3 +28,26 @@ class ClassificationError(ReproError):
 
 class SimulationError(ReproError):
     """The trace generator or cache simulator hit an inconsistent state."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input failed structural validation before any optimization ran.
+
+    Raised for zero/negative loop bounds, degenerate cache geometries
+    (non-power-of-two line sizes, an L1 bigger than its L2, ...), and other
+    inputs the analytical model cannot meaningfully process.  Subclasses
+    :class:`ValueError` so callers predating the ``ReproError`` hierarchy
+    keep working.
+    """
+
+
+class DeadlineExceeded(ReproError, TimeoutError):
+    """A cooperative deadline expired while the optimizer was searching.
+
+    Raised from the checkpoints threaded through the candidate loops of
+    :func:`repro.core.temporal.optimize_temporal` and
+    :func:`repro.core.spatial.optimize_spatial` when the active
+    :class:`repro.util.deadline.Deadline` runs out of budget.  Subclasses
+    :class:`TimeoutError` for interoperability with generic timeout
+    handling.
+    """

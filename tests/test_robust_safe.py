@@ -1,0 +1,281 @@
+"""Tests for safe_optimize: the fallback chain, deadlines, diagnostics.
+
+The acceptance bar for the graceful-degradation layer: with faults
+injected into classification, tile-bound emulation, and cost evaluation,
+``safe_optimize`` still returns a schedule that lowers and simulates
+correctly, and the diagnostics record the stage, cause, and rung used for
+each degradation.
+"""
+
+import math
+
+import pytest
+
+from repro.core import Locality, optimize
+from repro.ir import Buffer, Func, Var, lower
+from repro.ir.validate import validate_schedule
+from repro.robust import (
+    RUNG_AUTOSCHEDULER,
+    RUNG_BASELINE,
+    RUNG_PROPOSED,
+    RUNG_UNTRANSFORMED,
+    FallbackPolicy,
+    exhaust_deadline,
+    inject,
+    poison,
+    raise_on,
+    safe_optimize,
+    safe_optimize_pipeline,
+)
+from repro.sim import Machine
+from repro.util import (
+    ClassificationError,
+    DeadlineExceeded,
+    ReproError,
+    ValidationError,
+)
+from tests.helpers import make_matmul, make_transpose_mask
+
+
+def assert_legal_and_simulable(func, schedule, arch):
+    """The degradation contract: the schedule validates, lowers, and runs."""
+    validate_schedule(schedule)
+    nests = lower(func, schedule)
+    assert nests
+    ms = Machine(arch, line_budget=2_000).time_funcs([(func, schedule)])
+    assert ms > 0
+
+
+class TestCleanRun:
+    def test_proposed_rung_used(self, arch):
+        func, *_ = make_matmul()
+        result = safe_optimize(func, arch)
+        assert result.rung == RUNG_PROPOSED
+        assert not result.fell_back
+        assert result.result is not None
+        assert result.result.locality is Locality.TEMPORAL
+        assert len(result.attempts) == 1 and result.attempts[0].ok
+        assert not result.diagnostics.has_errors()
+        assert_legal_and_simulable(func, result.schedule, arch)
+
+    def test_matches_plain_optimize(self, arch):
+        func, *_ = make_matmul()
+        plain = optimize(make_matmul()[0], arch)
+        safe = safe_optimize(func, arch)
+        assert safe.result.schedule.describe() == plain.schedule.describe()
+
+    def test_elapsed_recorded(self, arch):
+        func, *_ = make_matmul()
+        result = safe_optimize(func, arch)
+        assert result.elapsed_ms > 0
+        assert result.attempts[0].elapsed_ms > 0
+
+
+class TestFallbackRungs:
+    """Each injected fault lands one rung further down — and every rung
+    still yields a legal, simulable schedule."""
+
+    def test_classification_fault_lands_on_autoscheduler(self, arch):
+        func, *_ = make_matmul()
+        with inject(raise_on("classify")):
+            result = safe_optimize(func, arch)
+        assert result.rung == RUNG_AUTOSCHEDULER
+        assert result.fell_back
+        assert result.result is None
+        [record] = result.diagnostics.errors
+        assert record.stage == RUNG_PROPOSED
+        assert record.error_type == "ClassificationError"
+        assert record.fallback_to == RUNG_AUTOSCHEDULER
+        assert_legal_and_simulable(func, result.schedule, arch)
+
+    def test_emulation_fault_lands_on_autoscheduler(self, arch):
+        func, *_ = make_matmul()
+        with inject(raise_on("emu")):
+            result = safe_optimize(func, arch)
+        assert result.rung == RUNG_AUTOSCHEDULER
+        assert result.diagnostics.errors[0].error_type == "ReproError"
+        assert_legal_and_simulable(func, result.schedule, arch)
+
+    def test_emulation_fault_spatial_flow(self, arch):
+        func, *_ = make_transpose_mask()
+        with inject(raise_on("emu")):
+            result = safe_optimize(func, arch)
+        assert result.rung == RUNG_AUTOSCHEDULER
+        assert_legal_and_simulable(func, result.schedule, arch)
+
+    def test_nan_cost_poisoning_descends(self, arch):
+        func, *_ = make_matmul()
+        with inject(poison("cost", value=float("nan"))):
+            result = safe_optimize(func, arch)
+        assert result.rung == RUNG_AUTOSCHEDULER
+        [record] = result.diagnostics.errors
+        assert record.error_type == "ValidationError"
+        assert "non-finite" in record.message
+        assert_legal_and_simulable(func, result.schedule, arch)
+
+    def test_inf_cost_poisoning_descends(self, arch):
+        func, *_ = make_matmul()
+        with inject(poison("cost", value=float("inf"))):
+            result = safe_optimize(func, arch)
+        assert result.rung == RUNG_AUTOSCHEDULER
+        assert_legal_and_simulable(func, result.schedule, arch)
+
+    def test_schedule_fault_lands_on_baseline(self, arch):
+        func, *_ = make_matmul()
+        with inject(raise_on("schedule")):
+            result = safe_optimize(func, arch)
+        assert result.rung == RUNG_BASELINE
+        assert [a.rung for a in result.attempts] == [
+            RUNG_PROPOSED, RUNG_AUTOSCHEDULER, RUNG_BASELINE,
+        ]
+        # Two descents -> two error records, each naming the next rung.
+        fallbacks = [r.fallback_to for r in result.diagnostics.errors]
+        assert fallbacks == [RUNG_AUTOSCHEDULER, RUNG_BASELINE]
+        assert_legal_and_simulable(func, result.schedule, arch)
+
+    def test_analysis_fault_lands_on_untransformed(self, arch):
+        func, *_ = make_matmul()
+        with inject(raise_on("analyze")):
+            result = safe_optimize(func, arch)
+        assert result.rung == RUNG_UNTRANSFORMED
+        assert [a.rung for a in result.attempts] == [
+            RUNG_PROPOSED,
+            RUNG_AUTOSCHEDULER,
+            RUNG_BASELINE,
+            RUNG_UNTRANSFORMED,
+        ]
+        assert len(result.diagnostics.errors) == 3
+        assert_legal_and_simulable(func, result.schedule, arch)
+
+    def test_describe_names_the_degradation(self, arch):
+        func, *_ = make_matmul()
+        with inject(raise_on("classify")):
+            result = safe_optimize(func, arch)
+        text = result.describe()
+        assert "degraded" in text
+        assert "auto-scheduler" in text
+        assert "ClassificationError" in text
+
+
+class TestDeadlines:
+    def test_tiny_deadline_degrades(self, arch):
+        func, *_ = make_matmul(256)
+        policy = FallbackPolicy(deadline_ms=0.01)
+        result = safe_optimize(func, arch, policy)
+        assert result.fell_back
+        assert result.attempts[0].error_type == "DeadlineExceeded"
+        assert_legal_and_simulable(func, result.schedule, arch)
+
+    def test_deadline_fault_during_search(self, arch):
+        func, *_ = make_matmul()
+        policy = FallbackPolicy(deadline_ms=60_000.0)
+        with inject(exhaust_deadline("emu")):
+            result = safe_optimize(func, arch, policy)
+        assert result.attempts[0].error_type == "DeadlineExceeded"
+        assert result.rung == RUNG_AUTOSCHEDULER
+        assert_legal_and_simulable(func, result.schedule, arch)
+
+    def test_total_deadline_still_returns_schedule(self, arch):
+        func, *_ = make_matmul(256)
+        policy = FallbackPolicy(deadline_ms=0.01, total_deadline_ms=0.02)
+        result = safe_optimize(func, arch, policy)
+        # Even with the whole budget exhausted, the untransformed rung is
+        # deadline-exempt and must deliver.
+        assert result.rung != RUNG_PROPOSED
+        assert_legal_and_simulable(func, result.schedule, arch)
+
+    def test_generous_deadline_keeps_proposed(self, arch):
+        func, *_ = make_matmul()
+        policy = FallbackPolicy(deadline_ms=60_000.0)
+        result = safe_optimize(func, arch, policy)
+        assert result.rung == RUNG_PROPOSED
+
+
+class TestPolicies:
+    def test_strict_reraises_first_failure(self, arch):
+        func, *_ = make_matmul()
+        policy = FallbackPolicy.strict_policy()
+        with inject(raise_on("classify")):
+            with pytest.raises(ClassificationError, match="injected fault"):
+                safe_optimize(func, arch, policy)
+
+    def test_strict_deadline_raises(self, arch):
+        func, *_ = make_matmul(256)
+        policy = FallbackPolicy.strict_policy(deadline_ms=0.01)
+        with pytest.raises(DeadlineExceeded):
+            safe_optimize(func, arch, policy)
+
+    def test_lenient_policy_must_end_untransformed(self):
+        with pytest.raises(ValueError, match="untransformed"):
+            FallbackPolicy(rungs=(RUNG_PROPOSED, RUNG_BASELINE))
+
+    def test_rungs_must_be_ordered(self):
+        with pytest.raises(ValueError, match="ordered"):
+            FallbackPolicy(
+                rungs=(RUNG_BASELINE, RUNG_PROPOSED, RUNG_UNTRANSFORMED)
+            )
+
+    def test_unknown_rung_rejected(self):
+        with pytest.raises(ValueError, match="unknown fallback rung"):
+            FallbackPolicy(rungs=("prayer", RUNG_UNTRANSFORMED))
+
+    def test_shortened_chain(self, arch):
+        func, *_ = make_matmul()
+        policy = FallbackPolicy(
+            rungs=(RUNG_PROPOSED, RUNG_UNTRANSFORMED)
+        )
+        with inject(raise_on("classify")):
+            result = safe_optimize(func, arch, policy)
+        assert result.rung == RUNG_UNTRANSFORMED
+        assert_legal_and_simulable(func, result.schedule, arch)
+
+    def test_invalid_input_is_hard_failure(self, arch):
+        i, j = Var("i"), Var("j")
+        a = Buffer("A", (8, 8))
+        f = Func("F")
+        f[i, j] = a[i, j]
+        # No bounds set: no rung can schedule this; lenient still raises.
+        with pytest.raises(ValidationError, match="no bound set"):
+            safe_optimize(f, arch)
+
+    def test_validation_can_be_disabled(self, arch):
+        func, *_ = make_matmul()
+        policy = FallbackPolicy(validate_inputs=False)
+        assert safe_optimize(func, arch, policy).rung == RUNG_PROPOSED
+
+
+class TestPipeline:
+    def test_all_stages_optimized(self, arch):
+        from repro.bench import make_benchmark
+
+        case = make_benchmark("3mm", n=64)
+        results = safe_optimize_pipeline(case.pipeline, arch)
+        assert set(results) == set(case.funcs)
+        assert all(r.rung == RUNG_PROPOSED for r in results.values())
+
+    def test_stage_degradation_is_independent(self, arch):
+        from repro.bench import make_benchmark
+
+        case = make_benchmark("3mm", n=64)
+        with inject(raise_on("classify", n=2, count=1)):
+            results = safe_optimize_pipeline(case.pipeline, arch)
+        rungs = [results[f].rung for f in case.funcs]
+        assert rungs.count(RUNG_AUTOSCHEDULER) == 1
+        assert rungs.count(RUNG_PROPOSED) == len(rungs) - 1
+        for f, r in results.items():
+            assert_legal_and_simulable(f, r.schedule, arch)
+
+
+class TestNeverWorseThanLegal:
+    """Sweep every fault site: whatever breaks, the schedule is legal."""
+
+    @pytest.mark.parametrize(
+        "site", ["classify", "emu", "cost", "schedule", "analyze"]
+    )
+    def test_any_site_any_func(self, arch, site):
+        for maker in (make_matmul, make_transpose_mask):
+            func, *_ = maker()
+            with inject(raise_on(site)):
+                result = safe_optimize(func, arch)
+            assert result.fell_back
+            assert_legal_and_simulable(func, result.schedule, arch)

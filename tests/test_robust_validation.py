@@ -1,0 +1,220 @@
+"""Error-path coverage: exact exception types and messages.
+
+Satellite of the graceful-degradation issue: classification of indirect
+accesses, Schedule misuse, and the new input-validation rejects
+(zero/negative bounds, degenerate ArchSpec geometries).
+"""
+
+import pytest
+
+from repro.arch import ArchSpec, CacheSpec, intel_i7_5930k
+from repro.core import classify
+from repro.ir import Buffer, Func, RVar, Schedule, Var, float32
+from repro.ir.validate import validate_func
+from repro.util import (
+    ClassificationError,
+    Deadline,
+    DeadlineExceeded,
+    ReproError,
+    ScheduleError,
+    ValidationError,
+    active_deadline,
+    checkpoint,
+)
+from tests.helpers import make_matmul
+
+
+class TestClassificationErrors:
+    def test_indirect_access_raises(self):
+        i = Var("i")
+        idx = Buffer("Idx", (64,), float32)
+        data = Buffer("Data", (64,), float32)
+        f = Func("Gather")
+        f[i] = data[idx[i]]          # A[B[i]]: outside the affine subset
+        f.set_bounds({i: 64})
+        with pytest.raises(
+            ClassificationError, match="unsupported index expression"
+        ):
+            classify(f)
+
+    def test_variable_product_index_raises(self):
+        i, j = Var("i"), Var("j")
+        a = Buffer("A", (4096,), float32)
+        f = Func("F")
+        f[i, j] = a[i * j]
+        f.set_bounds({i: 64, j: 64})
+        with pytest.raises(
+            ClassificationError, match="product of two variables"
+        ):
+            classify(f)
+
+    def test_classification_error_is_repro_error(self):
+        assert issubclass(ClassificationError, ReproError)
+
+
+class TestScheduleMisuse:
+    def make_schedule(self):
+        func, *_ = make_matmul()
+        return Schedule(func)
+
+    def test_split_unknown_loop(self):
+        schedule = self.make_schedule()
+        with pytest.raises(ScheduleError, match="no loop named 'z'"):
+            schedule.split("z", "z_o", "z_i", 8)
+
+    def test_split_nonpositive_factor(self):
+        schedule = self.make_schedule()
+        with pytest.raises(
+            ScheduleError, match="split factor must be positive"
+        ):
+            schedule.split("i", "i_o", "i_i", 0)
+
+    def test_reorder_duplicate_loops(self):
+        schedule = self.make_schedule()
+        with pytest.raises(ScheduleError, match="duplicate loops"):
+            schedule.reorder_outer_to_inner("i", "i", "j")
+
+    def test_update_with_different_vars(self):
+        i, j, x = Var("i"), Var("j"), Var("x")
+        f = Func("F")
+        f[i, j] = 0.0
+        with pytest.raises(ScheduleError, match="must use the pure variables"):
+            f[x, j] = 1.0
+
+    def test_rvar_on_lhs(self):
+        k = RVar("k", 8)
+        f = Func("F")
+        with pytest.raises(ScheduleError, match="pure Vars"):
+            f[k] = 0.0
+
+
+class TestFuncValidation:
+    def test_zero_bound_rejected(self):
+        i = Var("i")
+        f = Func("F")
+        f[i] = 0.0
+        with pytest.raises(
+            ValidationError, match="extent for 'i' must be positive, got 0"
+        ):
+            f.set_bounds({i: 0})
+
+    def test_negative_bound_rejected(self):
+        i = Var("i")
+        f = Func("F")
+        f[i] = 0.0
+        with pytest.raises(ValidationError, match="got -4"):
+            f.set_bounds({i: -4})
+
+    def test_zero_rvar_extent_rejected(self):
+        with pytest.raises(ValidationError, match="positive extent"):
+            RVar("k", 0)
+
+    def test_buffer_nonpositive_extent_rejected(self):
+        with pytest.raises(ValidationError, match="non-positive extent"):
+            Buffer("A", (16, 0))
+
+    def test_validation_error_is_both_valueerror_and_reproerror(self):
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(ValidationError, ReproError)
+
+    def test_validate_func_missing_bounds(self):
+        i = Var("i")
+        f = Func("F")
+        f[i] = 0.0
+        with pytest.raises(ValidationError, match="no bound set for pure var"):
+            validate_func(f)
+
+    def test_validate_func_no_definition(self):
+        with pytest.raises(ValidationError, match="no definition"):
+            validate_func(Func("Empty"))
+
+    def test_validate_func_accepts_complete_func(self):
+        func, *_ = make_matmul()
+        validate_func(func)  # no raise
+
+
+class TestArchValidation:
+    def good_cache(self, **kw):
+        base = dict(size=32 * 1024, line_size=64, ways=8, latency=4)
+        base.update(kw)
+        return CacheSpec(**base)
+
+    def test_non_power_of_two_line_size(self):
+        with pytest.raises(ValidationError, match="power of two"):
+            self.good_cache(size=24 * 1024, line_size=48)
+
+    def test_absurd_line_size(self):
+        with pytest.raises(ValidationError, match="8B..4096B"):
+            self.good_cache(size=32 * 8192, line_size=8192)
+
+    def test_nonpositive_latency(self):
+        with pytest.raises(ValidationError, match="latency"):
+            self.good_cache(latency=0)
+
+    def test_l1_bigger_than_l2(self):
+        arch = intel_i7_5930k()
+        with pytest.raises(ValidationError, match="L1 .* larger than L2"):
+            arch.with_overrides(
+                l1=self.good_cache(size=1024 * 1024),
+            )
+
+    def test_mismatched_line_sizes(self):
+        arch = intel_i7_5930k()
+        with pytest.raises(ValidationError, match="one line size"):
+            arch.with_overrides(l1=self.good_cache(line_size=32))
+
+    def test_nonpositive_mem_latency(self):
+        with pytest.raises(ValidationError, match="memory latency"):
+            intel_i7_5930k().with_overrides(mem_latency=0)
+
+    def test_negative_prefetch_degree(self):
+        with pytest.raises(ValidationError, match="prefetcher"):
+            intel_i7_5930k().with_overrides(l2_prefetches_per_access=-1)
+
+    def test_platforms_pass_their_own_validation(self):
+        from repro.arch import arm_cortex_a15, intel_i7_6700
+
+        for factory in (intel_i7_5930k, intel_i7_6700, arm_cortex_a15):
+            assert isinstance(factory(), ArchSpec)
+
+
+class TestDeadlinePrimitive:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Deadline(-1.0)
+
+    def test_unbounded_never_expires(self):
+        d = Deadline(None)
+        assert not d.expired()
+        assert d.remaining() is None
+        d.check("anything")  # no raise
+
+    def test_zero_budget_expires_immediately(self):
+        d = Deadline(0.0, label="now")
+        assert d.expired()
+        with pytest.raises(DeadlineExceeded, match="'now'"):
+            d.check("stage-x")
+
+    def test_message_names_the_stage(self):
+        d = Deadline(0.0, label="rung")
+        with pytest.raises(DeadlineExceeded, match="during stage-x"):
+            d.check("stage-x")
+
+    def test_checkpoint_noop_without_deadline(self):
+        checkpoint("free-running")  # no ambient deadline: no raise
+
+    def test_checkpoint_uses_ambient_deadline(self):
+        with active_deadline(Deadline(0.0, label="ambient")):
+            with pytest.raises(DeadlineExceeded):
+                checkpoint("loop")
+        checkpoint("loop")  # restored on exit
+
+    def test_force_expire(self):
+        d = Deadline(3600.0)
+        assert not d.expired()
+        d.force_expire()
+        assert d.expired()
+
+    def test_deadline_exceeded_is_timeout_and_repro_error(self):
+        assert issubclass(DeadlineExceeded, TimeoutError)
+        assert issubclass(DeadlineExceeded, ReproError)
