@@ -11,7 +11,11 @@ Examples::
 
 ``optimize`` runs the paper's flow on a benchmark and prints the decision
 trail; ``compare`` measures all techniques on the simulator (one Fig. 4
-row); ``codegen`` emits the optimized schedule as a C translation unit.
+row); ``codegen`` emits the optimized schedule as a C translation unit;
+``sweep`` regenerates every table and figure through the crash-safe,
+resumable sweep runner (``python -m repro sweep --fast --jobs 4``; same
+flags as ``python -m repro.experiments``, exit code 5 when cells were
+quarantined).
 
 Robustness posture (see ``docs/API.md``, *Failure modes*):
 
@@ -160,6 +164,24 @@ def cmd_compare(args) -> int:
     return EXIT_FALLBACK if fell_back else EXIT_OK
 
 
+def cmd_sweep(args) -> int:
+    """Forward to the sweep-driven experiments entry point."""
+    from repro.experiments.__main__ import main as experiments_main
+
+    argv = []
+    if args.fast:
+        argv.append("--fast")
+    if args.fresh:
+        argv.append("--fresh")
+    if args.jobs != 1:
+        argv.extend(["--jobs", str(args.jobs)])
+    if args.timeout_s is not None:
+        argv.extend(["--timeout-s", str(args.timeout_s)])
+    if args.journal is not None:
+        argv.extend(["--journal", args.journal])
+    return experiments_main(argv)
+
+
 def cmd_codegen(args) -> int:
     arch = _resolve_platform(args.platform)
     case = _make_case(args.benchmark, args.fast)
@@ -229,6 +251,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen = sub.add_parser("codegen", help="emit C for the best schedule")
     common(p_gen)
     p_gen.add_argument("-o", "--output", help="write to a file")
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="regenerate all tables/figures (crash-safe, resumable)",
+    )
+    p_sweep.add_argument("--fast", action="store_true",
+                         help="scaled-down problem sizes")
+    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="parallel worker subprocesses")
+    p_sweep.add_argument("--fresh", action="store_true",
+                         help="discard the journal and start over")
+    p_sweep.add_argument("--timeout-s", type=float, default=None,
+                         metavar="S", dest="timeout_s",
+                         help="hard per-cell timeout")
+    p_sweep.add_argument("--journal", default=None, metavar="PATH",
+                         help="journal path (default: .repro-sweep.jsonl)")
     return parser
 
 
@@ -239,6 +277,7 @@ def main(argv=None) -> int:
         "optimize": cmd_optimize,
         "compare": cmd_compare,
         "codegen": cmd_codegen,
+        "sweep": cmd_sweep,
     }[args.command]
     try:
         return handler(args)

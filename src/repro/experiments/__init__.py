@@ -21,13 +21,27 @@ controlled — see :class:`repro.experiments.harness.ExperimentConfig`.
 from repro.experiments.harness import (
     ExperimentConfig,
     TECHNIQUES,
-    schedules_for,
+    clear_measure_cache,
+    mark_quarantined,
     measure_case,
+    measure_key,
+    optimize_runtime,
+    optimize_runtime_key,
+    recording_cells,
+    schedules_for,
+    seed_measure_cache,
 )
 
 __all__ = [
     "ExperimentConfig",
     "TECHNIQUES",
-    "schedules_for",
+    "clear_measure_cache",
+    "mark_quarantined",
     "measure_case",
+    "measure_key",
+    "optimize_runtime",
+    "optimize_runtime_key",
+    "recording_cells",
+    "schedules_for",
+    "seed_measure_cache",
 ]

@@ -17,8 +17,12 @@ from repro.bench import benchmark_names
 from repro.experiments.harness import (
     ExperimentConfig,
     TECHNIQUES,
+    completion_note,
+    fmt_value,
     format_table,
     measure_case,
+    nanmin,
+    relative,
 )
 
 #: Benchmarks where the classifier enables NT stores, so "Proposed+NTI"
@@ -58,9 +62,9 @@ def run(
                 times[technique] = measure_case(
                     name, technique, platform, config=config
                 )
-            fastest = min(times.values())
+            fastest = nanmin(times.values())
             per_bench[name] = {
-                t: fastest / ms if ms > 0 else 0.0 for t, ms in times.items()
+                t: relative(fastest, ms) for t, ms in times.items()
             }
         out[platform] = per_bench
         if echo:
@@ -70,13 +74,21 @@ def run(
             headers = ("benchmark",) + TECHNIQUES
             rows = []
             for name, rel in per_bench.items():
+                # "-" marks structurally excluded cells (no NTI variant,
+                # autotuner exclusions); MISSING marks unmeasured ones.
                 rows.append(
                     (name,)
                     + tuple(
-                        f"{rel[t]:.2f}" if t in rel else "-" for t in TECHNIQUES
+                        fmt_value(rel[t]) if t in rel else "-"
+                        for t in TECHNIQUES
                     )
                 )
             print(format_table(headers, rows))
+            note = completion_note(
+                v for rel in per_bench.values() for v in rel.values()
+            )
+            if note:
+                print(note)
             print()
             for name, rel in per_bench.items():
                 for t in TECHNIQUES:

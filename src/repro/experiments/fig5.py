@@ -16,8 +16,11 @@ from typing import Dict, Optional, Tuple
 
 from repro.experiments.harness import (
     ExperimentConfig,
+    completion_note,
     format_table,
     measure_case,
+    nanmin,
+    relative,
 )
 
 BENCHMARKS = ("tpm", "convlayer", "matmul", "doitgen")
@@ -47,10 +50,10 @@ def run(
             config=config,
             autotune_evals=config.autotune_evals_day,
         )
-        fastest = min(proposed, tuned)
+        fastest = nanmin((proposed, tuned))
         out[name] = {
-            "proposed_nti": fastest / proposed,
-            "autotuner_day": fastest / tuned,
+            "proposed_nti": relative(fastest, proposed),
+            "autotuner_day": relative(fastest, tuned),
         }
         rows.append(
             (name, out[name]["proposed_nti"], out[name]["autotuner_day"])
@@ -58,6 +61,11 @@ def run(
     if echo:
         print("Fig. 5 — throughput relative to fastest (autotuner: 1-day budget)")
         print(format_table(("benchmark", "Proposed+NTI", "Autotuner(day)"), rows))
+        note = completion_note(
+            v for cell in out.values() for v in cell.values()
+        )
+        if note:
+            print(note)
     return out
 
 

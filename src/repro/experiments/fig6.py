@@ -14,8 +14,10 @@ from typing import Dict, Optional, Tuple
 
 from repro.experiments.harness import (
     ExperimentConfig,
+    completion_note,
     format_table,
     measure_case,
+    relative,
 )
 
 BENCHMARKS = ("tpm", "tp", "copy", "mask")
@@ -42,7 +44,7 @@ def run(
             for t in TECHNIQUES
         }
         ref = times["proposed"]
-        out[name] = {t: ref / ms if ms > 0 else 0.0 for t, ms in times.items()}
+        out[name] = {t: relative(ref, ms) for t, ms in times.items()}
         rows.append((name,) + tuple(out[name][t] for t in TECHNIQUES))
     if echo:
         print("Fig. 6 — throughput relative to Proposed (non-NTI), i7-5930K")
@@ -52,6 +54,11 @@ def run(
                 rows,
             )
         )
+        note = completion_note(
+            v for cell in out.values() for v in cell.values()
+        )
+        if note:
+            print(note)
     return out
 
 

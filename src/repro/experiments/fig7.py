@@ -17,8 +17,11 @@ from typing import Dict, Optional, Tuple
 from repro.bench import benchmark_names
 from repro.experiments.harness import (
     ExperimentConfig,
+    completion_note,
     format_table,
     measure_case,
+    nanmin,
+    relative,
 )
 
 PLATFORM = "arm-a15"
@@ -48,8 +51,8 @@ def run(
             t: measure_case(name, t, PLATFORM, config=config)
             for t in TECHNIQUES
         }
-        fastest = min(times.values())
-        out[name] = {t: fastest / ms if ms > 0 else 0.0 for t, ms in times.items()}
+        fastest = nanmin(times.values())
+        out[name] = {t: relative(fastest, ms) for t, ms in times.items()}
         rows.append((name,) + tuple(out[name][t] for t in TECHNIQUES))
     if echo:
         print("Fig. 7 — ARM Cortex A15: throughput relative to fastest")
@@ -58,6 +61,11 @@ def run(
                 ("benchmark", "Proposed", "Auto-Scheduler", "Baseline"), rows
             )
         )
+        note = completion_note(
+            v for cell in out.values() for v in cell.values()
+        )
+        if note:
+            print(note)
     return out
 
 

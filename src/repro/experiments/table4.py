@@ -17,8 +17,10 @@ from typing import Dict, Optional
 from repro.bench import benchmark_names, size_for
 from repro.experiments.harness import (
     ExperimentConfig,
+    completion_note,
     format_table,
     measure_case,
+    nanmin,
 )
 
 #: Techniques over which "best" is taken, per platform.
@@ -49,7 +51,7 @@ def run(
                 techniques = _ARM_TECHNIQUES
             else:
                 techniques = _INTEL_TECHNIQUES
-            best = min(
+            best = nanmin(
                 measure_case(name, t, platform, config=config)
                 for t in techniques
             )
@@ -74,6 +76,11 @@ def run(
                 ("benchmark", "size", "i7-6700", "i7-5930K", "ARM A15"), rows
             )
         )
+        note = completion_note(
+            v for per_platform in out.values() for v in per_platform.values()
+        )
+        if note:
+            print(note)
     return out
 
 

@@ -2,19 +2,27 @@
 
 The paper reports milliseconds-scale runtimes for all benchmarks except
 the convolution layer (7.6 s), whose deep nest explodes the permutation
-space.  This regenerator times :func:`repro.core.optimize` on every stage
-of every benchmark and reports the pipeline total.
+space.  The per-benchmark number lives in
+:func:`repro.experiments.harness.optimize_runtime`: a deterministic
+model (candidate-evaluation counts × calibrated per-candidate cost)
+rather than wall-clock, memoized and journaled by the sweep like any
+other measurement — that is what keeps an interrupted, resumed, or
+re-run regeneration's Table 5 bitwise-identical.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Optional
 
 from repro.arch import platform_by_name
-from repro.bench import benchmark_names, make_benchmark, size_for
-from repro.core import optimize
-from repro.experiments.harness import ExperimentConfig, format_table
+from repro.bench import benchmark_names
+from repro.experiments.harness import (
+    ExperimentConfig,
+    completion_note,
+    fmt_value,
+    format_table,
+    optimize_runtime,
+)
 
 
 def run(
@@ -28,15 +36,17 @@ def run(
     arch = platform_by_name(platform)
     out: Dict[str, float] = {}
     for name in benchmark_names():
-        case = make_benchmark(name, **size_for(name, small=config.fast))
-        start = time.perf_counter()
-        for stage in case.pipeline:
-            optimize(stage, arch)
-        out[name] = time.perf_counter() - start
+        out[name] = optimize_runtime(name, platform, config=config)
     if echo:
         print(f"Table 5. Optimization runtime ({arch.name})")
-        rows = [(name, f"{seconds:.3f}s") for name, seconds in out.items()]
+        rows = [
+            (name, fmt_value(seconds, "{:.3f}s"))
+            for name, seconds in out.items()
+        ]
         print(format_table(("benchmark", "runtime"), rows))
+        note = completion_note(out.values())
+        if note:
+            print(note)
     return out
 
 

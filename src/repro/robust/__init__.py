@@ -24,8 +24,14 @@ from repro.robust.diagnostics import (
 from repro.robust.faults import (
     FaultInjector,
     FaultSpec,
+    WORKER_FAULT_ENV,
+    WorkerFaultPlan,
+    WorkerFaultSpec,
+    corrupt_worker,
     exhaust_deadline,
+    hang_worker,
     inject,
+    kill_worker,
     poison,
     raise_on,
 )
@@ -52,8 +58,14 @@ __all__ = [
     "SEVERITY_WARNING",
     "FaultInjector",
     "FaultSpec",
+    "WORKER_FAULT_ENV",
+    "WorkerFaultPlan",
+    "WorkerFaultSpec",
+    "corrupt_worker",
     "exhaust_deadline",
+    "hang_worker",
     "inject",
+    "kill_worker",
     "poison",
     "raise_on",
     "FALLBACK_CHAIN",

@@ -36,6 +36,14 @@ Use as a context manager or decorator::
 Injection patches the functions in their defining modules *and* in the
 namespaces of the known importers (``optimize`` binds ``classify`` at
 import time), and restores everything on exit, even when the body raises.
+
+A second, process-level family targets the sweep workers of
+:mod:`repro.sweep`: a :class:`WorkerFaultPlan` built from
+:func:`kill_worker` / :func:`hang_worker` / :func:`corrupt_worker` specs
+arms the ``REPRO_WORKER_FAULT`` environment variable for chosen worker
+spawns, making the subprocess die by SIGKILL, stall past its timeout, or
+write garbage on its result channel — the failure modes the runner's
+retry/quarantine machinery exists to absorb.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ from __future__ import annotations
 import functools
 import importlib
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -300,3 +309,117 @@ class FaultInjector:
 def inject(*specs: FaultSpec) -> FaultInjector:
     """Sugar: ``with inject(raise_on("classify")): ...``."""
     return FaultInjector(*specs)
+
+
+# ----------------------------------------------------------------------
+# Worker-process faults (sweep subprocess isolation)
+# ----------------------------------------------------------------------
+
+KIND_KILL = "kill"
+KIND_HANG = "hang"
+KIND_CORRUPT = "corrupt"
+
+_WORKER_KINDS = (KIND_KILL, KIND_HANG, KIND_CORRUPT)
+
+#: Environment variable read by ``repro.sweep.worker`` at startup.
+WORKER_FAULT_ENV = "REPRO_WORKER_FAULT"
+
+
+@dataclass
+class WorkerFaultSpec:
+    """One process-level fault, fired on the *N*-th worker spawn.
+
+    Attributes
+    ----------
+    kind:
+        ``kill`` (SIGKILL self before any work), ``hang`` (sleep
+        ``hang_seconds``, forcing the parent's timeout), or ``corrupt``
+        (write non-JSON garbage to the result channel and exit 0).
+    on_spawn:
+        1-based spawn index at which the fault starts firing.
+    count:
+        How many consecutive spawns fire (``None`` = every spawn from
+        ``on_spawn`` on).  Defaults to 1 so a retried cell succeeds.
+    hang_seconds:
+        Sleep length for ``hang`` faults; pick it above the sweep's
+        per-cell timeout.
+    """
+
+    kind: str
+    on_spawn: int = 1
+    count: Optional[int] = 1
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _WORKER_KINDS:
+            raise ValueError(
+                f"unknown worker fault kind {self.kind!r}; "
+                f"known: {list(_WORKER_KINDS)}"
+            )
+        if self.on_spawn < 1:
+            raise ValueError(f"on_spawn is 1-based, got {self.on_spawn}")
+        if self.count is not None and self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+    def fires(self, spawn_index: int) -> bool:
+        if spawn_index < self.on_spawn:
+            return False
+        if self.count is None:
+            return True
+        return spawn_index < self.on_spawn + self.count
+
+    def env_value(self) -> str:
+        if self.kind == KIND_HANG:
+            return f"{KIND_HANG}:{self.hang_seconds}"
+        return self.kind
+
+
+def kill_worker(n: int = 1, count: Optional[int] = 1) -> WorkerFaultSpec:
+    """Fault: the ``n``-th spawned worker SIGKILLs itself immediately."""
+    return WorkerFaultSpec(kind=KIND_KILL, on_spawn=n, count=count)
+
+
+def hang_worker(
+    n: int = 1, seconds: float = 3600.0, count: Optional[int] = 1
+) -> WorkerFaultSpec:
+    """Fault: the ``n``-th spawned worker stalls for ``seconds``."""
+    return WorkerFaultSpec(
+        kind=KIND_HANG, on_spawn=n, count=count, hang_seconds=seconds
+    )
+
+
+def corrupt_worker(n: int = 1, count: Optional[int] = 1) -> WorkerFaultSpec:
+    """Fault: the ``n``-th spawned worker emits garbage instead of JSON."""
+    return WorkerFaultSpec(kind=KIND_CORRUPT, on_spawn=n, count=count)
+
+
+class WorkerFaultPlan:
+    """Decides, per worker spawn, which fault environment to install.
+
+    The sweep runner calls :meth:`env_for_spawn` once per subprocess
+    launch (thread-safe — spawns from parallel ``--jobs`` workers share
+    one counter) and merges the returned mapping into the worker's
+    environment.  :attr:`spawns` exposes the counter so tests can assert
+    how many launches a retry policy actually performed.
+    """
+
+    def __init__(self, *specs: WorkerFaultSpec) -> None:
+        if not specs:
+            raise ValueError("WorkerFaultPlan needs at least one spec")
+        self.specs: Tuple[WorkerFaultSpec, ...] = tuple(specs)
+        self._lock = threading.Lock()
+        self._spawns = 0
+
+    @property
+    def spawns(self) -> int:
+        return self._spawns
+
+    def env_for_spawn(self) -> Dict[str, str]:
+        """Record a spawn; return the fault env for it (possibly empty)."""
+        with self._lock:
+            self._spawns += 1
+            index = self._spawns
+        for spec in self.specs:
+            if spec.fires(index):
+                return {WORKER_FAULT_ENV: spec.env_value()}
+        return {}

@@ -1,0 +1,53 @@
+"""Cell planning: discover which cells a set of regenerators will need.
+
+Rather than duplicating the figure/table loops (and drifting from them),
+the planner runs each regenerator once in the harness's recording mode
+(:func:`repro.experiments.harness.recording_cells`): ``measure_case``
+reports the normalized parameters of every cell it is asked for and
+returns NaN without simulating anything, so a full plan costs
+milliseconds.  The recorded parameters convert 1:1 into
+:class:`~repro.sweep.cell.SweepCell` values, deduplicated in first-use
+order (Fig. 4, Fig. 6 and Table 4 share most of their cells).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.harness import ExperimentConfig, recording_cells
+from repro.sweep.cell import SweepCell
+
+
+def plan_cells(
+    modules: Sequence,
+    *,
+    config: Optional[ExperimentConfig] = None,
+) -> List[SweepCell]:
+    """Dry-run ``module.run(config=...)`` for each module; return its cells.
+
+    Modules must follow the regenerator convention (``run(*, config,
+    echo)``).  Output is suppressed and nothing is measured; the same
+    code paths that will later consume the journal decide the cell set,
+    so plan and render can never disagree.
+    """
+    config = config or ExperimentConfig()
+    recorded: List[Dict] = []
+    with recording_cells(recorded.append):
+        for module in modules:
+            # echo=False keeps regenerators quiet, but belt-and-braces
+            # swallow stray prints so planning never pollutes stdout.
+            with contextlib.redirect_stdout(io.StringIO()):
+                module.run(config=config, echo=False)
+    cells: List[SweepCell] = []
+    seen = set()
+    for params in recorded:
+        # The recorder emits SweepCell.from_dict-compatible payloads for
+        # both cell kinds (measurements and Table-5 optimizer runtimes).
+        cell = SweepCell.from_dict(params)
+        key = cell.key()
+        if key not in seen:
+            seen.add(key)
+            cells.append(cell)
+    return cells

@@ -142,6 +142,136 @@ class TestRegenerators:
         assert "arm-a15" in out["matmul"]
 
 
+class TestMemoKey:
+    def test_autotuner_seed_in_cache_key(self, config):
+        """Different seeds must not share a memoized autotuner result."""
+        from repro.experiments.harness import _MEASURE_CACHE
+
+        import dataclasses
+
+        cfg_a = dataclasses.replace(config, seed=0)
+        cfg_b = dataclasses.replace(config, seed=1)
+        measure_case("copy", "autotuner", "i7-5930k", config=cfg_a)
+        measure_case("copy", "autotuner", "i7-5930k", config=cfg_b)
+        autotuner_keys = [
+            k for k in _MEASURE_CACHE if k[1] == "autotuner"
+        ]
+        assert len(autotuner_keys) == 2  # one entry per seed
+
+    def test_seed_normalized_for_deterministic_techniques(self, config):
+        from repro.experiments import measure_key
+
+        key_a = measure_key(
+            "copy", "baseline", "i7-5930k",
+            line_budget=2000, autotune_evals=None, fast=True, seed=0,
+        )
+        key_b = measure_key(
+            "copy", "baseline", "i7-5930k",
+            line_budget=2000, autotune_evals=None, fast=True, seed=7,
+        )
+        assert key_a == key_b
+
+    def test_env_int_warns_on_malformed_override(self, monkeypatch):
+        from repro.experiments.harness import _env_int
+
+        monkeypatch.setenv("REPRO_AT_EVALS", "abc")
+        with pytest.warns(UserWarning, match="REPRO_AT_EVALS.*12"):
+            assert _env_int("REPRO_AT_EVALS", 12) == 12
+
+    def test_env_int_silent_on_valid_or_absent(self, monkeypatch):
+        import warnings as warnings_mod
+
+        from repro.experiments.harness import _env_int
+
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert _env_int("REPRO_TEST_KNOB", 3) == 3
+            monkeypatch.setenv("REPRO_TEST_KNOB", "17")
+            assert _env_int("REPRO_TEST_KNOB", 3) == 17
+
+
+class TestMissingCells:
+    def test_quarantined_cell_is_nan_and_renders_dash(self, config):
+        import math
+
+        from repro.experiments import mark_quarantined, measure_key
+        from repro.experiments.harness import MISSING
+
+        key = measure_key(
+            "copy", "baseline", "i7-5930k",
+            line_budget=config.line_budget, autotune_evals=None,
+            fast=True, seed=0,
+        )
+        mark_quarantined([key])
+        ms = measure_case("copy", "baseline", "i7-5930k", config=config)
+        assert math.isnan(ms)
+        assert MISSING in format_table(("a",), [(ms,)])
+
+    def test_nanmin_skips_missing(self):
+        import math
+
+        from repro.experiments.harness import nanmin
+
+        assert nanmin([3.0, float("nan"), 1.0]) == 1.0
+        assert math.isnan(nanmin([float("nan")]))
+        assert math.isnan(nanmin([]))
+
+    def test_relative_propagates_nan(self):
+        import math
+
+        from repro.experiments.harness import relative
+
+        assert relative(1.0, 2.0) == 0.5
+        assert math.isnan(relative(1.0, float("nan")))
+        assert math.isnan(relative(float("nan"), 2.0))
+        assert relative(1.0, 0.0) == 0.0
+
+    def test_completion_note(self):
+        from repro.experiments.harness import completion_note
+
+        assert completion_note([1.0, 2.0]) is None
+        note = completion_note([1.0, float("nan"), 2.0])
+        assert "2/3" in note and "1 unavailable" in note
+
+    def test_fig4_partial_row_keeps_measured_cells(self, config):
+        """A quarantined technique must not zero out the whole row."""
+        from repro.experiments import fig4, mark_quarantined, measure_key
+
+        key = measure_key(
+            "copy", "autoscheduler", "i7-5930k",
+            line_budget=config.line_budget, autotune_evals=None,
+            fast=True, seed=0,
+        )
+        mark_quarantined([key])
+        out = fig4.run(
+            platforms=("i7-5930k",), benchmarks=("copy",), config=config,
+            echo=False,
+        )
+        import math
+
+        rel = out["i7-5930k"]["copy"]
+        assert math.isnan(rel["autoscheduler"])
+        assert rel["proposed"] > 0  # still normalized over measured cells
+        assert max(
+            v for v in rel.values() if not math.isnan(v)
+        ) == pytest.approx(1.0)
+
+    def test_table5_renders_runtime_from_cache(self, config):
+        from repro.experiments import optimize_runtime, table5
+        from repro.experiments.harness import (
+            _MEASURE_CACHE,
+            optimize_runtime_key,
+        )
+
+        seconds = optimize_runtime("copy", "i7-5930k", config=config)
+        assert seconds >= 0
+        key = optimize_runtime_key("copy", "i7-5930k", True)
+        assert _MEASURE_CACHE[key] == seconds
+        # A second call replays the memo (no re-timing).
+        assert optimize_runtime("copy", "i7-5930k", config=config) == seconds
+
+
 class TestAsciiBar:
     def test_full_bar(self):
         from repro.experiments.harness import ascii_bar

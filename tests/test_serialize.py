@@ -1,5 +1,10 @@
 """Tests for schedule serialization (repro.ir.serialize)."""
 
+import json
+import os
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
@@ -98,9 +103,87 @@ class TestErrors:
             schedule_from_dict(f2, schedule_to_dict(s1))
 
     def test_dict_is_json_compatible(self):
-        import json
-
         c, _, _ = make_matmul(16)
         s = Schedule(c)
         s.split("i", "io", "ii", 4)
         json.dumps(schedule_to_dict(s))  # must not raise
+
+
+def _run_in_subprocess(code: str) -> str:
+    """Run a snippet in a fresh interpreter with repo+src on the path."""
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [repo_root, os.path.join(repo_root, "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestCrossProcess:
+    """The journal's contract: schedules serialized in a worker process
+    must replay in a different process onto a freshly built Func."""
+
+    def test_roundtrip_across_processes(self):
+        stdout = _run_in_subprocess(
+            "import json\n"
+            "from repro.ir import Schedule\n"
+            "from repro.ir.serialize import schedule_to_json\n"
+            "from tests.helpers import make_matmul\n"
+            "c, _, _ = make_matmul(64)\n"
+            "s = Schedule(c)\n"
+            "s.split('i', 'io', 'ii', 8).reorder('ii', 'k', 'j', 'io')\n"
+            "s.vectorize('ii').parallel('io')\n"
+            "print(schedule_to_json(s, indent=None))\n"
+        )
+        c2, _, _ = make_matmul(64)
+        replayed = schedule_from_json(c2, stdout.strip())
+        # reorder() lists innermost-first; loop_names() outermost-first.
+        assert replayed.loop_names() == ["io", "j", "k", "ii"]
+        kinds = {l.name: l.kind.value for l in replayed.loops()}
+        assert kinds["ii"] == "vectorized"
+        assert kinds["io"] == "parallel"
+
+    def test_worker_found_schedule_replays_here(self, arch):
+        """An optimizer result found in another process replays and runs."""
+        stdout = _run_in_subprocess(
+            "from repro.arch import intel_i7_5930k\n"
+            "from repro.core import optimize\n"
+            "from repro.ir.serialize import schedule_to_json\n"
+            "from tests.helpers import make_matmul\n"
+            "c, _, _ = make_matmul(32)\n"
+            "res = optimize(c, intel_i7_5930k())\n"
+            "print(schedule_to_json(res.schedule, indent=None))\n"
+        )
+        c2, a2, b2 = make_matmul(32)
+        replayed = schedule_from_json(c2, stdout.strip())
+        rng = np.random.default_rng(1)
+        a_v = rng.standard_normal((32, 32)).astype(np.float32)
+        b_v = rng.standard_normal((32, 32)).astype(np.float32)
+        out = execute(c2, replayed, {a2: a_v, b2: b_v})
+        # fp32 with a tiled accumulation order vs NumPy's: loose rtol.
+        np.testing.assert_allclose(out, a_v @ b_v, rtol=1e-3, atol=1e-4)
+
+    def test_incompatible_func_across_processes(self):
+        """A schedule journaled for one algorithm fails loudly when
+        replayed onto a different one in a fresh process."""
+        stdout = _run_in_subprocess(
+            "from repro.ir import Schedule\n"
+            "from repro.ir.serialize import schedule_to_json\n"
+            "from tests.helpers import make_matmul\n"
+            "c, _, _ = make_matmul(16)\n"
+            "s = Schedule(c)\n"
+            "s.split('k', 'ko', 'ki', 4)\n"
+            "print(schedule_to_json(s, indent=None))\n"
+        )
+        f2, _ = make_copy(16)  # has no loop named k
+        with pytest.raises(ScheduleError):
+            schedule_from_json(f2, stdout.strip())

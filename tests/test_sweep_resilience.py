@@ -1,0 +1,134 @@
+"""Crash-resilience: SIGKILL a sweep mid-run, resume, compare outputs.
+
+This is the acceptance test of the crash-safe runner: killing the driver
+partway through must not lose completed cells, the re-run must not
+re-execute them, and the final rendered values must be bitwise-identical
+to a never-interrupted run (simulated measurements are deterministic, so
+any divergence means state leaked through the journal).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+#: A small sweep: six cheap cells, executed sequentially (jobs=1) so the
+#: driver is guaranteed to be mid-sweep when the first record lands.
+DRIVER = """
+import sys
+from repro.sweep import Journal, SweepRunner, SweepCell
+
+CELLS = [
+    SweepCell(b, t, "i7-5930k", line_budget=2000, fast=True)
+    for b, t in [
+        ("copy", "baseline"), ("copy", "proposed"),
+        ("mask", "baseline"), ("mask", "proposed"),
+        ("tp", "baseline"), ("tpm", "baseline"),
+    ]
+]
+
+journal = Journal(sys.argv[1])
+report = SweepRunner(journal, timeout_s=120, progress=sys.stderr).run(CELLS)
+print(f"resumed={report.resumed}", file=sys.stderr)
+for key in sorted(r.key for r in journal.load().values()):
+    record = journal.load()[key]
+    print(f"{key} {record.ms!r}")
+"""
+
+
+def _spawn(journal_path, tmp_path):
+    repo_src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [repo_src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    driver = tmp_path / "driver.py"
+    driver.write_text(DRIVER)
+    return subprocess.Popen(
+        [sys.executable, str(driver), str(journal_path)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+def _wait_for_journal(path, min_lines, proc, timeout=120.0):
+    """Poll until the journal holds ``min_lines`` records (or give up)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            return  # driver finished before we could interrupt it
+        try:
+            with open(path) as handle:
+                if sum(1 for line in handle if line.strip()) >= min_lines:
+                    return
+        except FileNotFoundError:
+            pass
+        time.sleep(0.05)
+    pytest.fail("journal never reached the expected size")
+
+
+@pytest.mark.slow
+def test_sigkill_midway_resume_is_lossless_and_identical(tmp_path):
+    interrupted = tmp_path / "interrupted.jsonl"
+    control = tmp_path / "control.jsonl"
+
+    # Run 1: SIGKILL the driver once the first cells are journaled.
+    victim = _spawn(interrupted, tmp_path)
+    _wait_for_journal(interrupted, 2, victim)
+    if victim.poll() is None:
+        os.kill(victim.pid, signal.SIGKILL)
+    victim.communicate()
+
+    journaled_before = sum(
+        1 for line in open(interrupted) if line.strip()
+    )
+    assert journaled_before >= 1  # completed cells survived the kill
+
+    # Run 2: resume to completion on the same journal.
+    resumed = _spawn(interrupted, tmp_path)
+    out_resumed, err_resumed = resumed.communicate(timeout=300)
+    assert resumed.returncode == 0, err_resumed
+
+    # The resumed run must have skipped every journaled cell...
+    resumed_counts = [
+        line for line in err_resumed.splitlines()
+        if line.startswith("resumed=")
+    ]
+    assert resumed_counts and int(resumed_counts[0].split("=")[1]) >= 1
+
+    # Control: one uninterrupted run on a fresh journal.
+    clean = _spawn(control, tmp_path)
+    out_clean, err_clean = clean.communicate(timeout=300)
+    assert clean.returncode == 0, err_clean
+
+    # ...and the final values must be bitwise-identical (repr round-trip).
+    assert out_resumed == out_clean
+    assert len(out_resumed.splitlines()) == 6
+
+
+@pytest.mark.slow
+def test_torn_final_append_costs_at_most_one_cell(tmp_path):
+    """A SIGKILL can tear the very line being appended; the resume must
+    skip it with a diagnostic and re-measure only that cell."""
+    from repro.sweep import Journal, SweepRunner, SweepCell
+
+    cell = SweepCell("copy", "baseline", "i7-5930k", line_budget=2000, fast=True)
+    journal = Journal(str(tmp_path / "torn.jsonl"))
+    SweepRunner(journal, timeout_s=120).run([cell])
+    # Tear the record in half, as an ill-timed SIGKILL would.
+    with open(journal.path) as handle:
+        line = handle.read()
+    with open(journal.path, "w") as handle:
+        handle.write(line[: len(line) // 2])
+
+    runner = SweepRunner(journal, timeout_s=120)
+    report = runner.run([cell])
+    assert report.completed == 1  # re-measured, not resumed
+    assert any("unparsable" in d for d in report.journal_diagnostics)
