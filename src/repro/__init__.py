@@ -27,8 +27,10 @@ Package map: :mod:`repro.ir` (the Halide-like DSL), :mod:`repro.arch`
 hardware), :mod:`repro.core` (the paper's optimizer), :mod:`repro.baselines`
 (comparison techniques), :mod:`repro.robust` (graceful degradation:
 ``safe_optimize`` with fallback chain, deadlines and fault injection),
-:mod:`repro.bench` (Table 4's benchmarks) and :mod:`repro.experiments`
-(one regenerator per table/figure).
+:mod:`repro.obs` (observability: structured tracing of search, simulation
+and sweeps behind a zero-overhead default), :mod:`repro.bench` (Table 4's
+benchmarks) and :mod:`repro.experiments` (one regenerator per
+table/figure).
 """
 
 from repro.arch import ArchSpec, CacheSpec, platform_by_name

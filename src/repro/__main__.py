@@ -17,6 +17,14 @@ resumable sweep runner (``python -m repro sweep --fast --jobs 4``; same
 flags as ``python -m repro.experiments``, exit code 5 when cells were
 quarantined).
 
+Observability: ``--trace PATH`` on ``optimize`` / ``compare`` /
+``codegen`` / ``sweep`` streams a schema-versioned JSONL event log
+(``repro-trace-v1``, see :mod:`repro.obs`) of the whole run — candidate
+pruned/considered telemetry, emu bounds, simulator counters, sweep cell
+lifecycle.  ``python -m repro trace PATH`` renders the per-phase summary,
+and ``trace PATH --validate`` schema-checks the log (exit 4 on any
+violation).
+
 Robustness posture (see ``docs/API.md``, *Failure modes*):
 
 * default / ``--strict`` — any optimizer failure aborts with a clean
@@ -34,6 +42,7 @@ to a degraded schedule, 4 = hard failure.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.arch import PLATFORMS, platform_by_name
@@ -41,6 +50,13 @@ from repro.baselines import Autotuner, autoschedule, baseline_schedule
 from repro.bench import EXTRAS, SUITE, make_benchmark, make_extra, size_for
 from repro.ir import lower, print_nest
 from repro.ir.codegen_c import codegen
+from repro.obs import (
+    JsonlTracer,
+    activate_tracer,
+    read_trace,
+    render_summary,
+    validate_trace,
+)
 from repro.robust import FallbackPolicy, safe_optimize
 from repro.sim import Machine
 from repro.util import ReproError
@@ -179,7 +195,36 @@ def cmd_sweep(args) -> int:
         argv.extend(["--timeout-s", str(args.timeout_s)])
     if args.journal is not None:
         argv.extend(["--journal", args.journal])
+    if args.trace is not None:
+        argv.extend(["--trace", args.trace])
     return experiments_main(argv)
+
+
+def cmd_trace(args) -> int:
+    """Summarize (or schema-validate) a recorded JSONL event log."""
+    events, problems = read_trace(args.path)
+    if args.validate:
+        issues = problems + validate_trace(events)
+        if issues:
+            for issue in issues:
+                print(f"invalid: {issue}", file=sys.stderr)
+            print(
+                f"{args.path}: {len(issues)} schema violation(s) in "
+                f"{len(events)} records",
+                file=sys.stderr,
+            )
+            return EXIT_HARD
+        print(f"{args.path}: {len(events)} records, schema OK")
+        return EXIT_OK
+    if not events and problems:
+        for problem in problems:
+            print(f"warning: {problem}", file=sys.stderr)
+        print(f"error: {args.path}: no readable trace records", file=sys.stderr)
+        return EXIT_HARD
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    print(render_summary(events))
+    return EXIT_OK
 
 
 def cmd_codegen(args) -> int:
@@ -227,6 +272,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--deadline-ms", type=float, default=None,
                        metavar="MS",
                        help="per-stage optimizer time budget")
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a repro-trace-v1 JSONL event log")
         mode = p.add_mutually_exclusive_group()
         mode.add_argument("--strict", action="store_true",
                           help="fail hard on any optimizer error (default)")
@@ -267,6 +314,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="hard per-cell timeout")
     p_sweep.add_argument("--journal", default=None, metavar="PATH",
                          help="journal path (default: .repro-sweep.jsonl)")
+    p_sweep.add_argument("--trace", default=None, metavar="PATH",
+                         help="write a repro-trace-v1 JSONL event log")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="summarize or validate a recorded JSONL event log",
+    )
+    p_trace.add_argument("path", help="trace file written by --trace")
+    p_trace.add_argument("--validate", action="store_true",
+                         help="schema-check only; exit 4 on any violation")
     return parser
 
 
@@ -278,9 +335,23 @@ def main(argv=None) -> int:
         "compare": cmd_compare,
         "codegen": cmd_codegen,
         "sweep": cmd_sweep,
+        "trace": cmd_trace,
     }[args.command]
     try:
-        return handler(args)
+        with contextlib.ExitStack() as stack:
+            # `sweep` forwards --trace to the experiments CLI, which owns
+            # its own tracer; everything else traces in-process here.
+            trace_path = getattr(args, "trace", None)
+            if args.command != "sweep" and trace_path:
+                try:
+                    tracer = JsonlTracer(trace_path)
+                except OSError as exc:
+                    raise SystemExit(
+                        f"cannot write {trace_path!r}: {exc.strerror or exc}"
+                    ) from None
+                stack.enter_context(tracer)
+                stack.enter_context(activate_tracer(tracer))
+            return handler(args)
     except ReproError as exc:
         # Hard failure: a clean one-line report, never a traceback.
         print(f"error: {exc}", file=sys.stderr)

@@ -32,6 +32,12 @@ from repro.core.standard import build_schedule
 from repro.ir.analysis import analyze_func
 from repro.ir.func import Func
 from repro.ir.schedule import Schedule
+from repro.obs.events import REASON_CAPACITY
+from repro.obs.stats import (
+    CandidateCounter,
+    CandidateStats,
+    deprecated_counter_read,
+)
 from repro.util import ceil_div, tile_candidates
 
 
@@ -41,7 +47,13 @@ class TileModelResult:
 
     tiles: Dict[str, int]
     cost: float
-    candidates_evaluated: int
+    stats: CandidateStats
+
+    @property
+    def candidates_evaluated(self) -> int:
+        """Deprecated alias for ``stats.considered``."""
+        deprecated_counter_read("TileModelResult")
+        return self.stats.considered
 
 
 def _capacity_bound(arch: ArchSpec, level: int, dts: int) -> int:
@@ -75,7 +87,7 @@ def tss_tiles(
     a3 = arch.access_cost(3)
 
     best: Optional[Tuple[float, Dict[str, int]]] = None
-    evaluated = 0
+    counter = CandidateCounter("tss")
     c_cands = tile_candidates(bounds[c], bounds[c], quantum=lc, exhaustive=exhaustive)
     c_cands = [t for t in c_cands if t >= 2]
     for t_c in c_cands:
@@ -100,7 +112,7 @@ def tss_tiles(
                         tiles[d3] = t3
                     for v in rest:
                         tiles[v] = 1
-                    evaluated += 1
+                    counter.considered()
                     chain = [v for v in (d3, d2) if v]
                     intra = (
                         ([chain[0]] if chain else []) + rest + chain[1:] + [c]
@@ -109,6 +121,7 @@ def tss_tiles(
                     ws1 = working_set_l1(patterns, tiles, intra)
                     ws2 = working_set_l2(patterns, tiles, intra)
                     if ws1 > l1_capacity or ws2 > l2_capacity:
+                        counter.pruned(REASON_CAPACITY)
                         continue
                     cost = a2 * level1_misses(
                         patterns, tiles, bounds, intra, lc, prefetch_aware=False
@@ -125,7 +138,7 @@ def tss_tiles(
                         best = (cost, dict(tiles))
     if best is None:
         best = (float("inf"), {v: bounds[v] for v in all_vars})
-    return TileModelResult(tiles=best[1], cost=best[0], candidates_evaluated=evaluated)
+    return TileModelResult(tiles=best[1], cost=best[0], stats=counter.stats)
 
 
 def _pairs(others: Sequence[str]) -> List[Tuple[Optional[str], Optional[str]]]:

@@ -26,6 +26,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch import ArchSpec
 from repro.baselines.tss import TileModelResult, _pairs
+from repro.obs.events import REASON_CAPACITY
+from repro.obs.stats import CandidateCounter
 from repro.core.costs import (
     extract_patterns,
     level1_misses,
@@ -71,7 +73,7 @@ def tts_tiles(
     amem = arch.access_cost(4)
 
     best: Optional[Tuple[float, Dict[str, int]]] = None
-    evaluated = 0
+    counter = CandidateCounter("tts")
     c_cands = tile_candidates(bounds[c], bounds[c], quantum=lc, exhaustive=exhaustive)
     c_cands = [t for t in c_cands if t >= 2]
     for t_c in c_cands:
@@ -100,7 +102,7 @@ def tts_tiles(
                         tiles[d3] = t3
                     for v in rest:
                         tiles[v] = 1
-                    evaluated += 1
+                    counter.considered()
                     chain = [v for v in (d3, d2) if v]
                     intra = (
                         ([chain[0]] if chain else []) + rest + chain[1:] + [c]
@@ -111,6 +113,7 @@ def tts_tiles(
                     ws_inner = working_set_l1(patterns, tiles, intra)
                     ws_tile = working_set_l2(patterns, tiles, intra)
                     if ws_inner > l2_capacity or ws_tile > l3_capacity:
+                        counter.pruned(REASON_CAPACITY)
                         continue
                     cost = a3 * level1_misses(
                         patterns, tiles, bounds, intra, lc, prefetch_aware=False
@@ -127,7 +130,7 @@ def tts_tiles(
                         best = (cost, dict(tiles))
     if best is None:
         best = (float("inf"), {v: bounds[v] for v in all_vars})
-    return TileModelResult(tiles=best[1], cost=best[0], candidates_evaluated=evaluated)
+    return TileModelResult(tiles=best[1], cost=best[0], stats=counter.stats)
 
 
 def tts_schedule(

@@ -40,6 +40,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.arch import ArchSpec
+from repro.obs.events import EVENT_EMU
+from repro.obs.tracer import current_tracer
 from repro.util import ceil_div
 
 
@@ -123,7 +125,21 @@ def emu(arch: ArchSpec, params: EmuParams) -> int:
         if interference:
             break
         max_ti += 1
-    return max(1, max_ti)
+    max_ti = max(1, max_ti)
+
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.count(f"emu.l{params.level}.calls")
+        tracer.event(
+            EVENT_EMU,
+            level=params.level,
+            row_width_elems=params.row_width_elems,
+            row_stride_elems=params.row_stride_elems,
+            max_rows=params.max_rows,
+            max_ti=max_ti,
+            saturated=max_ti >= params.max_rows,
+        )
+    return max_ti
 
 
 def emu_l1(

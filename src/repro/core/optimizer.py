@@ -14,7 +14,7 @@ and produces an optimization schedule, in four stages:
 The wall-clock time of the whole flow is recorded in
 ``runtime_seconds`` (shown by ``describe()`` and the CLI); the Table 5
 regeneration (``experiments/table5.py``) instead derives a deterministic
-runtime from the searches' ``candidates_evaluated`` counts so repeated
+runtime from the searches' ``stats.considered`` counts so repeated
 sweeps render identically.
 """
 
@@ -22,10 +22,13 @@ from __future__ import annotations
 
 import contextlib
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.arch import ArchSpec
+from repro.obs.events import EVENT_CLASSIFY
+from repro.obs.tracer import activate_tracer, current_tracer
 from repro.util import Deadline, active_deadline, checkpoint
 from repro.core.classify import Classification, Locality, classify
 from repro.core.spatial import SpatialResult, optimize_spatial
@@ -33,6 +36,19 @@ from repro.core.standard import build_schedule, untransformed_schedule
 from repro.core.temporal import TemporalResult, optimize_temporal
 from repro.ir.func import Func, Pipeline
 from repro.ir.schedule import Schedule
+
+
+def _resolve_use_nti(use_nti: bool, allow_nti: Optional[bool]) -> bool:
+    """Apply the deprecated ``allow_nti`` spelling of ``use_nti``."""
+    if allow_nti is None:
+        return use_nti
+    warnings.warn(
+        "the allow_nti keyword is deprecated; pass use_nti instead "
+        "(same meaning, uniform with the use_emu/order_step switches)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return allow_nti
 
 
 @dataclass
@@ -71,11 +87,15 @@ def optimize(
     func: Func,
     arch: ArchSpec,
     *,
-    allow_nti: bool = True,
+    use_nti: bool = True,
     parallelize: bool = True,
     vectorize: bool = True,
     exhaustive: bool = False,
+    use_emu: bool = True,
+    order_step: bool = True,
     deadline: Optional[Deadline] = None,
+    tracer=None,
+    allow_nti: Optional[bool] = None,
 ) -> OptimizationResult:
     """Run the full optimization flow on ``func``'s main definition.
 
@@ -85,13 +105,18 @@ def optimize(
         The Func to optimize; bounds must be set.
     arch:
         Target platform parameters (Table 1 of the paper).
-    allow_nti:
+    use_nti:
         Permit non-temporal stores (disable to obtain the paper's plain
         "Proposed" configuration on NTI-eligible benchmarks).
     parallelize / vectorize:
         Master switches for the standard optimizations.
     exhaustive:
         Evaluate every integer tile size instead of the candidate lattice.
+    use_emu / order_step:
+        The temporal/spatial optimizers' ablation switches, forwarded
+        verbatim (see :func:`repro.core.optimize_temporal` and
+        :func:`repro.core.optimize_spatial`).  Both default to the
+        paper's full method.
     deadline:
         Optional time budget.  Installed as the ambient deadline for the
         whole flow, so the cooperative checkpoints inside classification
@@ -99,17 +124,34 @@ def optimize(
         :class:`~repro.util.DeadlineExceeded` once it expires.  ``None``
         keeps whatever deadline an outer caller (e.g.
         :func:`repro.robust.safe_optimize`) already installed.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  Installed as the ambient
+        tracer for the whole flow (like ``deadline``) and forwarded to
+        the stage optimizers; ``None`` keeps whatever tracer an outer
+        caller installed (defaulting to the zero-overhead
+        :data:`repro.obs.NULL_TRACER`).
+    allow_nti:
+        Deprecated spelling of ``use_nti``; passing it warns and takes
+        precedence.
     """
+    use_nti = _resolve_use_nti(use_nti, allow_nti)
     with contextlib.ExitStack() as stack:
         if deadline is not None:
             stack.enter_context(active_deadline(deadline))
+        if tracer is not None:
+            stack.enter_context(activate_tracer(tracer))
+        tracer = current_tracer()
+        stack.enter_context(tracer.span("optimize", func=func.name))
         return _optimize_under_deadline(
             func,
             arch,
-            allow_nti=allow_nti,
+            use_nti=use_nti,
             parallelize=parallelize,
             vectorize=vectorize,
             exhaustive=exhaustive,
+            use_emu=use_emu,
+            order_step=order_step,
+            tracer=tracer,
         )
 
 
@@ -117,21 +159,37 @@ def _optimize_under_deadline(
     func: Func,
     arch: ArchSpec,
     *,
-    allow_nti: bool,
+    use_nti: bool,
     parallelize: bool,
     vectorize: bool,
     exhaustive: bool,
+    use_emu: bool,
+    order_step: bool,
+    tracer,
 ) -> OptimizationResult:
     start = time.perf_counter()
     classification = classify(func)
-    use_nti = allow_nti and classification.use_nti and arch.supports_nt_stores
+    use_nti = use_nti and classification.use_nti and arch.supports_nt_stores
+    if tracer.enabled:
+        tracer.event(
+            EVENT_CLASSIFY,
+            func=func.name,
+            locality=classification.locality.name.lower(),
+            use_nti=use_nti,
+        )
 
     temporal_result: Optional[TemporalResult] = None
     spatial_result: Optional[SpatialResult] = None
 
     if classification.locality is Locality.TEMPORAL:
         temporal_result = optimize_temporal(
-            func, arch, classification.info, exhaustive=exhaustive
+            func,
+            arch,
+            classification.info,
+            exhaustive=exhaustive,
+            use_emu=use_emu,
+            order_step=order_step,
+            tracer=tracer,
         )
         if temporal_result.cost == float("inf"):
             schedule = untransformed_schedule(
@@ -154,7 +212,13 @@ def _optimize_under_deadline(
             )
     elif classification.locality is Locality.SPATIAL:
         spatial_result = optimize_spatial(
-            func, arch, classification.info, exhaustive=exhaustive
+            func,
+            arch,
+            classification.info,
+            exhaustive=exhaustive,
+            use_emu=use_emu,
+            order_step=order_step,
+            tracer=tracer,
         )
         tiles = dict(spatial_result.tiles)
         # Untiled outer output dimensions (3-D+ outputs) stay untouched.
@@ -212,29 +276,41 @@ def optimize_pipeline(
     pipeline: Pipeline,
     arch: ArchSpec,
     *,
-    allow_nti: bool = True,
+    use_nti: bool = True,
     parallelize: bool = True,
     vectorize: bool = True,
     exhaustive: bool = False,
+    use_emu: bool = True,
+    order_step: bool = True,
     deadline: Optional[Deadline] = None,
+    tracer=None,
+    allow_nti: Optional[bool] = None,
 ) -> Dict[Func, Schedule]:
     """Optimize every stage of a pipeline independently (compute_root).
 
-    All keyword switches are forwarded to :func:`optimize` per stage; a
-    ``deadline`` is shared across the whole pipeline, not per stage.
+    All keyword switches are forwarded to :func:`optimize` per stage —
+    the same uniform surface, including the ``use_emu``/``order_step``
+    ablations, ``tracer``, and the deprecated ``allow_nti`` spelling of
+    ``use_nti``; a ``deadline`` (and a ``tracer``) is shared across the
+    whole pipeline, not per stage.
     """
+    use_nti = _resolve_use_nti(use_nti, allow_nti)
     out: Dict[Func, Schedule] = {}
     with contextlib.ExitStack() as stack:
         if deadline is not None:
             stack.enter_context(active_deadline(deadline))
+        if tracer is not None:
+            stack.enter_context(activate_tracer(tracer))
         for stage in pipeline:
             checkpoint(f"pipeline stage {stage.name}")
             out[stage] = optimize(
                 stage,
                 arch,
-                allow_nti=allow_nti,
+                use_nti=use_nti,
                 parallelize=parallelize,
                 vectorize=vectorize,
                 exhaustive=exhaustive,
+                use_emu=use_emu,
+                order_step=order_step,
             ).schedule
     return out

@@ -31,7 +31,21 @@ from repro.core.costs import (
 from repro.core.emu import emu_l2
 from repro.ir.analysis import StatementInfo, analyze_func
 from repro.ir.func import Func
-from repro.util import ceil_div, checkpoint, tile_candidates
+from repro.obs.events import (
+    EVENT_CANDIDATE_PRUNED,
+    EVENT_SEARCH_BOUND,
+    REASON_CAPACITY,
+    REASON_DEADLINE,
+    REASON_EMU_BOUND,
+    REASON_PARALLELISM,
+)
+from repro.obs.stats import (
+    CandidateCounter,
+    CandidateStats,
+    deprecated_counter_read,
+)
+from repro.obs.tracer import current_tracer
+from repro.util import DeadlineExceeded, ceil_div, checkpoint, tile_candidates
 
 
 @dataclass
@@ -43,9 +57,15 @@ class SpatialResult:
     col_var: str
     parallel_var: Optional[str]
     cost: float
-    candidates_evaluated: int
+    stats: CandidateStats
     ws_l1: float
     ws_l2: float
+
+    @property
+    def candidates_evaluated(self) -> int:
+        """Deprecated alias for ``stats.considered``."""
+        deprecated_counter_read("SpatialResult")
+        return self.stats.considered
 
     @property
     def tile_width(self) -> int:
@@ -69,12 +89,27 @@ def optimize_spatial(
     info: Optional[StatementInfo] = None,
     *,
     exhaustive: bool = False,
+    use_emu: bool = True,
+    order_step: bool = True,
+    tracer=None,
 ) -> SpatialResult:
     """Run Algorithm 3 on the main definition of ``func``.
 
     The two innermost output dimensions are tiled (the paper's benchmarks
     are 2-D); outer dimensions, if any, are left untouched.
+
+    ``use_emu`` mirrors Algorithm 2's ablation switch: when disabled the
+    Algorithm-1 interference bound on the tile height is replaced by a
+    plain halved-L2 capacity bound.  ``order_step`` is accepted for a
+    keyword surface uniform with :func:`repro.core.optimize_temporal`
+    but is a documented no-op — Algorithm 3 has no Step-2 ordering
+    search (the tile shape fixes the order).  ``tracer`` (default: the
+    ambient :func:`repro.obs.current_tracer`) receives
+    ``candidate.pruned`` / ``search.bound`` events and a
+    ``spatial.search`` span; the returned ``stats`` are identical with
+    or without a recording tracer.
     """
+    del order_step  # uniform keyword surface; no ordering step here
     info = info or analyze_func(func)
     patterns = extract_patterns(info)
     dts = info.dtype_size
@@ -110,37 +145,87 @@ def optimize_spatial(
     )
     width_cands = [w for w in width_cands if w >= min(lc, bounds[col])]
 
+    tracer = tracer if tracer is not None else current_tracer()
+    traced = tracer.enabled
+    counter = CandidateCounter("spatial", tracer)
+
     best: Optional[Tuple[float, int, int, float, float]] = None
-    evaluated = 0
-    for t_w in width_cands:
-        max_h = emu_l2(
-            arch,
-            row_width_elems=t_w,
-            row_stride_elems=row_stride,
-            max_rows=bounds[row],
-            dts=dts,
-        )
-        height_cands = tile_candidates(
-            bounds[row], max_h, exhaustive=exhaustive
-        )
-        for t_h in height_cands:
-            # Cooperative deadline probe: Algorithm 3's search must stay
-            # interruptible per candidate.
-            checkpoint("spatial tile search")
-            evaluated += 1
-            ws1, ws2 = spatial_working_sets(n_arrays, t_w, t_h, lc)
-            if ws1 > l1_capacity or ws2 > l2_capacity:
-                continue
-            if ceil_div(bounds[row], t_h) < threads:
-                continue  # Eq. 13 on the parallelized row loop
-            # Sum of per-array partial costs; the (contiguous) output only
-            # adds a tile-independent constant, so including it is harmless.
-            cost = sum(
-                spatial_partial_cost(p, col, t_w, t_h, bounds, lc)
-                for p in patterns
+    emu_excluded = set()
+    with tracer.span("spatial.search", func=func.name):
+        for t_w in width_cands:
+            if use_emu:
+                max_h = emu_l2(
+                    arch,
+                    row_width_elems=t_w,
+                    row_stride_elems=row_stride,
+                    max_rows=bounds[row],
+                    dts=dts,
+                )
+            else:
+                # Ablation: capacity-only bound, no interference emulation.
+                max_h = max(1, l2_capacity // max(1, t_w))
+            if traced:
+                tracer.event(
+                    EVENT_SEARCH_BOUND,
+                    phase="spatial",
+                    var=row,
+                    t_w=t_w,
+                    bound=max_h,
+                    source="emu_l2" if use_emu else "capacity",
+                )
+                # Trace-only: heights the bound keeps out of the lattice
+                # (never evaluated, hence never in ``stats``).
+                if max_h < bounds[row]:
+                    for t in tile_candidates(
+                        bounds[row], bounds[row], exhaustive=exhaustive
+                    ):
+                        if t <= max_h or (row, t) in emu_excluded:
+                            continue
+                        emu_excluded.add((row, t))
+                        tracer.event(
+                            EVENT_CANDIDATE_PRUNED,
+                            phase="spatial",
+                            reason=(
+                                REASON_EMU_BOUND if use_emu else REASON_CAPACITY
+                            ),
+                            var=row,
+                            tile=t,
+                            bound=max_h,
+                        )
+            height_cands = tile_candidates(
+                bounds[row], max_h, exhaustive=exhaustive
             )
-            if best is None or cost < best[0]:
-                best = (cost, t_w, t_h, ws1, ws2)
+            for t_h in height_cands:
+                # Cooperative deadline probe: Algorithm 3's search must stay
+                # interruptible per candidate.
+                try:
+                    checkpoint("spatial tile search")
+                except DeadlineExceeded:
+                    if traced:
+                        tracer.event(
+                            EVENT_CANDIDATE_PRUNED,
+                            phase="spatial",
+                            reason=REASON_DEADLINE,
+                        )
+                    raise
+                counter.considered()
+                ws1, ws2 = spatial_working_sets(n_arrays, t_w, t_h, lc)
+                if ws1 > l1_capacity or ws2 > l2_capacity:
+                    counter.pruned(REASON_CAPACITY, t_w=t_w, t_h=t_h)
+                    continue
+                if ceil_div(bounds[row], t_h) < threads:
+                    # Eq. 13 on the parallelized row loop
+                    counter.pruned(REASON_PARALLELISM, t_w=t_w, t_h=t_h)
+                    continue
+                # Sum of per-array partial costs; the (contiguous) output
+                # only adds a tile-independent constant, so including it is
+                # harmless.
+                cost = sum(
+                    spatial_partial_cost(p, col, t_w, t_h, bounds, lc)
+                    for p in patterns
+                )
+                if best is None or cost < best[0]:
+                    best = (cost, t_w, t_h, ws1, ws2)
 
     if best is None:
         # Constraints rejected everything: degenerate single-line tiles.
@@ -155,7 +240,7 @@ def optimize_spatial(
         col_var=col,
         parallel_var=row,
         cost=cost,
-        candidates_evaluated=evaluated,
+        stats=counter.stats,
         ws_l1=ws1,
         ws_l2=ws2,
     )

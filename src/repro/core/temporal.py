@@ -45,7 +45,22 @@ from repro.core.costs import (
 from repro.core.emu import emu_l1, emu_l2
 from repro.ir.analysis import StatementInfo, analyze_func
 from repro.ir.func import Func
-from repro.util import ceil_div, checkpoint, tile_candidates
+from repro.obs.events import (
+    EVENT_CANDIDATE_PRUNED,
+    EVENT_SEARCH_BOUND,
+    REASON_CAPACITY,
+    REASON_DEADLINE,
+    REASON_EMU_BOUND,
+    REASON_PARALLELISM,
+    REASON_VECTOR_TILE,
+)
+from repro.obs.stats import (
+    CandidateCounter,
+    CandidateStats,
+    deprecated_counter_read,
+)
+from repro.obs.tracer import current_tracer
+from repro.util import DeadlineExceeded, ceil_div, checkpoint, tile_candidates
 
 
 @dataclass
@@ -58,9 +73,15 @@ class TemporalResult:
     parallel_var: Optional[str]
     cost: float
     order_cost_value: float
-    candidates_evaluated: int
+    stats: CandidateStats
     ws_l1: float
     ws_l2: float
+
+    @property
+    def candidates_evaluated(self) -> int:
+        """Deprecated alias for ``stats.considered``."""
+        deprecated_counter_read("TemporalResult")
+        return self.stats.considered
 
     def describe(self) -> str:
         tiles = ", ".join(f"T_{v}={t}" for v, t in sorted(self.tiles.items()))
@@ -99,6 +120,7 @@ def optimize_temporal(
     exhaustive: bool = False,
     use_emu: bool = True,
     order_step: bool = True,
+    tracer=None,
 ) -> TemporalResult:
     """Run Algorithm 2 on the main definition of ``func``.
 
@@ -107,6 +129,13 @@ def optimize_temporal(
     capacity bounds (no prefetch/conflict awareness), disabling the latter
     skips Step 2 and keeps the structural loop order.  Both default to the
     paper's full method.
+
+    ``tracer`` (default: the ambient :func:`repro.obs.current_tracer`)
+    receives structured search telemetry — ``candidate.pruned`` events
+    with machine-readable reasons, ``search.bound`` events for the
+    Algorithm-1 lattice caps, and a ``temporal.search`` /
+    ``temporal.order`` span pair.  The returned ``stats`` are identical
+    with or without a recording tracer.
     """
     info = info or analyze_func(func)
     patterns = extract_patterns(info)
@@ -135,8 +164,11 @@ def optimize_temporal(
     l2_capacity = l2_spec.capacity_elements(dts) // 2  # paper's halved L2
     threads = arch.total_threads
 
+    tracer = tracer if tracer is not None else current_tracer()
+    traced = tracer.enabled
+    counter = CandidateCounter("temporal", tracer)
+
     best: Optional[Tuple[float, Dict[str, int], str, str, float, float]] = None
-    evaluated = 0
 
     c_cands = _divisor_biased(
         tile_candidates(bounds[c], bounds[c], quantum=lc, exhaustive=exhaustive),
@@ -162,87 +194,166 @@ def optimize_temporal(
             )
             strided_cap = min(strided_cap, max(lc, cap))
     if strided_cap < bounds[c]:
+        if traced:
+            # Trace-only: tiles the emulation keeps out of the lattice.
+            # These never reach constraint checking, so they are *not*
+            # part of ``stats`` — the counts stay identical untraced.
+            tracer.event(
+                EVENT_SEARCH_BOUND,
+                phase="temporal",
+                var=c,
+                bound=strided_cap,
+                source="emu_l1",
+            )
+            for t in c_cands:
+                if t > strided_cap:
+                    tracer.event(
+                        EVENT_CANDIDATE_PRUNED,
+                        phase="temporal",
+                        reason=REASON_EMU_BOUND,
+                        var=c,
+                        tile=t,
+                        bound=strided_cap,
+                    )
         c_cands = [t for t in c_cands if t <= strided_cap] or [
             min(strided_cap, bounds[c])
         ]
 
     # Placement choices: d2/d3 = 2nd/3rd innermost intra positions,
     # L = outermost intra (reuse loop), M = innermost inter (reuse loop).
-    for t_c in c_cands:
-        if use_emu:
-            max_d2 = emu_l1(
-                arch,
-                row_width_elems=t_c,
-                row_stride_elems=bounds[c],
-                max_rows=max(bounds[v] for v in others) if others else 1,
-                dts=dts,
-            )
-            max_d3 = emu_l2(
-                arch,
-                row_width_elems=t_c,
-                row_stride_elems=bounds[c],
-                max_rows=max(bounds[v] for v in others) if others else 1,
-                dts=dts,
-            )
-        else:
-            # Ablation: capacity-only bounds, no interference emulation.
-            max_d2 = max(1, l1_capacity // max(1, t_c))
-            max_d3 = max(1, l2_capacity // max(1, t_c))
-        for d2, d3 in _placement_pairs(others):
-            rest = [v for v in others if v not in (d2, d3)]
-            d2_cands = (
-                _divisor_biased(
-                    tile_candidates(
-                        bounds[d2], max_d2, exhaustive=exhaustive
-                    ),
-                    bounds[d2],
+    emu_excluded: Set[Tuple[str, int]] = set()
+    with tracer.span("temporal.search", func=func.name):
+        for t_c in c_cands:
+            if use_emu:
+                max_d2 = emu_l1(
+                    arch,
+                    row_width_elems=t_c,
+                    row_stride_elems=bounds[c],
+                    max_rows=max(bounds[v] for v in others) if others else 1,
+                    dts=dts,
                 )
-                if d2
-                else [None]
-            )
-            d3_cands = (
-                _divisor_biased(
-                    tile_candidates(
-                        bounds[d3], max_d3, exhaustive=exhaustive
-                    ),
-                    bounds[d3],
+                max_d3 = emu_l2(
+                    arch,
+                    row_width_elems=t_c,
+                    row_stride_elems=bounds[c],
+                    max_rows=max(bounds[v] for v in others) if others else 1,
+                    dts=dts,
                 )
-                if d3
-                else [None]
-            )
-            rest_cands = [_middle_candidates(bounds[v]) for v in rest]
-            for t_d2 in d2_cands:
-                for t_d3 in d3_cands:
-                    for rest_tiles in itertools.product(*rest_cands):
-                        # Cooperative deadline probe: Algorithm 2's search
-                        # must stay interruptible per candidate.
-                        checkpoint("temporal tile search")
-                        tiles = {c: t_c}
-                        if d2:
-                            tiles[d2] = t_d2
-                        if d3:
-                            tiles[d3] = t_d3
-                        tiles.update(zip(rest, rest_tiles))
-                        outcome = _evaluate_tiles(
-                            arch,
-                            patterns,
-                            tiles,
-                            bounds,
-                            c,
-                            d2,
-                            d3,
-                            rest,
-                            non_column,
-                            l1_capacity,
-                            l2_capacity,
-                            threads,
-                            dts,
-                        )
-                        evaluated += 1
-                        if outcome is None:
+            else:
+                # Ablation: capacity-only bounds, no interference emulation.
+                max_d2 = max(1, l1_capacity // max(1, t_c))
+                max_d3 = max(1, l2_capacity // max(1, t_c))
+            if traced:
+                tracer.event(
+                    EVENT_SEARCH_BOUND,
+                    phase="temporal",
+                    position="d2",
+                    t_c=t_c,
+                    bound=max_d2,
+                    source="emu_l1" if use_emu else "capacity",
+                )
+                tracer.event(
+                    EVENT_SEARCH_BOUND,
+                    phase="temporal",
+                    position="d3",
+                    t_c=t_c,
+                    bound=max_d3,
+                    source="emu_l2" if use_emu else "capacity",
+                )
+            for d2, d3 in _placement_pairs(others):
+                rest = [v for v in others if v not in (d2, d3)]
+                d2_cands = (
+                    _divisor_biased(
+                        tile_candidates(
+                            bounds[d2], max_d2, exhaustive=exhaustive
+                        ),
+                        bounds[d2],
+                    )
+                    if d2
+                    else [None]
+                )
+                d3_cands = (
+                    _divisor_biased(
+                        tile_candidates(
+                            bounds[d3], max_d3, exhaustive=exhaustive
+                        ),
+                        bounds[d3],
+                    )
+                    if d3
+                    else [None]
+                )
+                if traced:
+                    # Trace-only visibility into the lattice caps: tiles
+                    # the Algorithm-1 bound keeps out of the candidate set
+                    # (never evaluated, hence never in ``stats``).
+                    for var, cap in ((d2, max_d2), (d3, max_d3)):
+                        if not var or cap >= bounds[var]:
                             continue
-                        if best is None or outcome[0] < best[0]:
-                            best = outcome
+                        full = _divisor_biased(
+                            tile_candidates(
+                                bounds[var], bounds[var], exhaustive=exhaustive
+                            ),
+                            bounds[var],
+                        )
+                        for t in full:
+                            if t <= cap or (var, t) in emu_excluded:
+                                continue
+                            emu_excluded.add((var, t))
+                            tracer.event(
+                                EVENT_CANDIDATE_PRUNED,
+                                phase="temporal",
+                                reason=(
+                                    REASON_EMU_BOUND
+                                    if use_emu
+                                    else REASON_CAPACITY
+                                ),
+                                var=var,
+                                tile=t,
+                                bound=cap,
+                            )
+                rest_cands = [_middle_candidates(bounds[v]) for v in rest]
+                for t_d2 in d2_cands:
+                    for t_d3 in d3_cands:
+                        for rest_tiles in itertools.product(*rest_cands):
+                            # Cooperative deadline probe: Algorithm 2's
+                            # search must stay interruptible per candidate.
+                            try:
+                                checkpoint("temporal tile search")
+                            except DeadlineExceeded:
+                                if traced:
+                                    tracer.event(
+                                        EVENT_CANDIDATE_PRUNED,
+                                        phase="temporal",
+                                        reason=REASON_DEADLINE,
+                                    )
+                                raise
+                            tiles = {c: t_c}
+                            if d2:
+                                tiles[d2] = t_d2
+                            if d3:
+                                tiles[d3] = t_d3
+                            tiles.update(zip(rest, rest_tiles))
+                            outcome, reason = _evaluate_tiles(
+                                arch,
+                                patterns,
+                                tiles,
+                                bounds,
+                                c,
+                                d2,
+                                d3,
+                                rest,
+                                non_column,
+                                l1_capacity,
+                                l2_capacity,
+                                threads,
+                                dts,
+                            )
+                            counter.considered()
+                            if outcome is None:
+                                counter.pruned(reason, tiles=dict(tiles))
+                                continue
+                            if best is None or outcome[0] < best[0]:
+                                best = outcome
 
     if best is None:
         # No candidate satisfied the fit/parallel constraints; fall back to
@@ -256,23 +367,24 @@ def optimize_temporal(
             parallel_var=None,
             cost=float("inf"),
             order_cost_value=0.0,
-            candidates_evaluated=evaluated,
+            stats=counter.stats,
             ws_l1=0.0,
             ws_l2=0.0,
         )
 
     cost, tiles, reuse_l, reuse_m, ws1, ws2 = best
 
-    inter_order, intra_order, corder = _order_step(
-        tiles,
-        bounds,
-        all_vars,
-        column,
-        c,
-        reuse_l,
-        reuse_m,
-        search=order_step,
-    )
+    with tracer.span("temporal.order", func=func.name):
+        inter_order, intra_order, corder = _order_step(
+            tiles,
+            bounds,
+            all_vars,
+            column,
+            c,
+            reuse_l,
+            reuse_m,
+            search=order_step,
+        )
     parallel_var = inter_order[0] if inter_order else None
     return TemporalResult(
         tiles=tiles,
@@ -281,7 +393,7 @@ def optimize_temporal(
         parallel_var=parallel_var,
         cost=cost,
         order_cost_value=corder,
-        candidates_evaluated=evaluated,
+        stats=counter.stats,
         ws_l1=ws1,
         ws_l2=ws2,
     )
@@ -313,10 +425,15 @@ def _evaluate_tiles(
     l2_capacity: int,
     threads: int,
     dts: int,
-) -> Optional[Tuple[float, Dict[str, int], str, str, float, float]]:
+) -> Tuple[
+    Optional[Tuple[float, Dict[str, int], str, str, float, float]],
+    Optional[str],
+]:
     """Check constraints and price one tile assignment.
 
-    Returns ``(cost, tiles, L, M, wsL1, wsL2)`` or None if invalid.
+    Returns ``((cost, tiles, L, M, wsL1, wsL2), None)`` for a valid
+    candidate, or ``(None, reason)`` with a machine-readable rejection
+    reason from :data:`repro.obs.events.PRUNE_REASONS`.
     """
     # The cost is evaluated against the *structural* tiled nest of the
     # paper's derivation, independent of degenerate tile values (a tile of
@@ -341,22 +458,22 @@ def _evaluate_tiles(
     trips = {v: ceil_div(bounds[v], tiles[v]) for v in tiles}
     par_pool = [v for v in non_column if trips[v] > 1]
     if not par_pool or max(trips[v] for v in par_pool) < threads:
-        return None
+        return None, REASON_PARALLELISM
     # A schedule also needs at least one non-trivial intra loop besides the
     # vector loop to anchor L1 reuse, unless the nest is two-deep.
     if tiles.get(c, 1) < 2:
-        return None
+        return None, REASON_VECTOR_TILE
 
     lc = arch.lc(dts)
     ws1 = working_set_l1(patterns, tiles, intra_order, lc)
     ws2 = working_set_l2(patterns, tiles, intra_order, lc)
     if ws1 > l1_capacity or ws2 > l2_capacity:
-        return None
+        return None, REASON_CAPACITY
 
     cost = total_cost(
         arch, patterns, tiles, bounds, intra_order, inter_order, dts
     )
-    return (cost, dict(tiles), reuse_l, reuse_m, ws1, ws2)
+    return (cost, dict(tiles), reuse_l, reuse_m, ws1, ws2), None
 
 
 def _order_step(

@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.experiments [--fast] [--jobs N] [--fresh]
                                 [--timeout-s S] [--journal PATH]
-                                [--no-sweep]
+                                [--no-sweep] [--trace PATH]
 
 ``--fast`` (or ``REPRO_FAST=1``) uses the scaled-down problem sizes for
 a smoke run; the default regenerates everything at the paper's sizes,
@@ -22,6 +22,11 @@ Sweep progress and timing go to **stderr**; stdout carries only the
 tables and figures, so an interrupted-then-resumed run produces output
 bitwise-identical to an uninterrupted one.
 
+``--trace PATH`` records a ``repro-trace-v1`` JSONL event log of the run
+(sweep-cell lifecycle from the runner, plus planning/render spans and
+any in-process optimizer/simulator activity); inspect it with
+``python -m repro trace PATH`` and schema-check it with ``--validate``.
+
 Exit codes: 0 = complete, 2 = usage error, 5 = completed with
 quarantined cells (rendered as ``—``).
 """
@@ -29,10 +34,12 @@ quarantined cells (rendered as ``—``).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 import time
 
+from repro.obs import NULL_TRACER, JsonlTracer, activate_tracer
 from repro.experiments import ExperimentConfig
 from repro.experiments import (  # noqa: F401  (imported for registry order)
     fig4,
@@ -86,6 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-sweep", action="store_true",
                         help="legacy in-process mode: no isolation, no "
                              "journal, no resume")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a repro-trace-v1 JSONL event log")
     return parser
 
 
@@ -115,36 +124,55 @@ def main(argv=None) -> int:
     mode = "FAST (scaled sizes)" if config.fast else "paper sizes"
     print(f"=== Regenerating every table and figure [{mode}] ===\n")
 
-    if args.no_sweep:
-        _render_all(config)
-        return 0
+    with contextlib.ExitStack() as stack:
+        tracer = NULL_TRACER
+        if args.trace:
+            try:
+                tracer = JsonlTracer(args.trace)
+            except OSError as exc:
+                build_parser().error(
+                    f"cannot write {args.trace!r}: {exc.strerror or exc}"
+                )
+            stack.enter_context(tracer)
+            # Ambient for the in-process work (planning, rendering, any
+            # --no-sweep measurement); the runner gets it explicitly
+            # because its worker threads do not inherit context vars.
+            stack.enter_context(activate_tracer(tracer))
 
-    from repro.sweep import Journal, SweepRunner, plan_cells
+        if args.no_sweep:
+            with tracer.span("render"):
+                _render_all(config)
+            return 0
 
-    journal_path = (
-        args.journal
-        or os.environ.get("REPRO_SWEEP_JOURNAL")
-        or DEFAULT_JOURNAL
-    )
-    journal = Journal(journal_path)
-    if args.fresh:
-        journal.clear()
+        from repro.sweep import Journal, SweepRunner, plan_cells
 
-    cells = plan_cells(SWEPT_MODULES, config=config)
-    runner = SweepRunner(
-        journal,
-        jobs=args.jobs,
-        timeout_s=args.timeout_s,
-        progress=sys.stderr,
-    )
-    report = runner.run(cells)
-    print(report.summary(), file=sys.stderr)
+        journal_path = (
+            args.journal
+            or os.environ.get("REPRO_SWEEP_JOURNAL")
+            or DEFAULT_JOURNAL
+        )
+        journal = Journal(journal_path)
+        if args.fresh:
+            journal.clear()
 
-    # run() already installed the journal into the measurement memo, so
-    # the regenerators below replay journaled numbers instead of
-    # re-simulating; quarantined cells render as "—".
-    _render_all(config)
-    return report.exit_code()
+        with tracer.span("plan"):
+            cells = plan_cells(SWEPT_MODULES, config=config)
+        runner = SweepRunner(
+            journal,
+            jobs=args.jobs,
+            timeout_s=args.timeout_s,
+            progress=sys.stderr,
+            tracer=tracer,
+        )
+        report = runner.run(cells)
+        print(report.summary(), file=sys.stderr)
+
+        # run() already installed the journal into the measurement memo,
+        # so the regenerators below replay journaled numbers instead of
+        # re-simulating; quarantined cells render as "—".
+        with tracer.span("render"):
+            _render_all(config)
+        return report.exit_code()
 
 
 if __name__ == "__main__":

@@ -114,9 +114,9 @@ def schedules_for(
     out: Dict[Func, Schedule] = {}
     for stage in case.pipeline:
         if technique == "proposed":
-            out[stage] = optimize(stage, arch, allow_nti=False).schedule
+            out[stage] = optimize(stage, arch, use_nti=False).schedule
         elif technique == "proposed_nti":
-            out[stage] = optimize(stage, arch, allow_nti=True).schedule
+            out[stage] = optimize(stage, arch, use_nti=True).schedule
         elif technique == "autoscheduler":
             out[stage] = autoschedule(stage, arch).schedule
         elif technique == "baseline":
@@ -271,7 +271,7 @@ def modeled_optimize_seconds(case: BenchmarkCase, arch: ArchSpec) -> float:
     for stage in case.pipeline:
         result = optimize(stage, arch)
         candidates = sum(
-            sub.candidates_evaluated
+            sub.stats.considered
             for sub in (result.temporal, result.spatial)
             if sub is not None
         )

@@ -72,7 +72,7 @@ def run(
                 "tts": _best_over_orders(func, arch, machine, tts_t, tts_schedule),
                 "tss": _best_over_orders(func, arch, machine, tss_t, tss_schedule),
             }
-            result = optimize(func, arch, allow_nti=False)
+            result = optimize(func, arch, use_nti=False)
             cell["proposed"] = machine.time_funcs([(func, result.schedule)])
             out[name][n] = cell
             rows.append(

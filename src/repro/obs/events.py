@@ -1,0 +1,184 @@
+"""Trace-event vocabulary and the ``repro-trace-v1`` schema validator.
+
+Every record a tracer writes is one JSON object::
+
+    {"format": "repro-trace-v1", "seq": 17, "ts_ms": 4.211,
+     "kind": "event", "name": "candidate.pruned",
+     "attrs": {"phase": "temporal", "reason": "capacity", ...}}
+
+``kind`` is one of ``event`` | ``span_begin`` | ``span_end`` |
+``counters``; ``span_end`` records additionally carry ``elapsed_ms``
+and a ``counters`` delta object, and the terminal ``counters`` record
+(``name: "totals"``) carries the final counter totals in ``attrs``.
+
+The event *names* and pruning *reasons* below are the machine-readable
+contract downstream tooling (the ``repro trace`` summary, CI schema
+validation, future learned-tuning datasets) keys on — add to them, never
+repurpose them.  The schema tag is versioned exactly like the sweep
+journal's (:data:`repro.sweep.journal.JOURNAL_FORMAT`): bump
+:data:`TRACE_FORMAT` on any incompatible layout change.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Schema tag; bump when the record layout changes incompatibly.
+TRACE_FORMAT = "repro-trace-v1"
+
+# -- record kinds ------------------------------------------------------
+
+KIND_EVENT = "event"
+KIND_SPAN_BEGIN = "span_begin"
+KIND_SPAN_END = "span_end"
+KIND_COUNTERS = "counters"
+
+KINDS = (KIND_EVENT, KIND_SPAN_BEGIN, KIND_SPAN_END, KIND_COUNTERS)
+
+# -- event names -------------------------------------------------------
+
+#: Fig. 1 stage 1: the classifier's verdict for one Func.
+EVENT_CLASSIFY = "classify"
+#: One candidate rejected by the Algorithm 2/3 search, with a reason.
+EVENT_CANDIDATE_PRUNED = "candidate.pruned"
+#: Algorithm 1 (or its capacity-only ablation) capping a tile dimension.
+EVENT_SEARCH_BOUND = "search.bound"
+#: One ``emu`` invocation (inputs and the returned row bound).
+EVENT_EMU = "emu"
+#: Per-nest simulator counter snapshot (hits, traffic, coverage).
+EVENT_SIM_NEST = "sim.nest"
+#: Whole-simulation outcome (total milliseconds, nest count).
+EVENT_SIM_TOTAL = "sim.total"
+#: One fallback-chain rung attempt in ``safe_optimize``.
+EVENT_RUNG = "rung"
+#: Sweep cell lifecycle (see :class:`repro.sweep.SweepRunner`).
+EVENT_CELL_RESUMED = "sweep.cell.resumed"
+EVENT_CELL_ATTEMPT = "sweep.cell.attempt"
+EVENT_CELL_RETRY = "sweep.cell.retry"
+EVENT_CELL_OK = "sweep.cell.ok"
+EVENT_CELL_QUARANTINED = "sweep.cell.quarantined"
+
+# -- machine-readable pruning reasons ----------------------------------
+
+#: Tile excluded because Algorithm 1's interference emulation bounds the
+#: candidate lattice below the problem size.
+REASON_EMU_BOUND = "emu_bound"
+#: Working set exceeds the L1 or (halved) L2 capacity (Eqs. 1/6, 18/19).
+REASON_CAPACITY = "capacity"
+#: Eq. 13: no inter-tile loop offers one iteration per hardware thread.
+REASON_PARALLELISM = "parallelism"
+#: The vector (column) tile degenerated below two elements.
+REASON_VECTOR_TILE = "vector_tile"
+#: The cooperative deadline expired mid-search.
+REASON_DEADLINE = "deadline"
+
+PRUNE_REASONS = (
+    REASON_EMU_BOUND,
+    REASON_CAPACITY,
+    REASON_PARALLELISM,
+    REASON_VECTOR_TILE,
+    REASON_DEADLINE,
+)
+
+# -- schema validation -------------------------------------------------
+
+_REQUIRED_KEYS = ("format", "seq", "kind", "name", "attrs")
+
+
+def validate_event(payload, *, prev_seq: Optional[int] = None) -> Optional[str]:
+    """Check one record against the ``repro-trace-v1`` schema.
+
+    Returns ``None`` for a valid record, else a human-readable problem
+    description.  ``prev_seq`` (the previous record's sequence number)
+    additionally enforces strictly increasing ordering.
+    """
+    if not isinstance(payload, dict):
+        return f"record is {type(payload).__name__}, not an object"
+    for key in _REQUIRED_KEYS:
+        if key not in payload:
+            return f"missing required key {key!r}"
+    if payload["format"] != TRACE_FORMAT:
+        return (
+            f"format is {payload['format']!r} (expected {TRACE_FORMAT!r})"
+        )
+    seq = payload["seq"]
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        return f"seq must be a non-negative integer, got {seq!r}"
+    if prev_seq is not None and seq <= prev_seq:
+        return f"seq {seq} does not increase over {prev_seq}"
+    if payload["kind"] not in KINDS:
+        return f"unknown kind {payload['kind']!r} (known: {KINDS})"
+    name = payload["name"]
+    if not isinstance(name, str) or not name:
+        return f"name must be a non-empty string, got {name!r}"
+    attrs = payload["attrs"]
+    if not isinstance(attrs, dict) or any(
+        not isinstance(k, str) for k in attrs
+    ):
+        return "attrs must be an object with string keys"
+    ts = payload.get("ts_ms")
+    if ts is not None and (not isinstance(ts, (int, float)) or ts < 0):
+        return f"ts_ms must be a non-negative number, got {ts!r}"
+    if payload["kind"] == KIND_SPAN_END:
+        elapsed = payload.get("elapsed_ms")
+        if not isinstance(elapsed, (int, float)) or elapsed < 0:
+            return f"span_end needs a non-negative elapsed_ms, got {elapsed!r}"
+        counters = payload.get("counters")
+        if not isinstance(counters, dict) or any(
+            not isinstance(k, str) or not isinstance(v, (int, float))
+            for k, v in counters.items()
+        ):
+            return "span_end needs a counters object of numeric deltas"
+    if name == EVENT_CANDIDATE_PRUNED:
+        reason = attrs.get("reason")
+        if reason not in PRUNE_REASONS:
+            return (
+                f"candidate.pruned reason {reason!r} is not machine-"
+                f"readable (known: {PRUNE_REASONS})"
+            )
+        if not isinstance(attrs.get("phase"), str):
+            return "candidate.pruned needs a string 'phase' attribute"
+    return None
+
+
+def validate_trace(events: Sequence[Dict]) -> List[str]:
+    """Validate a whole event sequence; returns every problem found."""
+    problems: List[str] = []
+    prev_seq: Optional[int] = None
+    for index, payload in enumerate(events):
+        note = validate_event(payload, prev_seq=prev_seq)
+        if note is not None:
+            problems.append(f"record {index}: {note}")
+        if isinstance(payload, dict) and isinstance(
+            payload.get("seq"), int
+        ):
+            prev_seq = payload["seq"]
+    return problems
+
+
+def read_trace(path: str) -> Tuple[List[Dict], List[str]]:
+    """Load a JSONL trace file.
+
+    Returns ``(events, problems)`` — unparsable lines become problems,
+    never exceptions, mirroring the sweep journal's corruption
+    tolerance.  A missing file is a single problem entry.
+    """
+    events: List[Dict] = []
+    problems: List[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        return events, [f"{path}: cannot read ({exc.strerror or exc})"]
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{path}:{lineno}: unparsable line ({exc.msg})")
+            continue
+        events.append(payload)
+    return events, problems

@@ -28,6 +28,8 @@ from repro.core.standard import untransformed_schedule
 from repro.ir.func import Func, Pipeline
 from repro.ir.schedule import Schedule
 from repro.ir.validate import validate_func, validate_schedule
+from repro.obs.events import EVENT_RUNG
+from repro.obs.tracer import current_tracer
 from repro.robust.diagnostics import Diagnostics
 from repro.robust.policy import (
     RUNG_AUTOSCHEDULER,
@@ -121,7 +123,7 @@ def _rung_builders(
         result = optimize(
             func,
             arch,
-            allow_nti=policy.allow_nti,
+            use_nti=policy.allow_nti,
             parallelize=policy.parallelize,
             vectorize=policy.vectorize,
             exhaustive=policy.exhaustive,
@@ -237,6 +239,18 @@ def safe_optimize(
             diagnostics.record_exception(
                 rung, exc, elapsed_ms=elapsed_ms, fallback_to=next_rung
             )
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.count("rung.failures")
+                tracer.event(
+                    EVENT_RUNG,
+                    func=func.name,
+                    rung=rung,
+                    ok=False,
+                    error_type=exc.__class__.__name__,
+                    elapsed_ms=round(elapsed_ms, 3),
+                    fallback_to=next_rung,
+                )
             last_error = exc
             if policy.strict:
                 raise
@@ -244,6 +258,15 @@ def safe_optimize(
 
         elapsed_ms = (time.perf_counter() - rung_started) * 1000.0
         attempts.append(RungAttempt(rung=rung, ok=True, elapsed_ms=elapsed_ms))
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.event(
+                EVENT_RUNG,
+                func=func.name,
+                rung=rung,
+                ok=True,
+                elapsed_ms=round(elapsed_ms, 3),
+            )
         if rung != RUNG_PROPOSED:
             diagnostics.warning(
                 rung,

@@ -22,7 +22,8 @@ The pipeline is:
 from repro.sim.trace import MemoryLayout, TraceGenerator, NestTrace
 from repro.sim.executor import NestCounters, SimResult, run_nests
 from repro.sim.timing import TimingModel, NestTime
-from repro.sim.machine import Machine
+from repro.sim.machine import Machine, MachineReport
+from repro.sim.report import explain
 from repro.sim.interpret import (
     BufferStore,
     execute,
@@ -40,6 +41,8 @@ __all__ = [
     "TimingModel",
     "NestTime",
     "Machine",
+    "MachineReport",
+    "explain",
     "BufferStore",
     "execute",
     "execute_nest",

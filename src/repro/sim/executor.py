@@ -17,6 +17,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cachesim import CacheHierarchy
 from repro.ir.loopnest import LoopNest
+from repro.obs.events import EVENT_SIM_NEST
+from repro.obs.tracer import current_tracer
 from repro.sim.trace import MemoryLayout, TraceGenerator
 
 
@@ -132,6 +134,7 @@ def run_nests(
     layout = layout or MemoryLayout()
     out: List[NestCounters] = []
     num_levels = hierarchy.num_levels
+    tracer = current_tracer()
     for nest in nests:
         budget = (
             _adaptive_budget(nest, line_budget)
@@ -156,6 +159,28 @@ def run_nests(
             counters.truncated = True
         counters.total_stmts = first.total_stmts
         out.append(counters)
+        if tracer.enabled:
+            tracer.count("sim.nests")
+            tracer.event(
+                EVENT_SIM_NEST,
+                nest=nest.name,
+                l1_hits=counters.l1_hits,
+                l2_hits=counters.l2_hits,
+                l3_hits=counters.l3_hits,
+                mem_lines=counters.mem_lines,
+                prefetch_mem_lines=counters.prefetch_mem_lines,
+                nt_lines=counters.nt_lines,
+                writeback_lines=counters.writeback_lines,
+                simulated_stmts=counters.simulated_stmts,
+                total_stmts=counters.total_stmts,
+                coverage=(
+                    counters.simulated_stmts / counters.total_stmts
+                    if counters.total_stmts
+                    else 1.0
+                ),
+                truncated=counters.truncated,
+                line_budget=budget,
+            )
     return SimResult(counters=out, hierarchy=hierarchy, layout=layout)
 
 

@@ -16,6 +16,7 @@ shared L2).
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -25,6 +26,8 @@ from repro.ir.func import Func, Pipeline
 from repro.ir.loopnest import LoopNest
 from repro.ir.lower import lower, lower_pipeline
 from repro.ir.schedule import Schedule
+from repro.obs.events import EVENT_SIM_TOTAL
+from repro.obs.tracer import activate_tracer, current_tracer
 from repro.sim.executor import SimResult, run_nests
 from repro.sim.timing import NestTime, TimingModel, time_nest, total_time_ms
 from repro.sim.trace import MemoryLayout
@@ -66,6 +69,11 @@ class Machine:
         Per-nest sampling budget (line accesses) for the trace generator.
     enable_prefetch:
         Master prefetcher switch (ablations).
+    tracer:
+        Optional :class:`repro.obs.Tracer` installed as the ambient
+        tracer for every simulation this machine runs (``sim.nest`` /
+        ``sim.total`` events, a ``sim.run`` span).  ``None`` defers to
+        whatever tracer the caller has active.
     """
 
     def __init__(
@@ -75,6 +83,7 @@ class Machine:
         timing: Optional[TimingModel] = None,
         line_budget: int = 200_000,
         enable_prefetch: bool = True,
+        tracer=None,
     ) -> None:
         if line_budget <= 0:
             raise ValidationError(
@@ -84,6 +93,7 @@ class Machine:
         self.timing = timing or TimingModel()
         self.line_budget = line_budget
         self.enable_prefetch = enable_prefetch
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
 
@@ -113,14 +123,30 @@ class Machine:
     ) -> MachineReport:
         """Simulate already-lowered nests and price them."""
         checkpoint("simulation")
-        parallel = any(n.parallel_loops() for n in nests)
-        hierarchy = self._build_hierarchy(parallel)
-        sim = run_nests(
-            nests, hierarchy, layout=layout, line_budget=self.line_budget
-        )
-        nest_times = [time_nest(c, self.arch, self.timing) for c in sim.counters]
-        total = total_time_ms(sim.counters, self.arch, self.timing)
-        return MachineReport(total_ms=total, nest_times=nest_times, sim=sim)
+        with contextlib.ExitStack() as stack:
+            if self.tracer is not None:
+                stack.enter_context(activate_tracer(self.tracer))
+            tracer = current_tracer()
+            stack.enter_context(tracer.span("sim.run", nests=len(nests)))
+            parallel = any(n.parallel_loops() for n in nests)
+            hierarchy = self._build_hierarchy(parallel)
+            sim = run_nests(
+                nests, hierarchy, layout=layout, line_budget=self.line_budget
+            )
+            nest_times = [
+                time_nest(c, self.arch, self.timing) for c in sim.counters
+            ]
+            total = total_time_ms(sim.counters, self.arch, self.timing)
+            if tracer.enabled:
+                tracer.event(
+                    EVENT_SIM_TOTAL,
+                    total_ms=round(total, 6),
+                    nests=len(nests),
+                    parallel=parallel,
+                )
+            return MachineReport(
+                total_ms=total, nest_times=nest_times, sim=sim
+            )
 
     def run_funcs(self, items: FuncSchedules) -> MachineReport:
         """Lower and simulate ``(Func, Schedule-or-None)`` pairs in order."""

@@ -40,6 +40,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TextIO, Tuple
 
 from repro.experiments.harness import mark_quarantined, seed_measure_cache
+from repro.obs.events import (
+    EVENT_CELL_ATTEMPT,
+    EVENT_CELL_OK,
+    EVENT_CELL_QUARANTINED,
+    EVENT_CELL_RESUMED,
+    EVENT_CELL_RETRY,
+)
+from repro.obs.tracer import NULL_TRACER
 from repro.robust import Diagnostics, WorkerFaultPlan
 from repro.sweep.cell import SweepCell
 from repro.sweep.journal import (
@@ -152,6 +160,7 @@ class SweepRunner:
         retry: Optional[RetryPolicy] = None,
         fault_plan: Optional[WorkerFaultPlan] = None,
         progress: Optional[TextIO] = None,
+        tracer=None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -163,6 +172,10 @@ class SweepRunner:
         self.retry = retry or RetryPolicy()
         self.fault_plan = fault_plan
         self.progress = progress
+        # Explicit, not ambient: worker threads (jobs > 1) do not inherit
+        # the caller's context variables, so the cell-lifecycle events
+        # would silently vanish with a contextvar-based default.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Diagnostics trail per cell key, populated during run().
         self.trails: Dict[str, Diagnostics] = {}
 
@@ -185,6 +198,11 @@ class SweepRunner:
             seen.add(key)
             record = journaled.get(key)
             if record is not None and record.status == STATUS_OK:
+                if self.tracer.enabled:
+                    self.tracer.count("sweep.cells.resumed")
+                    self.tracer.event(
+                        EVENT_CELL_RESUMED, cell=key, ms=record.ms
+                    )
                 report.outcomes.append(
                     CellOutcome(cell, "resumed", ms=record.ms)
                 )
@@ -206,11 +224,14 @@ class SweepRunner:
                 f"({len(seen) - len(pending)} already journaled), "
                 f"jobs={self.jobs}"
             )
-            if self.jobs == 1:
-                outcomes = [self._run_cell(c) for c in pending]
-            else:
-                with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                    outcomes = list(pool.map(self._run_cell, pending))
+            with self.tracer.span(
+                "sweep.run", pending=len(pending), jobs=self.jobs
+            ):
+                if self.jobs == 1:
+                    outcomes = [self._run_cell(c) for c in pending]
+                else:
+                    with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                        outcomes = list(pool.map(self._run_cell, pending))
             report.outcomes.extend(outcomes)
 
         self.install(journal_records=self.journal.load())
@@ -252,6 +273,7 @@ class SweepRunner:
         key = cell.key()
         trail = Diagnostics()
         self.trails[key] = trail
+        traced = self.tracer.enabled
         last_error = "unknown failure"
         for attempt in range(1, self.retry.max_attempts + 1):
             if attempt > 1:
@@ -259,7 +281,19 @@ class SweepRunner:
                 trail.info(
                     "retry", f"attempt {attempt} after {delay:.2f}s backoff"
                 )
+                if traced:
+                    self.tracer.count("sweep.retries")
+                    self.tracer.event(
+                        EVENT_CELL_RETRY,
+                        cell=key,
+                        attempt=attempt,
+                        backoff_s=round(delay, 4),
+                        error=last_error,
+                    )
                 time.sleep(delay)
+            if traced:
+                self.tracer.count("sweep.attempts")
+                self.tracer.event(EVENT_CELL_ATTEMPT, cell=key, attempt=attempt)
             started = time.perf_counter()
             ok, payload, error = self._attempt(cell)
             elapsed_ms = (time.perf_counter() - started) * 1000.0
@@ -280,6 +314,15 @@ class SweepRunner:
                         schedules=payload.get("schedules"),
                     )
                 )
+                if traced:
+                    self.tracer.count("sweep.cells.ok")
+                    self.tracer.event(
+                        EVENT_CELL_OK,
+                        cell=key,
+                        ms=ms,
+                        attempt=attempt,
+                        elapsed_ms=round(elapsed_ms, 3),
+                    )
                 self._log(f"  ok         {key} ({ms:.2f} ms)")
                 return CellOutcome(cell, "ok", ms=ms, attempts=attempt)
             last_error = error or "unknown failure"
@@ -298,6 +341,14 @@ class SweepRunner:
                 trail=[r.describe() for r in trail],
             )
         )
+        if traced:
+            self.tracer.count("sweep.cells.quarantined")
+            self.tracer.event(
+                EVENT_CELL_QUARANTINED,
+                cell=key,
+                attempts=self.retry.max_attempts,
+                error=last_error,
+            )
         self._log(
             f"  quarantine {key} after {self.retry.max_attempts} attempts"
         )

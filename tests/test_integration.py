@@ -25,9 +25,9 @@ def run_with(machine, case, technique):
     schedules = {}
     for stage in case.pipeline:
         if technique == "proposed":
-            schedules[stage] = optimize(stage, arch, allow_nti=False).schedule
+            schedules[stage] = optimize(stage, arch, use_nti=False).schedule
         elif technique == "proposed_nti":
-            schedules[stage] = optimize(stage, arch, allow_nti=True).schedule
+            schedules[stage] = optimize(stage, arch, use_nti=True).schedule
         elif technique == "autoscheduler":
             schedules[stage] = autoschedule(stage, arch).schedule
         elif technique == "baseline":

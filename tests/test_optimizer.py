@@ -135,9 +135,9 @@ class TestOptimizeFlow:
         result = optimize(f, arch)
         assert result.locality is Locality.NONE
 
-    def test_allow_nti_false(self, arch):
+    def test_use_nti_false(self, arch):
         f, _ = make_copy(256)
-        result = optimize(f, arch, allow_nti=False)
+        result = optimize(f, arch, use_nti=False)
         assert not result.uses_nti
 
     def test_arm_never_nti(self, arch_arm):

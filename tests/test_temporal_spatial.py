@@ -53,7 +53,7 @@ class TestTemporalOnMatmul:
         c, _, _ = make_matmul(256)
         result = optimize_temporal(c, arch)
         assert result.cost < float("inf")
-        assert result.candidates_evaluated > 0
+        assert result.stats.considered > 0
 
     def test_describe(self, arch):
         c, _, _ = make_matmul(64)
@@ -116,7 +116,7 @@ class TestSpatialOnTranspose:
         f, _, _ = make_transpose_mask(256)
         result = optimize_spatial(f, arch)
         assert result.cost < float("inf")
-        assert result.candidates_evaluated > 0
+        assert result.stats.considered > 0
 
     def test_rejects_1d_output(self, arch):
         from repro.ir import Buffer, Func, Var
