@@ -22,18 +22,32 @@ Quickstart::
     machine = Machine(arch)             # trace-driven platform simulator
     print(machine.time_funcs([(C, result.schedule)]), "ms")
 
+The **stable, versioned** entry point is :mod:`repro.api`::
+
+    from repro import OptimizeRequest, api
+    result = api.optimize(OptimizeRequest(func=C, arch=arch))
+
+It subsumes the five legacy keyword surfaces (``optimize``,
+``optimize_temporal``, ``optimize_spatial``, ``safe_optimize``,
+``optimize_pipeline``) behind one frozen request/result pair; see
+docs/API.md's "Stable API" section.
+
 Package map: :mod:`repro.ir` (the Halide-like DSL), :mod:`repro.arch`
 (platforms), :mod:`repro.cachesim` + :mod:`repro.sim` (the simulated
 hardware), :mod:`repro.core` (the paper's optimizer), :mod:`repro.baselines`
 (comparison techniques), :mod:`repro.robust` (graceful degradation:
 ``safe_optimize`` with fallback chain, deadlines and fault injection),
 :mod:`repro.obs` (observability: structured tracing of search, simulation
-and sweeps behind a zero-overhead default), :mod:`repro.bench` (Table 4's
-benchmarks) and :mod:`repro.experiments` (one regenerator per
-table/figure).
+and sweeps behind a zero-overhead default), :mod:`repro.cache` (the
+persistent cross-run schedule cache), :mod:`repro.bench` (Table 4's
+benchmarks plus the ``python -m repro.bench`` perf harness) and
+:mod:`repro.experiments` (one regenerator per table/figure).
 """
 
+from repro import api
+from repro.api import OptimizeRequest, OptimizeResult
 from repro.arch import ArchSpec, CacheSpec, platform_by_name
+from repro.cache import ScheduleCache
 from repro.core import (
     Classification,
     Locality,
@@ -72,6 +86,10 @@ from repro.util import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
+    "OptimizeRequest",
+    "OptimizeResult",
+    "ScheduleCache",
     "ArchSpec",
     "CacheSpec",
     "platform_by_name",

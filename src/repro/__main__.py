@@ -88,12 +88,13 @@ def _resolve_platform(name: str):
 
 def _policy(args, *, allow_nti: bool = True) -> FallbackPolicy:
     try:
+        jobs = getattr(args, "jobs", 1)
         if args.lenient:
             return FallbackPolicy.lenient(
-                deadline_ms=args.deadline_ms, allow_nti=allow_nti
+                deadline_ms=args.deadline_ms, allow_nti=allow_nti, jobs=jobs
             )
         return FallbackPolicy.strict_policy(
-            deadline_ms=args.deadline_ms, allow_nti=allow_nti
+            deadline_ms=args.deadline_ms, allow_nti=allow_nti, jobs=jobs
         )
     except ValueError as exc:
         # e.g. --deadline-ms -5: a flag typo must not print a traceback.
@@ -111,9 +112,14 @@ def cmd_optimize(args) -> int:
     arch = _resolve_platform(args.platform)
     case = _make_case(args.benchmark, args.fast)
     policy = _policy(args, allow_nti=not args.no_nti)
+    cache = None
+    if args.schedule_cache:
+        from repro.cache import ScheduleCache
+
+        cache = ScheduleCache(args.schedule_cache)
     fell_back = False
     for stage in case.pipeline:
-        safe = safe_optimize(stage, arch, policy)
+        safe = safe_optimize(stage, arch, policy, cache=cache)
         fell_back = fell_back or safe.fell_back
         if safe.result is not None:
             print(safe.result.describe())
@@ -197,6 +203,8 @@ def cmd_sweep(args) -> int:
         argv.extend(["--journal", args.journal])
     if args.trace is not None:
         argv.extend(["--trace", args.trace])
+    if args.schedule_cache is not None:
+        argv.extend(["--schedule-cache", args.schedule_cache])
     return experiments_main(argv)
 
 
@@ -272,6 +280,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--deadline-ms", type=float, default=None,
                        metavar="MS",
                        help="per-stage optimizer time budget")
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for candidate evaluation "
+                            "(0 = auto; results are bit-identical to "
+                            "--jobs 1)")
         p.add_argument("--trace", default=None, metavar="PATH",
                        help="write a repro-trace-v1 JSONL event log")
         mode = p.add_mutually_exclusive_group()
@@ -283,6 +295,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_opt = sub.add_parser("optimize", help="run the optimization flow")
     common(p_opt)
+    p_opt.add_argument("--schedule-cache", default=None, metavar="PATH",
+                       dest="schedule_cache",
+                       help="persistent schedule cache (JSONL) consulted "
+                            "before searching; hits skip the search")
     p_opt.add_argument("--show-nest", action="store_true",
                        help="print the lowered pseudo-C nest")
     p_opt.add_argument("--halide", action="store_true",
@@ -316,6 +332,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="journal path (default: .repro-sweep.jsonl)")
     p_sweep.add_argument("--trace", default=None, metavar="PATH",
                          help="write a repro-trace-v1 JSONL event log")
+    p_sweep.add_argument("--schedule-cache", default=None, metavar="PATH",
+                         dest="schedule_cache",
+                         help="persistent cross-run schedule cache (JSONL) "
+                              "shared by the sweep workers")
 
     p_trace = sub.add_parser(
         "trace",

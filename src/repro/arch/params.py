@@ -15,7 +15,9 @@ data-type size (``dts``) as an argument instead of baking one in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.util import ceil_div
@@ -258,6 +260,25 @@ class ArchSpec:
     def with_overrides(self, **kwargs) -> "ArchSpec":
         """Return a copy with some fields replaced (for ablations/tests)."""
         return replace(self, **kwargs)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of every model-relevant parameter.
+
+        Two specs with equal fields — regardless of how they were built —
+        share a fingerprint; any field change (cache geometry, prefetcher
+        degree, thread counts...) produces a new one.  Used as the
+        architecture half of content-addressed caches: the ``emu``
+        memoization key and the persistent schedule cache
+        (:mod:`repro.cache`).
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            canonical = json.dumps(asdict(self), sort_keys=True)
+            cached = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+            # Frozen dataclasses only block attribute *assignment*; the
+            # memo slot is invisible to ==/hash/asdict.
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def describe(self) -> str:
         """Multi-line human-readable summary (used by experiments)."""

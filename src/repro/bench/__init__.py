@@ -4,6 +4,11 @@
 functions so every use gets fresh ``Func`` objects;
 :mod:`repro.bench.workloads` records the paper's problem sizes and the
 scaled-down sizes used by fast tests.
+
+:mod:`repro.bench.perf` (CLI: ``python -m repro.bench``) times the
+*search machinery itself* over this suite and gates CI against the
+committed ``BENCH_search.json`` baseline; see docs/API.md
+§ *Performance*.
 """
 
 from repro.bench.suite import (

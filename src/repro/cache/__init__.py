@@ -1,0 +1,38 @@
+"""Persistent cross-run schedule cache (content-addressed, checksummed).
+
+The Algorithm 2/3 searches are deterministic functions of the algorithm,
+the platform, and the optimizer options — so their results are cacheable
+across processes and runs.  This package provides:
+
+* :class:`ScheduleCache` — the JSONL store (journal-style durability,
+  per-record checksums, replay-validated hits);
+* :func:`func_fingerprint` / :func:`options_fingerprint` /
+  :func:`optimize_options` — the content hashes behind the cache key
+  (the architecture half is :meth:`repro.arch.ArchSpec.fingerprint`).
+
+Consumers: :func:`repro.robust.safe_optimize` (``cache=`` keyword), the
+sweep runner (``schedule_cache=`` / ``--schedule-cache``), and the
+:mod:`repro.bench` harness's warm-path measurements.
+"""
+
+from repro.cache.fingerprint import (
+    func_fingerprint,
+    optimize_options,
+    options_fingerprint,
+)
+from repro.cache.store import (
+    CACHE_FORMAT,
+    CacheStats,
+    ScheduleCache,
+    cache_key,
+)
+
+__all__ = [
+    "CACHE_FORMAT",
+    "CacheStats",
+    "ScheduleCache",
+    "cache_key",
+    "func_fingerprint",
+    "optimize_options",
+    "options_fingerprint",
+]

@@ -1,0 +1,267 @@
+"""The persistent cross-run schedule cache.
+
+A checksummed, append-only JSONL store mapping
+``(Func fingerprint, ArchSpec fingerprint, optimizer options)`` to the
+serialized schedule the search chose, so a sweep — or any repeated
+``safe_optimize`` call — pays for each search once per machine instead
+of once per run.  Every line is one record::
+
+    {"format": "repro-schedule-cache-v1", "key": "<sha256>",
+     "func_fingerprint": "...", "arch_fingerprint": "...",
+     "options": {...}, "schedule": {...}, "meta": {...},
+     "sha256": "<hex>"}
+
+The durability/corruption discipline is :mod:`repro.sweep.journal`'s:
+appends are flushed and fsync'd per record, per-record SHA-256 checksums
+catch truncated or bit-flipped lines, and :meth:`ScheduleCache.load`
+skips damaged lines with a diagnostic — a torn append costs one entry,
+never the cache.  The last record per key wins, so re-caching a key
+simply appends a superseding line; :meth:`ScheduleCache.compact` drops
+superseded lines via an atomic rewrite.
+
+Hits are *replayed*, not trusted: :meth:`ScheduleCache.get` re-applies
+the stored directives to the caller's Func through
+:func:`repro.ir.serialize.schedule_from_dict`, so a stale entry whose
+directives no longer fit the definition fails the replay and degrades to
+a miss (the caller then searches and overwrites the entry) instead of
+returning a corrupt schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.arch import ArchSpec
+from repro.cache.fingerprint import func_fingerprint, options_fingerprint
+from repro.ir.func import Func
+from repro.ir.schedule import Schedule
+from repro.ir.serialize import schedule_from_dict, schedule_to_dict
+from repro.util import ScheduleError
+
+#: Schema tag; bump when the record layout changes incompatibly.
+CACHE_FORMAT = "repro-schedule-cache-v1"
+
+__all__ = ["CACHE_FORMAT", "CacheStats", "ScheduleCache", "cache_key"]
+
+
+def _canonical(payload: Dict) -> str:
+    """Deterministic JSON used both on the wire and under the checksum."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(payload: Dict) -> str:
+    body = {k: v for k, v in payload.items() if k != "sha256"}
+    return hashlib.sha256(_canonical(body).encode("utf-8")).hexdigest()
+
+
+def cache_key(func_fp: str, arch_fp: str, options: Dict) -> str:
+    """The record key: one hash over the three key components."""
+    return hashlib.sha256(
+        f"{func_fp}:{arch_fp}:{options_fingerprint(options)}".encode("utf-8")
+    ).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Cumulative counters for one :class:`ScheduleCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    replay_failures: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "replay_failures": self.replay_failures,
+        }
+
+
+class ScheduleCache:
+    """The on-disk schedule store, safe for concurrent use in one process.
+
+    The backing file is read lazily on first access and kept as an
+    in-memory ``key -> record`` map; :meth:`put` appends to the file and
+    updates the map, so interleaved get/put always see the caller's own
+    writes.  Cross-process appends are line-atomic (single ``write`` of
+    one line), and readers tolerate any torn line, so several sweep
+    workers may share one cache file.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._records: Optional[Dict[str, Dict]] = None
+        #: Human-readable notes about skipped lines from the last load.
+        self.load_diagnostics: List[str] = []
+
+    # -- key construction ---------------------------------------------
+
+    @staticmethod
+    def key_for(func: Func, arch: ArchSpec, options: Dict) -> str:
+        return cache_key(func_fingerprint(func), arch.fingerprint(), options)
+
+    # -- reading -------------------------------------------------------
+
+    def load(self) -> Dict[str, Dict]:
+        """Parse the backing file; last valid record per key wins."""
+        self.load_diagnostics = []
+        records: Dict[str, Dict] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return records
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            note = self._ingest(line, lineno, records)
+            if note is not None:
+                self.load_diagnostics.append(note)
+        return records
+
+    def _ingest(
+        self, line: str, lineno: int, records: Dict[str, Dict]
+    ) -> Optional[str]:
+        """Parse one line into ``records``; return a diagnostic on skip."""
+        where = f"{self.path}:{lineno}"
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return f"{where}: skipping unparsable line ({exc.msg})"
+        if not isinstance(payload, dict):
+            return f"{where}: skipping non-object line"
+        if payload.get("format") != CACHE_FORMAT:
+            return (
+                f"{where}: skipping record with format="
+                f"{payload.get('format')!r} (expected {CACHE_FORMAT!r})"
+            )
+        if payload.get("sha256") != _checksum(payload):
+            return f"{where}: skipping record with bad checksum (truncated?)"
+        key = payload.get("key")
+        if not isinstance(key, str) or not isinstance(
+            payload.get("schedule"), dict
+        ):
+            return f"{where}: skipping malformed record"
+        records[key] = payload
+        return None
+
+    def _loaded(self) -> Dict[str, Dict]:
+        if self._records is None:
+            self._records = self.load()
+        return self._records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._loaded())
+
+    def get(
+        self, func: Func, arch: ArchSpec, options: Dict
+    ) -> Optional[Schedule]:
+        """Look up and replay a cached schedule for this exact key.
+
+        Returns ``None`` on a miss *or* when the stored directives no
+        longer replay onto ``func`` (counted in
+        ``stats.replay_failures``) — stale entries degrade to misses.
+        """
+        key = self.key_for(func, arch, options)
+        with self._lock:
+            record = self._loaded().get(key)
+            if record is None:
+                self.stats.misses += 1
+                return None
+        try:
+            schedule = schedule_from_dict(func, record["schedule"])
+        except ScheduleError as exc:
+            with self._lock:
+                self.stats.replay_failures += 1
+                self.stats.misses += 1
+                self.load_diagnostics.append(
+                    f"{self.path}: entry {key[:12]}... did not replay "
+                    f"({exc}); treating as a miss"
+                )
+            return None
+        with self._lock:
+            self.stats.hits += 1
+        return schedule
+
+    # -- writing -------------------------------------------------------
+
+    def put(
+        self,
+        func: Func,
+        arch: ArchSpec,
+        options: Dict,
+        schedule: Schedule,
+        meta: Optional[Dict] = None,
+    ) -> str:
+        """Durably store one schedule (flush + fsync); returns the key."""
+        func_fp = func_fingerprint(func)
+        arch_fp = arch.fingerprint()
+        key = cache_key(func_fp, arch_fp, options)
+        payload = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "func_fingerprint": func_fp,
+            "arch_fingerprint": arch_fp,
+            "options": dict(options),
+            "schedule": schedule_to_dict(schedule),
+            "meta": dict(meta or {}),
+        }
+        payload["sha256"] = _checksum(payload)
+        line = _canonical(payload) + "\n"
+        with self._lock:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._loaded()[key] = payload
+            self.stats.stores += 1
+        return key
+
+    def compact(self) -> int:
+        """Drop superseded/corrupt lines via an atomic rewrite (temp file
+        + fsync + rename, as in :meth:`repro.sweep.Journal.rewrite`);
+        returns the surviving record count."""
+        with self._lock:
+            self._records = None
+            records = self._loaded()
+            directory = os.path.dirname(os.path.abspath(self.path)) or "."
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=".schedule-cache-", suffix=".tmp", dir=directory
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    for payload in records.values():
+                        handle.write(_canonical(payload) + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+            return len(records)
+
+    def clear(self) -> None:
+        """Remove the backing file and forget the in-memory map."""
+        with self._lock:
+            self._records = None
+            try:
+                os.unlink(self.path)
+            except FileNotFoundError:
+                pass

@@ -43,8 +43,9 @@ def _resolve_use_nti(use_nti: bool, allow_nti: Optional[bool]) -> bool:
     if allow_nti is None:
         return use_nti
     warnings.warn(
-        "the allow_nti keyword is deprecated; pass use_nti instead "
-        "(same meaning, uniform with the use_emu/order_step switches)",
+        "the allow_nti keyword is deprecated and will be removed in 2.0; "
+        "pass use_nti instead (same meaning, uniform with the "
+        "use_emu/order_step switches)",
         DeprecationWarning,
         stacklevel=3,
     )
@@ -93,6 +94,7 @@ def optimize(
     exhaustive: bool = False,
     use_emu: bool = True,
     order_step: bool = True,
+    jobs: int = 1,
     deadline: Optional[Deadline] = None,
     tracer=None,
     allow_nti: Optional[bool] = None,
@@ -117,6 +119,10 @@ def optimize(
         verbatim (see :func:`repro.core.optimize_temporal` and
         :func:`repro.core.optimize_spatial`).  Both default to the
         paper's full method.
+    jobs:
+        Worker processes for the Algorithm-2/3 candidate searches
+        (0 = auto, 1 = serial); results are bit-identical either way
+        (see :mod:`repro.core.parallel`).
     deadline:
         Optional time budget.  Installed as the ambient deadline for the
         whole flow, so the cooperative checkpoints inside classification
@@ -151,6 +157,7 @@ def optimize(
             exhaustive=exhaustive,
             use_emu=use_emu,
             order_step=order_step,
+            jobs=jobs,
             tracer=tracer,
         )
 
@@ -165,6 +172,7 @@ def _optimize_under_deadline(
     exhaustive: bool,
     use_emu: bool,
     order_step: bool,
+    jobs: int,
     tracer,
 ) -> OptimizationResult:
     start = time.perf_counter()
@@ -190,6 +198,7 @@ def _optimize_under_deadline(
             use_emu=use_emu,
             order_step=order_step,
             tracer=tracer,
+            jobs=jobs,
         )
         if temporal_result.cost == float("inf"):
             schedule = untransformed_schedule(
@@ -219,6 +228,7 @@ def _optimize_under_deadline(
             use_emu=use_emu,
             order_step=order_step,
             tracer=tracer,
+            jobs=jobs,
         )
         tiles = dict(spatial_result.tiles)
         # Untiled outer output dimensions (3-D+ outputs) stay untouched.
@@ -282,6 +292,7 @@ def optimize_pipeline(
     exhaustive: bool = False,
     use_emu: bool = True,
     order_step: bool = True,
+    jobs: int = 1,
     deadline: Optional[Deadline] = None,
     tracer=None,
     allow_nti: Optional[bool] = None,
@@ -312,5 +323,6 @@ def optimize_pipeline(
                 exhaustive=exhaustive,
                 use_emu=use_emu,
                 order_step=order_step,
+                jobs=jobs,
             ).schedule
     return out

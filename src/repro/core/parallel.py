@@ -1,0 +1,179 @@
+"""Deterministic parallel candidate evaluation for the Algorithm 2/3 searches.
+
+The tile-lattice searches are embarrassingly parallel: every candidate is
+priced independently and only the running argmin couples them.  This
+module splits a search's lattice into its natural *groups* (one group per
+outer-loop state — ``(T_c, d2, d3)`` placements for Algorithm 2, one per
+``T_width`` for Algorithm 3), evaluates groups across worker processes,
+and merges the per-group results **in group order** so the outcome is
+bit-identical to the serial scan:
+
+* the serial search keeps the *first* candidate of minimal cost (strict
+  ``<`` against the incumbent); each group likewise returns its first
+  minimum, and an in-order merge with strict ``<`` reproduces the global
+  first-minimum exactly;
+* candidate accounting (``CandidateStats.considered`` and the per-reason
+  pruned counts) is summed across groups, which equals the serial count
+  because every group evaluates exactly the lattice slice the serial loop
+  would.
+
+Process isolation mirrors :mod:`repro.sweep`'s worker design — work is
+shipped to fresh processes so a crash costs one search, not the driver —
+but uses :class:`concurrent.futures.ProcessPoolExecutor` with pickled
+group descriptors instead of a JSON protocol: group evaluation is a pure
+function of small value objects, and the per-search pool amortizes over
+hundreds of groups.  Cooperative deadlines stay in the parent: the
+driver runs a :func:`repro.util.checkpoint` as each group completes and
+cancels the remaining futures on expiry, the same cancellation discipline
+as :class:`repro.sweep.SweepRunner`'s timeout path.
+
+Tracing and parallelism are mutually exclusive by design: per-candidate
+``candidate.pruned`` events must interleave in serial order to keep
+traced event streams bit-identical, so searches fall back to the serial
+path whenever a recording tracer is active (the search *results* are
+identical either way).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.util import checkpoint
+
+__all__ = [
+    "GroupOutcome",
+    "default_jobs",
+    "evaluate_groups",
+    "resolve_jobs",
+]
+
+
+@dataclass
+class GroupOutcome:
+    """What evaluating one lattice group produced.
+
+    ``best`` is the group's first candidate of minimal cost (an opaque
+    tuple whose first element is the cost), or ``None`` when every
+    candidate was rejected.  ``considered``/``pruned`` are the group's
+    slice of the canonical candidate accounting.
+    """
+
+    best: Optional[Tuple] = None
+    considered: int = 0
+    pruned: Dict[str, int] = field(default_factory=dict)
+
+
+def default_jobs() -> int:
+    """A sensible worker count for ``jobs=0`` ("auto"): the CPU count,
+    capped so tiny machines and huge ones both behave."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a ``jobs`` request: 0 means auto, negatives are errors."""
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = auto), got {jobs}")
+    return default_jobs() if jobs == 0 else jobs
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap, inherits the warm interpreter) where the
+    platform offers it; fall back to the default start method elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+# Worker-side state, installed once per worker by the pool initializer so
+# the (comparatively large) evaluation context is pickled once per worker
+# instead of once per group.
+_WORKER_EVAL: Optional[Callable] = None
+_WORKER_CTX = None
+
+
+def _init_worker(evaluate: Callable, ctx) -> None:
+    global _WORKER_EVAL, _WORKER_CTX
+    _WORKER_EVAL = evaluate
+    _WORKER_CTX = ctx
+
+
+def _run_group(index: int, group) -> Tuple[int, GroupOutcome]:
+    assert _WORKER_EVAL is not None
+    return index, _WORKER_EVAL(_WORKER_CTX, group)
+
+
+def merge_outcomes(
+    outcomes: Sequence[GroupOutcome],
+) -> GroupOutcome:
+    """Fold per-group outcomes (in group order) into one.
+
+    Equivalent to the serial scan: strict ``<`` keeps the earliest
+    minimum, counts are summed, pruned reasons merge in first-seen order.
+    """
+    total = GroupOutcome()
+    for outcome in outcomes:
+        total.considered += outcome.considered
+        for reason, count in outcome.pruned.items():
+            total.pruned[reason] = total.pruned.get(reason, 0) + count
+        if outcome.best is not None and (
+            total.best is None or outcome.best[0] < total.best[0]
+        ):
+            total.best = outcome.best
+    return total
+
+
+def evaluate_groups(
+    evaluate: Callable,
+    ctx,
+    groups: Sequence,
+    *,
+    jobs: int,
+    checkpoint_label: str,
+) -> List[GroupOutcome]:
+    """Evaluate every group with ``jobs`` worker processes, in-order.
+
+    ``evaluate(ctx, group) -> GroupOutcome`` must be a module-level
+    callable (it is shipped to worker processes by the pool initializer).
+    Results come back as a list parallel to ``groups`` regardless of
+    completion order.  The parent checkpoints the ambient
+    :class:`~repro.util.Deadline` as results arrive; on expiry the
+    remaining futures are cancelled and the exception propagates.
+    """
+    jobs = min(resolve_jobs(jobs), len(groups)) or 1
+    if jobs <= 1 or len(groups) <= 1:
+        out = []
+        for group in groups:
+            checkpoint(checkpoint_label)
+            out.append(evaluate(ctx, group))
+        return out
+
+    results: List[Optional[GroupOutcome]] = [None] * len(groups)
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        mp_context=_pool_context(),
+        initializer=_init_worker,
+        initargs=(evaluate, ctx),
+    ) as pool:
+        futures = {
+            pool.submit(_run_group, index, group): index
+            for index, group in enumerate(groups)
+        }
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, outcome = future.result()
+                    results[index] = outcome
+                checkpoint(checkpoint_label)
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            raise
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]

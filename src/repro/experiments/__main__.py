@@ -90,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--journal", default=None, metavar="PATH",
                         help=f"sweep journal path (default: "
                              f"$REPRO_SWEEP_JOURNAL or {DEFAULT_JOURNAL})")
+    parser.add_argument("--schedule-cache", default=None, metavar="PATH",
+                        dest="schedule_cache",
+                        help="persistent cross-run schedule cache (JSONL); "
+                             "workers consult it before searching and "
+                             "append what they find")
     parser.add_argument("--no-sweep", action="store_true",
                         help="legacy in-process mode: no isolation, no "
                              "journal, no resume")
@@ -163,6 +168,7 @@ def main(argv=None) -> int:
             timeout_s=args.timeout_s,
             progress=sys.stderr,
             tracer=tracer,
+            schedule_cache=args.schedule_cache,
         )
         report = runner.run(cells)
         print(report.summary(), file=sys.stderr)

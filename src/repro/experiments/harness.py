@@ -108,15 +108,46 @@ def schedules_for(
     *,
     config: Optional[ExperimentConfig] = None,
     autotune_evals: Optional[int] = None,
+    cache=None,
+    jobs: int = 1,
 ) -> Dict[Func, Schedule]:
-    """Produce one schedule per pipeline stage under a technique."""
+    """Produce one schedule per pipeline stage under a technique.
+
+    ``cache`` is an optional :class:`repro.cache.ScheduleCache` consulted
+    for the ``proposed``/``proposed_nti`` techniques (the only ones whose
+    schedules come from the expensive Algorithm-2/3 search); hits skip
+    the search, misses search and store.  ``jobs`` parallelizes the
+    search itself (bit-identical results; see :mod:`repro.core.parallel`).
+    """
     config = config or ExperimentConfig()
     out: Dict[Func, Schedule] = {}
     for stage in case.pipeline:
-        if technique == "proposed":
-            out[stage] = optimize(stage, arch, use_nti=False).schedule
-        elif technique == "proposed_nti":
-            out[stage] = optimize(stage, arch, use_nti=True).schedule
+        if technique in ("proposed", "proposed_nti"):
+            use_nti = technique == "proposed_nti"
+            schedule = None
+            options = None
+            if cache is not None:
+                from repro.cache import optimize_options
+
+                options = optimize_options(use_nti=use_nti)
+                schedule = cache.get(stage, arch, options)
+            if schedule is None:
+                schedule = optimize(
+                    stage, arch, use_nti=use_nti, jobs=jobs
+                ).schedule
+                if cache is not None:
+                    cache.put(
+                        stage,
+                        arch,
+                        options,
+                        schedule,
+                        meta={
+                            "technique": technique,
+                            "func": stage.name,
+                            "arch": arch.name,
+                        },
+                    )
+            out[stage] = schedule
         elif technique == "autoscheduler":
             out[stage] = autoschedule(stage, arch).schedule
         elif technique == "baseline":

@@ -104,8 +104,8 @@ class CandidateCounter:
 def deprecated_counter_read(owner: str) -> None:
     """Warn for a read of a legacy ``candidates_evaluated`` field."""
     warnings.warn(
-        f"{owner}.candidates_evaluated is deprecated; read "
-        f"{owner}.stats.considered instead",
+        f"{owner}.candidates_evaluated is deprecated and will be removed "
+        f"in 2.0; read {owner}.stats.considered instead",
         DeprecationWarning,
         stacklevel=3,
     )

@@ -40,6 +40,7 @@ from repro.robust.policy import (
     FallbackPolicy,
     RUNG_AUTOSCHEDULER,
     RUNG_BASELINE,
+    RUNG_CACHE,
     RUNG_PROPOSED,
     RUNG_UNTRANSFORMED,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "FallbackPolicy",
     "RUNG_AUTOSCHEDULER",
     "RUNG_BASELINE",
+    "RUNG_CACHE",
     "RUNG_PROPOSED",
     "RUNG_UNTRANSFORMED",
     "RungAttempt",

@@ -25,6 +25,13 @@ RUNG_AUTOSCHEDULER = "auto-scheduler"
 RUNG_BASELINE = "baseline"
 RUNG_UNTRANSFORMED = "untransformed"
 
+#: Pseudo-rung reported by ``safe_optimize`` when a persistent
+#: :class:`repro.cache.ScheduleCache` served the schedule.  Not part of
+#: :data:`FALLBACK_CHAIN` (it is not configurable — a cache hit simply
+#: short-circuits the chain) and not a degradation: the cached schedule
+#: *is* a previously computed ``proposed`` result.
+RUNG_CACHE = "cache"
+
 #: The full chain, best-first.  ``safe_optimize`` walks it left to right.
 FALLBACK_CHAIN: Tuple[str, ...] = (
     RUNG_PROPOSED,
@@ -67,6 +74,14 @@ class FallbackPolicy:
         (poisoned or degenerate analytical model) and descend.
     allow_nti / parallelize / vectorize / exhaustive:
         Forwarded to :func:`repro.core.optimize`.
+    use_emu / order_step:
+        The proposed flow's ablation switches, forwarded verbatim (both
+        default to the paper's full method).  They are part of the
+        schedule-cache key — ablated and full schedules never mix.
+    jobs:
+        Worker processes for the proposed rung's candidate searches
+        (0 = auto, 1 = serial); bit-identical results either way, so
+        *not* part of the cache key.
     """
 
     rungs: Tuple[str, ...] = FALLBACK_CHAIN
@@ -80,6 +95,9 @@ class FallbackPolicy:
     parallelize: bool = True
     vectorize: bool = True
     exhaustive: bool = False
+    use_emu: bool = True
+    order_step: bool = True
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if not self.rungs:
@@ -105,6 +123,8 @@ class FallbackPolicy:
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise ValueError(f"{name} must be positive, got {value}")
+        if self.jobs < 0:
+            raise ValueError(f"jobs must be >= 0 (0 = auto), got {self.jobs}")
 
     # -- conveniences --------------------------------------------------
 

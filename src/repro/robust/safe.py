@@ -34,6 +34,7 @@ from repro.robust.diagnostics import Diagnostics
 from repro.robust.policy import (
     RUNG_AUTOSCHEDULER,
     RUNG_BASELINE,
+    RUNG_CACHE,
     RUNG_PROPOSED,
     RUNG_UNTRANSFORMED,
     FallbackPolicy,
@@ -98,8 +99,9 @@ class SafeResult:
     @property
     def fell_back(self) -> bool:
         """True when the best rung (``proposed``) did not produce the
-        schedule — i.e. the flow degraded."""
-        return self.rung != RUNG_PROPOSED
+        schedule — i.e. the flow degraded.  A schedule-cache hit is a
+        replayed ``proposed`` result, not a degradation."""
+        return self.rung not in (RUNG_PROPOSED, RUNG_CACHE)
 
     def describe(self) -> str:
         lines = [
@@ -127,6 +129,9 @@ def _rung_builders(
             parallelize=policy.parallelize,
             vectorize=policy.vectorize,
             exhaustive=policy.exhaustive,
+            use_emu=policy.use_emu,
+            order_step=policy.order_step,
+            jobs=policy.jobs,
         )
         if policy.require_finite_cost:
             _check_finite_cost(result)
@@ -175,8 +180,18 @@ def safe_optimize(
     func: Func,
     arch: ArchSpec,
     policy: Optional[FallbackPolicy] = None,
+    *,
+    cache=None,
 ) -> SafeResult:
     """Optimize ``func`` with fallbacks, deadlines and diagnostics.
+
+    ``cache`` is an optional :class:`repro.cache.ScheduleCache`: it is
+    consulted before the fallback chain — a replayable entry keyed by
+    this exact (Func, arch, policy options) short-circuits the whole
+    chain with ``rung="cache"`` — and a successful ``proposed`` rung
+    stores its schedule back, so the next run with the same inputs skips
+    the search entirely.  Entries that fail replay or validation degrade
+    to misses; degraded (fallback) schedules are never cached.
 
     Walks ``policy.rungs`` best-first.  Each rung runs under a
     :class:`~repro.util.Deadline` of ``min(policy.deadline_ms, remaining
@@ -205,6 +220,34 @@ def safe_optimize(
         # An invalid Func is a hard failure, not a degradation: even the
         # untransformed rung cannot schedule unbounded/empty loops.
         validate_func(func)
+
+    cache_options = _policy_cache_options(policy)
+    if cache is not None and RUNG_PROPOSED in policy.rungs:
+        hit = _consult_cache(cache, func, arch, cache_options, policy)
+        if hit is not None:
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            attempts.append(
+                RungAttempt(rung=RUNG_CACHE, ok=True, elapsed_ms=elapsed_ms)
+            )
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.count("schedule_cache.hits")
+                tracer.event(
+                    EVENT_RUNG,
+                    func=func.name,
+                    rung=RUNG_CACHE,
+                    ok=True,
+                    elapsed_ms=round(elapsed_ms, 3),
+                )
+            return SafeResult(
+                func=func,
+                schedule=hit,
+                rung=RUNG_CACHE,
+                result=None,
+                attempts=attempts,
+                diagnostics=diagnostics,
+                elapsed_ms=elapsed_ms,
+            )
 
     total = (
         Deadline(policy.total_deadline_ms / 1000.0, label="safe_optimize")
@@ -267,6 +310,17 @@ def safe_optimize(
                 ok=True,
                 elapsed_ms=round(elapsed_ms, 3),
             )
+        if rung == RUNG_PROPOSED and cache is not None:
+            # Only the full proposed flow is worth persisting: fallback
+            # schedules are cheap to rebuild and would shadow a later
+            # successful search under the same key.
+            cache.put(
+                func,
+                arch,
+                cache_options,
+                schedule,
+                meta={"rung": rung, "func": func.name, "arch": arch.name},
+            )
         if rung != RUNG_PROPOSED:
             diagnostics.warning(
                 rung,
@@ -289,6 +343,37 @@ def safe_optimize(
     # injected fault) is beyond repair — surface the last cause.
     assert last_error is not None
     raise last_error
+
+
+def _policy_cache_options(policy: FallbackPolicy) -> Dict:
+    """The schedule-cache options key for a policy's proposed rung.
+
+    Imported lazily-shaped (a plain dict) so the robust layer does not
+    depend on :mod:`repro.cache` unless a cache is actually passed.
+    """
+    return {
+        "use_nti": policy.allow_nti,
+        "parallelize": policy.parallelize,
+        "vectorize": policy.vectorize,
+        "exhaustive": policy.exhaustive,
+        "use_emu": policy.use_emu,
+        "order_step": policy.order_step,
+    }
+
+
+def _consult_cache(
+    cache, func: Func, arch: ArchSpec, options: Dict, policy: FallbackPolicy
+) -> Optional[Schedule]:
+    """A replayed-and-validated cached schedule, or ``None`` to search."""
+    schedule = cache.get(func, arch, options)
+    if schedule is None:
+        return None
+    if policy.validate_schedules:
+        try:
+            validate_schedule(schedule)
+        except ReproError:
+            return None
+    return schedule
 
 
 def _rung_deadline(

@@ -161,6 +161,7 @@ class SweepRunner:
         fault_plan: Optional[WorkerFaultPlan] = None,
         progress: Optional[TextIO] = None,
         tracer=None,
+        schedule_cache: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -172,6 +173,10 @@ class SweepRunner:
         self.retry = retry or RetryPolicy()
         self.fault_plan = fault_plan
         self.progress = progress
+        #: Optional path of a shared repro.cache.ScheduleCache file; each
+        #: worker consults it before searching and stores what it finds
+        #: (appends are line-atomic, so concurrent workers can share it).
+        self.schedule_cache = schedule_cache
         # Explicit, not ambient: worker threads (jobs > 1) do not inherit
         # the caller's context variables, so the cell-lifecycle events
         # would silently vanish with a contextvar-based default.
@@ -371,6 +376,7 @@ class SweepRunner:
                 "deadline_s": (
                     self.timeout_s * 0.9 if self.timeout_s else None
                 ),
+                "schedule_cache": self.schedule_cache,
             }
         )
         env = dict(os.environ)

@@ -4,7 +4,11 @@ The sweep runner executes every cell in a fresh subprocess running this
 module, so a crash (segfault, OOM kill, interpreter abort) costs one
 cell, never the sweep.  Protocol, designed to stay debuggable by hand:
 
-* stdin — one JSON envelope ``{"cell": {...}, "deadline_s": <float?>}``;
+* stdin — one JSON envelope ``{"cell": {...}, "deadline_s": <float?>,
+  "schedule_cache": "<path?>"}`` (the optional path names a shared
+  :class:`repro.cache.ScheduleCache` file consulted/updated for the
+  ``proposed``/``proposed_nti`` techniques — appends are line-atomic, so
+  concurrent workers may share it);
 * stdout — one JSON line, either
   ``{"ok": true, "ms": <float>, "elapsed_s": <float>,
   "schedules": [...]}`` (the chosen schedules serialized with
@@ -67,6 +71,12 @@ def run_cell(payload: dict) -> dict:
 
     cell = SweepCell.from_dict(payload["cell"])
     deadline_s = payload.get("deadline_s")
+    cache_path = payload.get("schedule_cache")
+    schedule_cache = None
+    if cache_path:
+        from repro.cache import ScheduleCache
+
+        schedule_cache = ScheduleCache(cache_path)
     config = cell.config()
     started = time.perf_counter()
     schedules = None
@@ -91,6 +101,7 @@ def run_cell(payload: dict) -> dict:
                     arch,
                     config=config,
                     autotune_evals=cell.autotune_evals,
+                    cache=schedule_cache,
                 )
                 machine = config.machine(arch)
                 value = machine.time_pipeline(case.pipeline, schedules)

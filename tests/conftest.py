@@ -5,6 +5,19 @@ from __future__ import annotations
 import pytest
 
 from repro.arch import arm_cortex_a15, intel_i7_5930k, intel_i7_6700
+from repro.core.emu import clear_emu_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_emu_cache():
+    """Start every test with a cold emu memo.
+
+    The memo is process-global, so without this the ``stats.emu_cache_*``
+    trace counters (and hit-rate assertions) would depend on which tests
+    ran earlier in the session.
+    """
+    clear_emu_cache()
+    yield
 
 
 @pytest.fixture

@@ -1,0 +1,158 @@
+"""Tests for the content-keyed ``emu`` memoization (Algorithm 1 cache)."""
+
+import importlib
+
+import pytest
+
+# `repro.core` re-exports the `emu` *function* under the same name, so
+# attribute-style module access would resolve to the function.
+emu_mod = importlib.import_module("repro.core.emu")
+
+from repro.core.emu import (  # noqa: E402
+    EmuParams,
+    clear_emu_cache,
+    configure_emu_cache,
+    emu,
+    emu_cache_stats,
+)
+from repro.obs import CollectingTracer, activate_tracer
+
+
+def _params(**overrides):
+    base = dict(
+        level=1,
+        row_width_elems=32,
+        row_stride_elems=2048,
+        max_rows=2048,
+        dts=4,
+    )
+    base.update(overrides)
+    return EmuParams(**base)
+
+
+class TestMemoization:
+    def test_second_call_hits(self, arch):
+        first = emu(arch, _params())
+        second = emu(arch, _params())
+        assert first == second
+        stats = emu_cache_stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.size == 1
+        assert stats.calls == 2
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_distinct_params_are_distinct_entries(self, arch):
+        emu(arch, _params())
+        emu(arch, _params(row_width_elems=64))
+        emu(arch, _params(level=2))
+        stats = emu_cache_stats()
+        assert stats.hits == 0
+        assert stats.misses == 3
+        assert stats.size == 3
+
+    def test_arch_fingerprint_is_part_of_the_key(self, arch, arch_6700):
+        emu(arch, _params())
+        emu(arch_6700, _params())
+        stats = emu_cache_stats()
+        # Same EmuParams on a different platform must not collide.
+        assert stats.hits == 0
+        assert stats.misses == 2
+
+    def test_hit_returns_identical_value_to_uncached(self, arch):
+        for params in (
+            _params(),
+            _params(level=2),
+            _params(row_width_elems=128, row_stride_elems=1024),
+        ):
+            cached_cold = emu(arch, params)
+            cached_hot = emu(arch, params)
+            previous = configure_emu_cache(False)
+            try:
+                uncached = emu(arch, params)
+            finally:
+                configure_emu_cache(previous)
+            assert cached_cold == cached_hot == uncached
+
+    def test_clear_resets_counters_and_entries(self, arch):
+        emu(arch, _params())
+        emu(arch, _params())
+        clear_emu_cache()
+        stats = emu_cache_stats()
+        assert (stats.hits, stats.misses, stats.size) == (0, 0, 0)
+
+    def test_disabled_cache_records_nothing(self, arch):
+        previous = configure_emu_cache(False)
+        try:
+            emu(arch, _params())
+            emu(arch, _params())
+        finally:
+            configure_emu_cache(previous)
+        stats = emu_cache_stats()
+        assert stats.calls == 0
+        assert stats.size == 0
+
+    def test_configure_returns_previous_setting(self):
+        previous = configure_emu_cache(False)
+        try:
+            assert configure_emu_cache(True) is False
+            assert configure_emu_cache(previous) is True
+        finally:
+            configure_emu_cache(previous)
+
+    def test_lru_eviction_respects_cap(self, arch, monkeypatch):
+        monkeypatch.setattr(emu_mod, "_EMU_CACHE_CAP", 2)
+        emu(arch, _params(row_width_elems=8))
+        emu(arch, _params(row_width_elems=16))
+        emu(arch, _params(row_width_elems=24))  # evicts the oldest (8)
+        assert emu_cache_stats().size == 2
+        emu(arch, _params(row_width_elems=8))  # re-miss: was evicted
+        stats = emu_cache_stats()
+        assert stats.hits == 0
+        assert stats.misses == 4
+
+
+class TestTraceTransparency:
+    def test_hit_and_miss_counters_on_tracer(self, arch):
+        tracer = CollectingTracer()
+        with activate_tracer(tracer):
+            emu(arch, _params())
+            emu(arch, _params())
+        counters = tracer.counters()
+        assert counters.get("stats.emu_cache_miss") == 1
+        assert counters.get("stats.emu_cache_hit") == 1
+
+    def test_emu_events_identical_hot_and_cold(self, arch):
+        """A cache hit must emit the same emu event stream as a miss."""
+
+        def traced_events():
+            tracer = CollectingTracer()
+            with activate_tracer(tracer):
+                emu(arch, _params())
+            return [
+                {k: v for k, v in e.items() if k != "ts_ms"}
+                for e in tracer.events
+                if e.get("kind") == "event" and e.get("name") == "emu"
+            ]
+
+        cold = traced_events()  # miss
+        hot = traced_events()  # hit
+        previous = configure_emu_cache(False)
+        try:
+            disabled = traced_events()
+        finally:
+            configure_emu_cache(previous)
+        assert cold == hot == disabled
+        assert len(cold) == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize("stride", [0, -1, -2048])
+    def test_non_positive_row_stride_rejected(self, arch, stride):
+        with pytest.raises(ValueError, match="row stride must be positive"):
+            emu(arch, _params(row_stride_elems=stride))
+
+    def test_rejection_happens_before_caching(self, arch):
+        with pytest.raises(ValueError):
+            emu(arch, _params(row_stride_elems=0))
+        assert emu_cache_stats().calls == 0

@@ -1,0 +1,138 @@
+"""Parallel candidate evaluation must be bit-identical to the serial scan.
+
+The Algorithm 2/3 searches accept ``jobs=N``; the acceptance bar is not
+"close" but *equality*: same chosen tiles and orders, same Eq. 11 cost,
+and the same ``CandidateStats`` accounting (Table 5's candidate counts),
+whether candidates were priced serially or across worker processes.
+"""
+
+import pytest
+
+from repro.core import optimize
+from repro.core.parallel import (
+    GroupOutcome,
+    default_jobs,
+    merge_outcomes,
+    resolve_jobs,
+)
+from repro.core.spatial import optimize_spatial
+from repro.core.temporal import optimize_temporal
+from repro.ir.serialize import schedule_to_dict
+
+from tests.helpers import (
+    make_copy,
+    make_matmul,
+    make_stencil,
+    make_transpose_mask,
+)
+
+
+class TestResolveJobs:
+    def test_zero_means_auto(self):
+        assert resolve_jobs(0) == default_jobs()
+        assert default_jobs() >= 1
+
+    def test_positive_passes_through(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            resolve_jobs(-1)
+
+
+class TestMergeOutcomes:
+    def test_first_minimum_wins_on_ties(self):
+        # Strict < against the running best: the earliest group holding
+        # the minimal cost must win, exactly like the serial scan.
+        first = GroupOutcome(best=(5.0, "first"), considered=2)
+        tied = GroupOutcome(best=(5.0, "tied-later"), considered=3)
+        merged = merge_outcomes([first, tied])
+        assert merged.best == (5.0, "first")
+        assert merged.considered == 5
+
+    def test_later_strict_improvement_wins(self):
+        merged = merge_outcomes(
+            [GroupOutcome(best=(5.0, "a")), GroupOutcome(best=(4.0, "b"))]
+        )
+        assert merged.best == (4.0, "b")
+
+    def test_empty_groups_and_pruned_counts_sum(self):
+        merged = merge_outcomes(
+            [
+                GroupOutcome(best=None, considered=0, pruned={"capacity": 2}),
+                GroupOutcome(
+                    best=(1.0, "x"), considered=4, pruned={"capacity": 1, "parallelism": 3}
+                ),
+            ]
+        )
+        assert merged.best == (1.0, "x")
+        assert merged.considered == 4
+        assert merged.pruned == {"capacity": 3, "parallelism": 3}
+
+    def test_all_rejected(self):
+        assert merge_outcomes([GroupOutcome(), GroupOutcome()]).best is None
+
+
+def _temporal_fields(result):
+    return (
+        result.tiles,
+        result.intra_order,
+        result.inter_order,
+        result.cost,
+        result.stats.to_dict(),
+    )
+
+
+def _spatial_fields(result):
+    return (
+        result.tiles,
+        result.row_var,
+        result.col_var,
+        result.parallel_var,
+        result.cost,
+        result.stats.to_dict(),
+    )
+
+
+class TestTemporalEquivalence:
+    @pytest.mark.parametrize("factory,size", [(make_matmul, 128), (make_stencil, 96)])
+    def test_serial_and_parallel_identical(self, arch, factory, size):
+        serial = optimize_temporal(factory(size)[0], arch, jobs=1)
+        parallel = optimize_temporal(factory(size)[0], arch, jobs=4)
+        assert _temporal_fields(serial) == _temporal_fields(parallel)
+
+    def test_auto_jobs_identical(self, arch):
+        serial = optimize_temporal(make_matmul(128)[0], arch, jobs=1)
+        auto = optimize_temporal(make_matmul(128)[0], arch, jobs=0)
+        assert _temporal_fields(serial) == _temporal_fields(auto)
+
+
+class TestSpatialEquivalence:
+    @pytest.mark.parametrize(
+        "factory,size", [(make_transpose_mask, 128), (make_copy, 128)]
+    )
+    def test_serial_and_parallel_identical(self, arch, factory, size):
+        serial = optimize_spatial(factory(size)[0], arch, jobs=1)
+        parallel = optimize_spatial(factory(size)[0], arch, jobs=4)
+        assert _spatial_fields(serial) == _spatial_fields(parallel)
+
+
+class TestFullFlowEquivalence:
+    def test_optimize_schedule_identical_across_jobs(self, arch):
+        serial = optimize(make_matmul(128)[0], arch, jobs=1)
+        parallel = optimize(make_matmul(128)[0], arch, jobs=4)
+        assert schedule_to_dict(serial.schedule) == schedule_to_dict(
+            parallel.schedule
+        )
+        assert (
+            serial.temporal.stats.to_dict()
+            == parallel.temporal.stats.to_dict()
+        )
+
+    def test_spatial_flow_identical_across_jobs(self, arch):
+        serial = optimize(make_transpose_mask(128)[0], arch, jobs=1)
+        parallel = optimize(make_transpose_mask(128)[0], arch, jobs=4)
+        assert schedule_to_dict(serial.schedule) == schedule_to_dict(
+            parallel.schedule
+        )
