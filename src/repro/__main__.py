@@ -35,8 +35,16 @@ Robustness posture (see ``docs/API.md``, *Failure modes*):
   from a clean one;
 * ``--deadline-ms`` — per-stage optimizer budget in either mode.
 
+Serving: ``python -m repro serve --port 8377 --schedule-cache cache.jsonl``
+starts the long-running optimization service (:mod:`repro.serve` —
+request coalescing, micro-batching, admission control, ``/metrics``),
+and ``python -m repro submit matmul --port 8377`` submits one request to
+it and prints the result.
+
 Exit codes: 0 = ok, 2 = argparse usage error, 3 = completed but fell back
-to a degraded schedule, 4 = hard failure.
+to a degraded schedule, 4 = hard failure, 5 = service unavailable or
+overloaded (``submit`` could not get a result; ``sweep`` quarantined
+cells).
 """
 
 from __future__ import annotations
@@ -64,6 +72,19 @@ from repro.util import ReproError
 EXIT_OK = 0
 EXIT_FALLBACK = 3
 EXIT_HARD = 4
+EXIT_UNAVAILABLE = 5
+
+
+def _jobs_arg(value: str):
+    """argparse type for ``--jobs``: a non-negative integer or ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer or 'auto', got {value!r}"
+        ) from None
 
 
 def _make_case(name: str, fast: bool):
@@ -188,15 +209,20 @@ def cmd_compare(args) -> int:
 
 def cmd_sweep(args) -> int:
     """Forward to the sweep-driven experiments entry point."""
+    from repro.core.parallel import resolve_jobs
     from repro.experiments.__main__ import main as experiments_main
 
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as exc:
+        raise SystemExit(f"invalid options: {exc}") from None
     argv = []
     if args.fast:
         argv.append("--fast")
     if args.fresh:
         argv.append("--fresh")
-    if args.jobs != 1:
-        argv.extend(["--jobs", str(args.jobs)])
+    if jobs != 1:
+        argv.extend(["--jobs", str(jobs)])
     if args.timeout_s is not None:
         argv.extend(["--timeout-s", str(args.timeout_s)])
     if args.journal is not None:
@@ -232,6 +258,98 @@ def cmd_trace(args) -> int:
     for problem in problems:
         print(f"warning: {problem}", file=sys.stderr)
     print(render_summary(events))
+    return EXIT_OK
+
+
+def cmd_serve(args) -> int:
+    """Run the long-lived optimization service until SIGTERM/SIGINT."""
+    from repro.obs import current_tracer
+    from repro.serve import OptimizeServer
+
+    try:
+        server = OptimizeServer(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            batch_window_ms=args.batch_window_ms,
+            batch_max=args.batch_max,
+            cache_path=args.schedule_cache,
+            tracer=current_tracer(),
+            retry_after_s=args.retry_after_s,
+        )
+    except ValueError as exc:
+        # e.g. --queue-limit 0, REPRO_SERVE_FAULT typos: friendly, no
+        # traceback, hard-failure exit.
+        raise SystemExit(f"invalid options: {exc}") from None
+    try:
+        return server.run()
+    except OSError as exc:
+        print(
+            f"error: cannot listen on {args.host}:{args.port}: "
+            f"{exc.strerror or exc}",
+            file=sys.stderr,
+        )
+        print(
+            "hint: pick another --port, or stop the process holding "
+            "this one",
+            file=sys.stderr,
+        )
+        return EXIT_HARD
+
+
+def cmd_submit(args) -> int:
+    """Submit one optimization request to a running server."""
+    from repro.serve.client import ServeClient
+    from repro.util import ServeOverloaded
+
+    client = ServeClient(
+        args.host,
+        args.port,
+        timeout_s=args.timeout_s,
+        retries=args.retries,
+    )
+    try:
+        result = client.optimize(
+            args.benchmark,
+            args.platform,
+            fast=args.fast,
+            jobs=args.jobs,
+            deadline_ms=args.deadline_ms,
+            use_nti=not args.no_nti,
+        )
+    except ServeOverloaded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            f"hint: the server shed this request; retry after "
+            f"{exc.retry_after_s:g}s or raise its --queue-limit",
+            file=sys.stderr,
+        )
+        return EXIT_UNAVAILABLE
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            f"hint: start a server with `python -m repro serve "
+            f"--port {args.port}`",
+            file=sys.stderr,
+        )
+        return EXIT_UNAVAILABLE
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(result, indent=2, sort_keys=True))
+        return EXIT_OK
+    print(
+        f"{result['benchmark']} on {result['platform']}: "
+        f"served_by={result['served_by']} "
+        f"({result['elapsed_ms']:.1f} ms server-side)"
+    )
+    for entry, source in zip(result["schedules"], result["stage_sources"]):
+        directives = entry["schedule"].get("directives", [])
+        print(
+            f"  stage {entry['stage']}: {len(directives)} directive(s) "
+            f"[{source}]"
+        )
     return EXIT_OK
 
 
@@ -280,10 +398,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--deadline-ms", type=float, default=None,
                        metavar="MS",
                        help="per-stage optimizer time budget")
-        p.add_argument("--jobs", type=int, default=1, metavar="N",
+        p.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
                        help="worker processes for candidate evaluation "
-                            "(0 = auto; results are bit-identical to "
-                            "--jobs 1)")
+                            "('auto' or 0 = one per core, capped; results "
+                            "are bit-identical to --jobs 1)")
         p.add_argument("--trace", default=None, metavar="PATH",
                        help="write a repro-trace-v1 JSONL event log")
         mode = p.add_mutually_exclusive_group()
@@ -321,8 +439,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--fast", action="store_true",
                          help="scaled-down problem sizes")
-    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
-                         help="parallel worker subprocesses")
+    p_sweep.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
+                         help="parallel worker subprocesses ('auto' or 0 "
+                              "= one per core, capped)")
     p_sweep.add_argument("--fresh", action="store_true",
                          help="discard the journal and start over")
     p_sweep.add_argument("--timeout-s", type=float, default=None,
@@ -344,6 +463,70 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("path", help="trace file written by --trace")
     p_trace.add_argument("--validate", action="store_true",
                          help="schema-check only; exit 4 on any violation")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the optimization service (repro-serve-v1 over HTTP)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8377,
+                         help="bind port (default: 8377; 0 = pick free)")
+    p_serve.add_argument("--workers", type=_jobs_arg, default=1,
+                         metavar="N",
+                         help="worker-pool threads executing requests "
+                              "('auto' or 0 = one per core, capped)")
+    p_serve.add_argument("--queue-limit", type=int, default=16,
+                         dest="queue_limit", metavar="N",
+                         help="admitted-job bound; beyond it requests are "
+                              "shed with 429 + Retry-After")
+    p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                         dest="batch_window_ms", metavar="MS",
+                         help="micro-batch dispatch window (0 disables)")
+    p_serve.add_argument("--batch-max", type=int, default=8,
+                         dest="batch_max", metavar="N",
+                         help="max jobs dispatched per batch window")
+    p_serve.add_argument("--retry-after-s", type=float, default=1.0,
+                         dest="retry_after_s", metavar="S",
+                         help="backoff hint on shed responses")
+    p_serve.add_argument("--schedule-cache", default=None, metavar="PATH",
+                         dest="schedule_cache",
+                         help="persistent schedule cache (JSONL) consulted "
+                              "before every search")
+    p_serve.add_argument("--trace", default=None, metavar="PATH",
+                         help="write a repro-trace-v1 JSONL event log "
+                              "(serve.* lifecycle events)")
+
+    p_sub = sub.add_parser(
+        "submit",
+        help="submit one optimization request to a running server",
+    )
+    p_sub.add_argument("benchmark")
+    p_sub.add_argument("--host", default="127.0.0.1",
+                       help="server address (default: 127.0.0.1)")
+    p_sub.add_argument("--port", type=int, default=8377,
+                       help="server port (default: 8377)")
+    p_sub.add_argument("--platform", default="i7-5930k",
+                       help="i7-5930k | i7-6700 | arm-a15")
+    p_sub.add_argument("--fast", action="store_true",
+                       help="scaled-down problem size")
+    p_sub.add_argument("--no-nti", action="store_true",
+                       help="disable non-temporal stores")
+    p_sub.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
+                       help="server-side search parallelism for this "
+                            "request ('auto' = server decides per core)")
+    p_sub.add_argument("--deadline-ms", type=float, default=None,
+                       metavar="MS", dest="deadline_ms",
+                       help="server-side budget; expired requests fail "
+                            "with HTTP 504")
+    p_sub.add_argument("--retries", type=int, default=3,
+                       help="re-submissions after a shed (429/503) "
+                            "response")
+    p_sub.add_argument("--timeout-s", type=float, default=120.0,
+                       dest="timeout_s", metavar="S",
+                       help="socket timeout for one round-trip")
+    p_sub.add_argument("--json", action="store_true",
+                       help="print the full result payload as JSON")
     return parser
 
 
@@ -356,6 +539,8 @@ def main(argv=None) -> int:
         "codegen": cmd_codegen,
         "sweep": cmd_sweep,
         "trace": cmd_trace,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
     }[args.command]
     try:
         with contextlib.ExitStack() as stack:

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from types import MappingProxyType
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Union
 
 from repro.arch import ArchSpec
 from repro.core.classify import Classification
@@ -100,7 +100,9 @@ class OptimizeRequest:
         The uniform switch set of the legacy surfaces.
     jobs:
         Worker processes for the Algorithm-2/3 candidate searches
-        (0 = auto, 1 = serial); bit-identical results either way.
+        (0 or ``"auto"`` = resolve from ``os.cpu_count()``, degrading
+        to the serial path on single-core hosts; 1 = serial);
+        bit-identical results either way.
     deadline_ms:
         Cooperative time budget for the whole run (``None`` =
         unbounded).  In safe mode this becomes the policy's
@@ -126,7 +128,7 @@ class OptimizeRequest:
     exhaustive: bool = False
     use_emu: bool = True
     order_step: bool = True
-    jobs: int = 1
+    jobs: Union[int, str] = 1
     deadline_ms: Optional[float] = None
     policy: Optional[FallbackPolicy] = None
     cache_path: Optional[str] = None
@@ -149,8 +151,11 @@ class OptimizeRequest:
                 f"mode {self.mode!r} targets a single Func; pipelines "
                 f"support the 'auto' and 'safe' modes"
             )
-        if self.jobs < 0:
-            raise ValueError(f"jobs must be >= 0 (0 = auto), got {self.jobs}")
+        # Delegate jobs validation (and the "auto" spelling) to the
+        # parallel-search layer so every surface rejects the same inputs.
+        from repro.core.parallel import resolve_jobs
+
+        resolve_jobs(self.jobs)
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ValueError(
                 f"deadline_ms must be positive, got {self.deadline_ms}"

@@ -34,8 +34,14 @@ import json
 import os
 import tempfile
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional
+
+try:  # advisory inter-process locking; unix-only, gracefully absent
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix platforms
+    fcntl = None
 
 from repro.arch import ArchSpec
 from repro.cache.fingerprint import func_fingerprint, options_fingerprint
@@ -58,6 +64,33 @@ def _canonical(payload: Dict) -> str:
 def _checksum(payload: Dict) -> str:
     body = {k: v for k, v in payload.items() if k != "sha256"}
     return hashlib.sha256(_canonical(body).encode("utf-8")).hexdigest()
+
+
+@contextmanager
+def _advisory_lock(path: str, *, exclusive: bool):
+    """Advisory inter-process lock on the sidecar ``<path>.lock`` file.
+
+    Appenders take it *shared* (any number may write concurrently —
+    O_APPEND keeps their records whole), while :meth:`ScheduleCache.compact`
+    takes it *exclusive* so its read-everything-then-replace cannot race a
+    concurrent append and silently drop the appended record.  The lock
+    lives on a sidecar rather than the data file because compaction
+    replaces the data file's inode, which would detach any lock held on
+    it.  Without :mod:`fcntl` (non-posix) this degrades to a no-op —
+    same-process callers are still serialized by the instance lock.
+    """
+    if fcntl is None:
+        yield
+        return
+    fd = os.open(path + ".lock", os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+        yield
+    finally:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
 
 
 def cache_key(func_fp: str, arch_fp: str, options: Dict) -> str:
@@ -91,9 +124,12 @@ class ScheduleCache:
     The backing file is read lazily on first access and kept as an
     in-memory ``key -> record`` map; :meth:`put` appends to the file and
     updates the map, so interleaved get/put always see the caller's own
-    writes.  Cross-process appends are line-atomic (single ``write`` of
-    one line), and readers tolerate any torn line, so several sweep
-    workers may share one cache file.
+    writes.  Cross-process appends are line-atomic — one ``O_APPEND``
+    ``os.write`` per record, which the kernel serializes — and readers
+    tolerate any torn line, so several processes (sweep workers, serve
+    workers) may share one cache file.  :meth:`compact` additionally
+    takes an exclusive advisory lock (``<path>.lock``) against the
+    shared lock appends hold, so rewrites never drop concurrent appends.
     """
 
     def __init__(self, path: str) -> None:
@@ -223,10 +259,22 @@ class ScheduleCache:
         with self._lock:
             directory = os.path.dirname(os.path.abspath(self.path))
             os.makedirs(directory, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(line)
-                handle.flush()
-                os.fsync(handle.fileno())
+            # One O_APPEND os.write per record: the kernel serializes the
+            # seek-to-end+write, so concurrent writers (sweep workers,
+            # serve workers, several processes on one cache file) can
+            # never interleave bytes within a line — the checksum then
+            # only has torn tails from crashes to catch, not shuffles.
+            with _advisory_lock(self.path, exclusive=False):
+                fd = os.open(
+                    self.path,
+                    os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                    0o644,
+                )
+                try:
+                    os.write(fd, line.encode("utf-8"))
+                    os.fsync(fd)
+                finally:
+                    os.close(fd)
             self._loaded()[key] = payload
             self.stats.stores += 1
         return key
@@ -234,34 +282,42 @@ class ScheduleCache:
     def compact(self) -> int:
         """Drop superseded/corrupt lines via an atomic rewrite (temp file
         + fsync + rename, as in :meth:`repro.sweep.Journal.rewrite`);
-        returns the surviving record count."""
+        returns the surviving record count.
+
+        Holds the *exclusive* advisory lock for the whole
+        read-then-replace, so records appended by other processes midway
+        cannot be lost to the rewrite — appenders (shared lock) simply
+        wait it out.
+        """
         with self._lock:
-            self._records = None
-            records = self._loaded()
-            directory = os.path.dirname(os.path.abspath(self.path)) or "."
-            fd, tmp_path = tempfile.mkstemp(
-                prefix=".schedule-cache-", suffix=".tmp", dir=directory
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    for payload in records.values():
-                        handle.write(_canonical(payload) + "\n")
-                    handle.flush()
-                    os.fsync(handle.fileno())
-                os.replace(tmp_path, self.path)
-            except BaseException:
+            with _advisory_lock(self.path, exclusive=True):
+                self._records = None
+                records = self._loaded()
+                directory = os.path.dirname(os.path.abspath(self.path)) or "."
+                fd, tmp_path = tempfile.mkstemp(
+                    prefix=".schedule-cache-", suffix=".tmp", dir=directory
+                )
                 try:
-                    os.unlink(tmp_path)
-                except OSError:
-                    pass
-                raise
-            return len(records)
+                    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                        for payload in records.values():
+                            handle.write(_canonical(payload) + "\n")
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    os.replace(tmp_path, self.path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp_path)
+                    except OSError:
+                        pass
+                    raise
+                return len(records)
 
     def clear(self) -> None:
-        """Remove the backing file and forget the in-memory map."""
+        """Remove the backing file (and lock sidecar); forget the map."""
         with self._lock:
             self._records = None
-            try:
-                os.unlink(self.path)
-            except FileNotFoundError:
-                pass
+            for path in (self.path, self.path + ".lock"):
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass

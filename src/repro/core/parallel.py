@@ -68,13 +68,31 @@ class GroupOutcome:
 
 
 def default_jobs() -> int:
-    """A sensible worker count for ``jobs=0`` ("auto"): the CPU count,
-    capped so tiny machines and huge ones both behave."""
+    """A sensible worker count for ``jobs=0`` / ``jobs="auto"``: the CPU
+    count, capped so tiny machines and huge ones both behave.
+
+    On a single-core host this is 1 — the serial path — because pool
+    setup costs real time there and can never be amortized
+    (BENCH_search.json records cold ``--jobs 4`` at 0.58x on a 1-CPU
+    container).
+    """
     return max(1, min(8, os.cpu_count() or 1))
 
 
-def resolve_jobs(jobs: int) -> int:
-    """Normalize a ``jobs`` request: 0 means auto, negatives are errors."""
+def resolve_jobs(jobs) -> int:
+    """Normalize a ``jobs`` request to a concrete worker count.
+
+    ``0`` and the string ``"auto"`` both mean :func:`default_jobs`
+    (``os.cpu_count()`` capped at 8, degrading to the serial path on
+    single-core hosts); positive integers are taken literally; anything
+    else is an error.
+    """
+    if jobs == "auto":
+        return default_jobs()
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ValueError(
+            f"jobs must be an integer >= 0 or 'auto', got {jobs!r}"
+        )
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0 (0 = auto), got {jobs}")
     return default_jobs() if jobs == 0 else jobs

@@ -58,6 +58,13 @@ EVENT_CELL_ATTEMPT = "sweep.cell.attempt"
 EVENT_CELL_RETRY = "sweep.cell.retry"
 EVENT_CELL_OK = "sweep.cell.ok"
 EVENT_CELL_QUARANTINED = "sweep.cell.quarantined"
+#: Serving-layer lifecycle (see :mod:`repro.serve`): one finished
+#: request (attrs carry ``served_by`` = ``search`` | ``cache`` |
+#: ``coalesced`` and the HTTP status), one load-shed admission
+#: rejection, and the start of a graceful drain.
+EVENT_SERVE_REQUEST = "serve.request"
+EVENT_SERVE_SHED = "serve.shed"
+EVENT_SERVE_DRAIN = "serve.drain"
 
 # -- machine-readable pruning reasons ----------------------------------
 

@@ -24,16 +24,22 @@ from repro.robust.diagnostics import (
 from repro.robust.faults import (
     FaultInjector,
     FaultSpec,
+    SERVE_FAULT_ENV,
+    ServeFaultPlan,
+    ServeFaultSpec,
     WORKER_FAULT_ENV,
     WorkerFaultPlan,
     WorkerFaultSpec,
     corrupt_worker,
+    crash_job,
     exhaust_deadline,
     hang_worker,
     inject,
     kill_worker,
+    parse_serve_fault,
     poison,
     raise_on,
+    slow_job,
 )
 from repro.robust.policy import (
     FALLBACK_CHAIN,
@@ -59,16 +65,22 @@ __all__ = [
     "SEVERITY_WARNING",
     "FaultInjector",
     "FaultSpec",
+    "SERVE_FAULT_ENV",
+    "ServeFaultPlan",
+    "ServeFaultSpec",
     "WORKER_FAULT_ENV",
     "WorkerFaultPlan",
     "WorkerFaultSpec",
     "corrupt_worker",
+    "crash_job",
     "exhaust_deadline",
     "hang_worker",
     "inject",
     "kill_worker",
+    "parse_serve_fault",
     "poison",
     "raise_on",
+    "slow_job",
     "FALLBACK_CHAIN",
     "FallbackPolicy",
     "RUNG_AUTOSCHEDULER",

@@ -393,6 +393,121 @@ def corrupt_worker(n: int = 1, count: Optional[int] = 1) -> WorkerFaultSpec:
     return WorkerFaultSpec(kind=KIND_CORRUPT, on_spawn=n, count=count)
 
 
+class ServeFaultPlan:
+    """Deterministic faults for the optimization service's worker pool.
+
+    :class:`repro.serve.server.OptimizeServer` consults the plan once
+    per *executed job* (coalesced waiters share their leader's job, so
+    indices count distinct computations, in admission order):
+
+    * ``slow`` — the worker sleeps ``seconds`` before doing the real
+      work, modelling a stuck search so queue backpressure and
+      ``Retry-After`` shedding become testable without real load;
+    * ``crash`` — the worker raises :class:`~repro.util.ReproError`
+      before doing any work, driving the 500 error path for every
+      waiter of the job.
+
+    The environment spelling ``REPRO_SERVE_FAULT=slow:0.5:2`` (kind,
+    optional seconds, optional 1-based job index) lets subprocess tests
+    and CI arm one fault without touching code; :func:`parse_serve_fault`
+    builds the plan.
+    """
+
+    def __init__(self, *specs: "ServeFaultSpec") -> None:
+        if not specs:
+            raise ValueError("ServeFaultPlan needs at least one spec")
+        self.specs: Tuple[ServeFaultSpec, ...] = tuple(specs)
+        self._lock = threading.Lock()
+        self._jobs = 0
+
+    @property
+    def jobs(self) -> int:
+        """How many job executions have consulted the plan."""
+        return self._jobs
+
+    def spec_for_job(self) -> Optional["ServeFaultSpec"]:
+        """Record one job execution; return the spec firing on it."""
+        with self._lock:
+            self._jobs += 1
+            index = self._jobs
+        for spec in self.specs:
+            if spec.fires(index):
+                return spec
+        return None
+
+
+KIND_SLOW = "slow"
+KIND_CRASH = "crash"
+
+_SERVE_KINDS = (KIND_SLOW, KIND_CRASH)
+
+#: Environment variable read by ``repro.serve.server`` at startup.
+SERVE_FAULT_ENV = "REPRO_SERVE_FAULT"
+
+
+@dataclass
+class ServeFaultSpec:
+    """One serving-layer fault: *what kind*, *which job*, *how long*."""
+
+    kind: str
+    on_job: int = 1
+    count: Optional[int] = 1
+    seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SERVE_KINDS:
+            raise ValueError(
+                f"unknown serve fault kind {self.kind!r}; "
+                f"known: {list(_SERVE_KINDS)}"
+            )
+        if self.on_job < 1:
+            raise ValueError(f"on_job is 1-based, got {self.on_job}")
+        if self.count is not None and self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+    def fires(self, job_index: int) -> bool:
+        if job_index < self.on_job:
+            return False
+        if self.count is None:
+            return True
+        return job_index < self.on_job + self.count
+
+
+def slow_job(
+    n: int = 1, seconds: float = 0.5, count: Optional[int] = 1
+) -> ServeFaultSpec:
+    """Fault: the ``n``-th served job stalls for ``seconds`` first."""
+    return ServeFaultSpec(
+        kind=KIND_SLOW, on_job=n, count=count, seconds=seconds
+    )
+
+
+def crash_job(n: int = 1, count: Optional[int] = 1) -> ServeFaultSpec:
+    """Fault: the ``n``-th served job raises before doing any work."""
+    return ServeFaultSpec(kind=KIND_CRASH, on_job=n, count=count)
+
+
+def parse_serve_fault(value: str) -> ServeFaultPlan:
+    """Build a plan from the ``REPRO_SERVE_FAULT`` spelling.
+
+    Format: ``kind[:seconds[:on_job]]`` — e.g. ``crash``, ``slow:2``,
+    ``slow:0.25:3``.  Raises :class:`ValueError` on malformed input so
+    a typo'd environment fails server startup loudly instead of
+    silently disarming the fault.
+    """
+    parts = value.split(":")
+    kind = parts[0]
+    seconds = float(parts[1]) if len(parts) > 1 and parts[1] else 0.5
+    on_job = int(parts[2]) if len(parts) > 2 else 1
+    if len(parts) > 3:
+        raise ValueError(f"malformed serve fault {value!r}")
+    return ServeFaultPlan(
+        ServeFaultSpec(kind=kind, on_job=on_job, seconds=seconds)
+    )
+
+
 class WorkerFaultPlan:
     """Decides, per worker spawn, which fault environment to install.
 

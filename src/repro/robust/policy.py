@@ -18,7 +18,7 @@ underlying optimizers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 RUNG_PROPOSED = "proposed"
 RUNG_AUTOSCHEDULER = "auto-scheduler"
@@ -80,8 +80,9 @@ class FallbackPolicy:
         schedule-cache key — ablated and full schedules never mix.
     jobs:
         Worker processes for the proposed rung's candidate searches
-        (0 = auto, 1 = serial); bit-identical results either way, so
-        *not* part of the cache key.
+        (0 or ``"auto"`` = resolve from the CPU count, 1 = serial);
+        bit-identical results either way, so *not* part of the cache
+        key.
     """
 
     rungs: Tuple[str, ...] = FALLBACK_CHAIN
@@ -97,7 +98,7 @@ class FallbackPolicy:
     exhaustive: bool = False
     use_emu: bool = True
     order_step: bool = True
-    jobs: int = 1
+    jobs: Union[int, str] = 1
 
     def __post_init__(self) -> None:
         if not self.rungs:
@@ -123,8 +124,9 @@ class FallbackPolicy:
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise ValueError(f"{name} must be positive, got {value}")
-        if self.jobs < 0:
-            raise ValueError(f"jobs must be >= 0 (0 = auto), got {self.jobs}")
+        from repro.core.parallel import resolve_jobs
+
+        resolve_jobs(self.jobs)  # rejects negatives and unknown spellings
 
     # -- conveniences --------------------------------------------------
 

@@ -1,0 +1,223 @@
+"""Blocking client for the optimization service.
+
+A deliberately small, dependency-free HTTP/1.1 client (raw sockets, one
+request per connection — mirroring the server's ``Connection: close``
+discipline).  It speaks the ``repro-serve-v1`` schema, honours
+``Retry-After`` backoff on shed responses, and maps server errors onto
+the repo's exception taxonomy:
+
+* 429/503 after retries → :class:`repro.util.ServeOverloaded`
+  (carries ``retry_after_s``);
+* any other non-200 → :class:`repro.util.ServeError`;
+* socket-level failures → :class:`ConnectionError` (the server is not
+  there; nothing protocol-shaped happened).
+
+>>> client = ServeClient(port=8377)
+>>> client.wait_ready(timeout_s=5.0)
+True
+>>> result = client.optimize("matmul", "i7-5930k", fast=True)
+>>> result["served_by"]
+'search'
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Dict, Optional, Tuple, Union
+
+from repro.serve.schema import build_request
+from repro.util import ServeError, ServeOverloaded
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One server endpoint, any number of sequential requests.
+
+    Parameters
+    ----------
+    host / port:
+        Where the server listens.
+    timeout_s:
+        Socket timeout for one round-trip.  Optimization requests can
+        legitimately take long (a cold exhaustive search), so this is a
+        liveness bound, not a latency target.
+    retries:
+        How many times :meth:`optimize` re-submits after a shed
+        (429/503) response before raising
+        :class:`~repro.util.ServeOverloaded`.  Retries sleep for the
+        server-provided ``retry_after_s``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8377,
+        *,
+        timeout_s: float = 120.0,
+        retries: int = 3,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = float(timeout_s)
+        self.retries = int(retries)
+
+    # -- the three endpoints -------------------------------------------
+
+    def healthz(self) -> Dict:
+        """``GET /healthz``; raises :class:`ConnectionError` when down."""
+        status, _headers, body = self._roundtrip("GET", "/healthz")
+        if status != 200:
+            raise ServeError(
+                f"healthz returned {status}: {body.get('status', body)}"
+            )
+        return body
+
+    def metrics(self) -> Dict:
+        """``GET /metrics``: the live ``repro-serve-metrics-v1`` snapshot."""
+        status, _headers, body = self._roundtrip("GET", "/metrics")
+        if status != 200:
+            raise ServeError(f"metrics returned {status}: {body!r}")
+        return body
+
+    def optimize(
+        self,
+        benchmark: str,
+        platform: str,
+        *,
+        fast: bool = False,
+        jobs: Union[int, str] = 1,
+        deadline_ms: Optional[float] = None,
+        **options,
+    ) -> Dict:
+        """Submit one optimization request; block until its result.
+
+        Returns the full result payload (``schedules`` carries one
+        replayable ``repro-schedule-v1`` document per pipeline stage).
+        Shed responses are retried with the server's backoff hint; see
+        the class docstring for the failure taxonomy.
+        """
+        payload = build_request(
+            benchmark,
+            platform,
+            fast=fast,
+            jobs=jobs,
+            deadline_ms=deadline_ms,
+            **options,
+        )
+        attempt = 0
+        while True:
+            status, headers, body = self._roundtrip(
+                "POST", "/v1/optimize", payload
+            )
+            if status == 200:
+                return body
+            if status in (429, 503):
+                retry_after = _retry_after_s(headers, body)
+                if attempt < self.retries:
+                    attempt += 1
+                    time.sleep(retry_after)
+                    continue
+                raise ServeOverloaded(
+                    body.get(
+                        "error",
+                        f"server overloaded (HTTP {status}) after "
+                        f"{self.retries} retries",
+                    ),
+                    retry_after_s=retry_after,
+                )
+            raise ServeError(
+                f"optimize failed (HTTP {status}): "
+                f"{body.get('error', body)}"
+            )
+
+    def wait_ready(
+        self, timeout_s: float = 10.0, interval_s: float = 0.05
+    ) -> bool:
+        """Poll ``/healthz`` until the server answers 200 (or time out)."""
+        give_up = time.perf_counter() + timeout_s
+        while time.perf_counter() < give_up:
+            try:
+                self.healthz()
+                return True
+            except (ConnectionError, OSError, ServeError):
+                time.sleep(interval_s)
+        return False
+
+    # -- raw HTTP ------------------------------------------------------
+
+    def _roundtrip(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Tuple[int, Dict[str, str], Dict]:
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            ) as sock:
+                sock.sendall(head + body)
+                raw = _read_all(sock)
+        except socket.timeout as exc:
+            raise ConnectionError(
+                f"request to {self.host}:{self.port} timed out after "
+                f"{self.timeout_s:g}s"
+            ) from exc
+        except OSError as exc:
+            raise ConnectionError(
+                f"cannot reach server at {self.host}:{self.port}: {exc}"
+            ) from exc
+        return _parse_response(raw)
+
+
+def _read_all(sock: socket.socket) -> bytes:
+    chunks = []
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def _retry_after_s(headers: Dict[str, str], body: Dict) -> float:
+    value = body.get("retry_after_s", headers.get("retry-after", 1.0))
+    try:
+        return max(0.05, float(value))
+    except (TypeError, ValueError):
+        return 1.0
+
+
+def _parse_response(raw: bytes) -> Tuple[int, Dict[str, str], Dict]:
+    if not raw:
+        raise ConnectionError("server closed the connection without a response")
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        status = int(lines[0].split(" ", 2)[1])
+    except (IndexError, ValueError):
+        raise ServeError(f"malformed status line {lines[0]!r}") from None
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = headers.get("content-length")
+    payload = rest if length is None else rest[: int(length)]
+    try:
+        body = json.loads(payload.decode("utf-8")) if payload else {}
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        raise ServeError(
+            f"server returned non-JSON body (HTTP {status})"
+        ) from None
+    if not isinstance(body, dict):
+        raise ServeError(f"server returned non-object body (HTTP {status})")
+    return status, headers, body

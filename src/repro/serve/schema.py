@@ -1,0 +1,394 @@
+"""The ``repro-serve-v1`` wire schema: requests, results, errors, metrics.
+
+Everything the optimization service speaks is versioned JSON.  One
+request names a benchmark (the service builds the Funcs server-side from
+:mod:`repro.bench`, so the wire never carries executable code), the
+platform, and exactly the optimizer options that are part of the
+schedule-cache key (:func:`repro.cache.optimize_options`)::
+
+    {"format": "repro-serve-v1", "benchmark": "matmul", "fast": true,
+     "platform": "i7-5930k", "options": {"use_nti": true, ...},
+     "jobs": 1, "deadline_ms": 2000.0}
+
+One result carries the serialized schedule of every pipeline stage
+(:func:`repro.ir.serialize.schedule_to_dict` — replayable on any machine
+with :func:`repro.ir.serialize.schedule_from_dict`), the coalescing key
+the server computed from the :mod:`repro.cache.fingerprint` hashes, and
+``served_by`` — how the response was produced:
+
+* ``search`` — this request ran the Algorithm 2/3 searches;
+* ``cache`` — every stage replayed from the persistent
+  :class:`repro.cache.ScheduleCache` without searching;
+* ``coalesced`` — an identical request was already in flight and this
+  one shared its computation.
+
+Error responses are ``{"format": ..., "kind": "error", "status": <int>,
+"error": "<friendly message>"}`` with the HTTP status mirrored in the
+body, and 429/503 responses carry a ``Retry-After`` header (echoed as
+``retry_after_s``) so clients can back off deterministically.
+
+The ``/metrics`` endpoint returns a ``repro-serve-metrics-v1`` snapshot;
+:func:`validate_metrics` is the machine-checkable contract CI's
+serve-smoke job holds the server to.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cache.fingerprint import optimize_options, options_fingerprint
+from repro.util import ServeError
+
+#: Request/response schema tag; bump on any incompatible layout change.
+SERVE_FORMAT = "repro-serve-v1"
+#: Metrics snapshot schema tag, versioned independently of the wire.
+METRICS_FORMAT = "repro-serve-metrics-v1"
+
+#: The three ways a response can be produced (see module docstring).
+SERVED_BY_SEARCH = "search"
+SERVED_BY_CACHE = "cache"
+SERVED_BY_COALESCED = "coalesced"
+SERVED_BY = (SERVED_BY_SEARCH, SERVED_BY_CACHE, SERVED_BY_COALESCED)
+
+#: Option switches a request may set; exactly the schedule-cache key.
+OPTION_KEYS = tuple(optimize_options())
+
+#: Counter names every metrics snapshot must carry (all >= 0 integers).
+METRIC_COUNTERS = (
+    "requests_total",
+    "responses_ok",
+    "responses_error",
+    "shed",
+    "coalesced",
+    "cache_hits",
+    "cache_misses",
+    "searches",
+    "deadline_expired",
+    "faults_injected",
+)
+
+__all__ = [
+    "METRICS_FORMAT",
+    "METRIC_COUNTERS",
+    "OPTION_KEYS",
+    "SERVED_BY",
+    "SERVED_BY_CACHE",
+    "SERVED_BY_COALESCED",
+    "SERVED_BY_SEARCH",
+    "SERVE_FORMAT",
+    "ServeRequest",
+    "build_request",
+    "coalesce_key",
+    "error_payload",
+    "parse_request",
+    "result_payload",
+    "validate_metrics",
+]
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One parsed, validated optimization request.
+
+    ``options`` is always the complete canonical dict (request-supplied
+    switches merged over :func:`repro.cache.optimize_options` defaults),
+    so fingerprints computed from it match the persistent cache's.
+    """
+
+    benchmark: str
+    platform: str
+    fast: bool = False
+    options: Dict[str, bool] = field(default_factory=optimize_options)
+    jobs: Union[int, str] = 1
+    deadline_ms: Optional[float] = None
+
+    def to_dict(self) -> Dict:
+        payload = {
+            "format": SERVE_FORMAT,
+            "benchmark": self.benchmark,
+            "platform": self.platform,
+            "fast": self.fast,
+            "options": dict(self.options),
+            "jobs": self.jobs,
+        }
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
+        return payload
+
+
+def build_request(
+    benchmark: str,
+    platform: str,
+    *,
+    fast: bool = False,
+    jobs: Union[int, str] = 1,
+    deadline_ms: Optional[float] = None,
+    **options,
+) -> Dict:
+    """Client-side sugar: a wire-ready request dict with defaults filled.
+
+    ``options`` accepts exactly the :data:`OPTION_KEYS` switches
+    (``use_nti=False`` and friends); anything else is rejected here,
+    before a round-trip to the server can bounce it.
+    """
+    unknown = sorted(set(options) - set(OPTION_KEYS))
+    if unknown:
+        raise ServeError(
+            f"unknown option(s) {unknown}; known: {list(OPTION_KEYS)}"
+        )
+    return ServeRequest(
+        benchmark=benchmark,
+        platform=platform,
+        fast=bool(fast),
+        options=optimize_options(**options),
+        jobs=jobs,
+        deadline_ms=deadline_ms,
+    ).to_dict()
+
+
+def _require(payload: Dict, key: str, kind, kindname: str):
+    value = payload.get(key)
+    if not isinstance(value, kind) or isinstance(value, bool) and kind is not bool:
+        raise ServeError(
+            f"request field {key!r} must be a {kindname}, got {value!r}"
+        )
+    return value
+
+
+def parse_request(payload) -> ServeRequest:
+    """Validate one wire payload into a :class:`ServeRequest`.
+
+    Raises :class:`~repro.util.ServeError` with a friendly,
+    actionable message on any violation — the server maps these
+    straight to 400 responses.
+    """
+    if not isinstance(payload, dict):
+        raise ServeError(
+            f"request body must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    if payload.get("format") != SERVE_FORMAT:
+        raise ServeError(
+            f"unsupported request format {payload.get('format')!r} "
+            f"(this server speaks {SERVE_FORMAT!r})"
+        )
+    known = {
+        "format",
+        "benchmark",
+        "platform",
+        "fast",
+        "options",
+        "jobs",
+        "deadline_ms",
+    }
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ServeError(
+            f"unknown request field(s) {unknown}; known: {sorted(known)}"
+        )
+    benchmark = _require(payload, "benchmark", str, "string")
+    platform = _require(payload, "platform", str, "string")
+    fast = payload.get("fast", False)
+    if not isinstance(fast, bool):
+        raise ServeError(f"request field 'fast' must be a boolean, got {fast!r}")
+    raw_options = payload.get("options", {})
+    if not isinstance(raw_options, dict):
+        raise ServeError(
+            f"request field 'options' must be an object, got {raw_options!r}"
+        )
+    unknown = sorted(set(raw_options) - set(OPTION_KEYS))
+    if unknown:
+        raise ServeError(
+            f"unknown option(s) {unknown}; known: {list(OPTION_KEYS)}"
+        )
+    for key, value in raw_options.items():
+        if not isinstance(value, bool):
+            raise ServeError(
+                f"option {key!r} must be a boolean, got {value!r}"
+            )
+    jobs = payload.get("jobs", 1)
+    try:
+        from repro.core.parallel import resolve_jobs
+
+        resolve_jobs(jobs)
+    except ValueError as exc:
+        raise ServeError(str(exc)) from None
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+            or deadline_ms <= 0
+        ):
+            raise ServeError(
+                f"deadline_ms must be a positive number, got {deadline_ms!r}"
+            )
+        deadline_ms = float(deadline_ms)
+    return ServeRequest(
+        benchmark=benchmark,
+        platform=platform,
+        fast=fast,
+        options=optimize_options(**raw_options),
+        jobs=jobs,
+        deadline_ms=deadline_ms,
+    )
+
+
+def coalesce_key(
+    stage_fingerprints: Sequence[str], arch_fingerprint: str, options: Dict
+) -> str:
+    """The in-flight/coalescing identity of one request.
+
+    Built from exactly what determines the chosen schedules — the
+    content fingerprints of every pipeline stage, the platform
+    fingerprint, and the options fingerprint.  ``jobs``, deadlines and
+    tracers are deliberately excluded (they cannot change the result;
+    see :mod:`repro.cache.fingerprint`), so differently-budgeted
+    identical requests still share one computation.
+    """
+    body = ",".join(stage_fingerprints)
+    return hashlib.sha256(
+        f"{body}:{arch_fingerprint}:{options_fingerprint(options)}".encode(
+            "utf-8"
+        )
+    ).hexdigest()
+
+
+def result_payload(
+    request: ServeRequest,
+    key: str,
+    schedules: Sequence[Tuple[str, Dict]],
+    *,
+    served_by: str,
+    elapsed_ms: float,
+    stage_sources: Optional[Sequence[str]] = None,
+) -> Dict:
+    """Assemble one success response body (server-side)."""
+    assert served_by in SERVED_BY
+    return {
+        "format": SERVE_FORMAT,
+        "kind": "result",
+        "benchmark": request.benchmark,
+        "platform": request.platform,
+        "key": key,
+        "served_by": served_by,
+        "schedules": [
+            {"stage": stage, "schedule": payload}
+            for stage, payload in schedules
+        ],
+        "stage_sources": list(
+            stage_sources
+            if stage_sources is not None
+            else [served_by] * len(schedules)
+        ),
+        "elapsed_ms": round(elapsed_ms, 3),
+    }
+
+
+def error_payload(
+    status: int, message: str, *, retry_after_s: Optional[float] = None
+) -> Dict:
+    """Assemble one error response body (server-side)."""
+    payload = {
+        "format": SERVE_FORMAT,
+        "kind": "error",
+        "status": int(status),
+        "error": str(message),
+    }
+    if retry_after_s is not None:
+        payload["retry_after_s"] = retry_after_s
+    return payload
+
+
+# -- metrics snapshot contract -----------------------------------------
+
+
+def validate_metrics(snapshot) -> List[str]:
+    """Check one ``/metrics`` snapshot against the documented schema.
+
+    Returns every problem found (empty list = valid), in the style of
+    :func:`repro.obs.validate_trace`.  CI's serve-smoke job fails on a
+    non-empty return, which is what keeps the snapshot layout an actual
+    contract rather than documentation drift.
+    """
+    problems: List[str] = []
+    if not isinstance(snapshot, dict):
+        return [f"snapshot is {type(snapshot).__name__}, not an object"]
+    if snapshot.get("format") != METRICS_FORMAT:
+        problems.append(
+            f"format is {snapshot.get('format')!r} "
+            f"(expected {METRICS_FORMAT!r})"
+        )
+
+    def _nonneg_number(key, value) -> Optional[str]:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return f"{key} must be a number, got {value!r}"
+        if value < 0:
+            return f"{key} must be >= 0, got {value!r}"
+        return None
+
+    for key in ("uptime_ms", "in_flight"):
+        note = _nonneg_number(key, snapshot.get(key))
+        if note:
+            problems.append(note)
+    if not isinstance(snapshot.get("draining"), bool):
+        problems.append(
+            f"draining must be a boolean, got {snapshot.get('draining')!r}"
+        )
+    queue = snapshot.get("queue")
+    if not isinstance(queue, dict):
+        problems.append(f"queue must be an object, got {queue!r}")
+    else:
+        for key in ("depth", "limit"):
+            note = _nonneg_number(f"queue.{key}", queue.get(key))
+            if note:
+                problems.append(note)
+    counters = snapshot.get("counters")
+    if not isinstance(counters, dict):
+        problems.append(f"counters must be an object, got {counters!r}")
+    else:
+        for name in METRIC_COUNTERS:
+            value = counters.get(name)
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, int)
+                or value < 0
+            ):
+                problems.append(
+                    f"counters.{name} must be a non-negative integer, "
+                    f"got {value!r}"
+                )
+    latency = snapshot.get("latency_ms")
+    if not isinstance(latency, dict):
+        problems.append(f"latency_ms must be an object, got {latency!r}")
+    else:
+        bounds = latency.get("bounds_ms")
+        counts = latency.get("counts")
+        if not isinstance(bounds, list) or not all(
+            isinstance(b, (int, float)) and not isinstance(b, bool)
+            for b in bounds
+        ):
+            problems.append(f"latency_ms.bounds_ms must be numbers, got {bounds!r}")
+        elif sorted(bounds) != bounds or len(set(bounds)) != len(bounds):
+            problems.append(
+                f"latency_ms.bounds_ms must increase strictly: {bounds!r}"
+            )
+        if not isinstance(counts, list) or not all(
+            isinstance(c, int) and not isinstance(c, bool) and c >= 0
+            for c in counts
+        ):
+            problems.append(
+                f"latency_ms.counts must be non-negative integers, got {counts!r}"
+            )
+        elif isinstance(bounds, list) and len(counts) != len(bounds) + 1:
+            problems.append(
+                f"latency_ms.counts needs len(bounds_ms)+1 buckets "
+                f"(one overflow), got {len(counts)} for {len(bounds)} bounds"
+            )
+        for key in ("count", "sum_ms"):
+            note = _nonneg_number(f"latency_ms.{key}", latency.get(key))
+            if note:
+                problems.append(note)
+    return problems

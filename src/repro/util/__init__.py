@@ -7,6 +7,8 @@ from repro.util.errors import (
     SimulationError,
     ValidationError,
     DeadlineExceeded,
+    ServeError,
+    ServeOverloaded,
 )
 from repro.util.deadline import (
     Deadline,
@@ -29,6 +31,8 @@ __all__ = [
     "SimulationError",
     "ValidationError",
     "DeadlineExceeded",
+    "ServeError",
+    "ServeOverloaded",
     "Deadline",
     "active_deadline",
     "checkpoint",

@@ -41,6 +41,29 @@ class ValidationError(ReproError, ValueError):
     """
 
 
+class ServeError(ReproError):
+    """A serving-layer failure: malformed ``repro-serve-v1`` payloads,
+    transport problems, or a server-side error response.
+
+    Raised by :mod:`repro.serve` on both sides of the wire — the server
+    maps it to a 4xx/5xx JSON error response, the client re-raises it
+    with the server's friendly message attached.
+    """
+
+
+class ServeOverloaded(ServeError):
+    """The server shed the request (admission queue full or draining).
+
+    Carries the server's ``Retry-After`` hint so callers can implement
+    their own backoff; :meth:`repro.serve.client.ServeClient.optimize`
+    raises this only once its bounded retries are exhausted.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 class DeadlineExceeded(ReproError, TimeoutError):
     """A cooperative deadline expired while the optimizer was searching.
 

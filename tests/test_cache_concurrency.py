@@ -1,0 +1,115 @@
+"""Multiprocess stress tests for the ScheduleCache's concurrent-writer
+safety: O_APPEND line-atomic appends plus the advisory lock that keeps
+``compact()`` from dropping records appended mid-rewrite."""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.arch import intel_i7_5930k
+from repro.cache import ScheduleCache
+from repro.ir.schedule import Schedule
+
+from tests.helpers import make_matmul
+
+
+def _distinct_func(worker: int, index: int):
+    # Distinct bounds -> distinct fingerprint -> distinct cache key.
+    return make_matmul(8 + worker * 64 + index)[0]
+
+
+def _writer(path: str, worker: int, writes: int, barrier) -> None:
+    """One stress process: append ``writes`` records as fast as possible."""
+    arch = intel_i7_5930k()
+    cache = ScheduleCache(path)
+    barrier.wait()  # maximize overlap between processes
+    for index in range(writes):
+        func = _distinct_func(worker, index)
+        schedule = Schedule(func)
+        schedule.reorder(*reversed(schedule.loop_names()))
+        cache.put(
+            func,
+            arch,
+            {"use_nti": True},
+            schedule,
+            meta={"worker": worker, "index": index},
+        )
+
+
+def _compacter(path: str, rounds: int, barrier) -> None:
+    """One stress process: compact repeatedly while writers append."""
+    cache = ScheduleCache(path)
+    barrier.wait()
+    for _ in range(rounds):
+        cache.compact()
+        time.sleep(0.005)
+
+
+@pytest.mark.parametrize("writers,writes", [(4, 12)])
+def test_parallel_writers_lose_nothing(tmp_path, writers, writes):
+    path = str(tmp_path / "shared.jsonl")
+    barrier = multiprocessing.Barrier(writers)
+    procs = [
+        multiprocessing.Process(
+            target=_writer, args=(path, w, writes, barrier)
+        )
+        for w in range(writers)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    # Every line must be whole (no interleaved bytes) and every record
+    # must survive: O_APPEND single-write appends cannot shuffle.
+    cache = ScheduleCache(path)
+    records = cache.load()
+    assert cache.load_diagnostics == []
+    assert len(records) == writers * writes
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            json.loads(line)  # every line parses on its own
+
+
+def test_compact_races_no_lost_appends(tmp_path):
+    path = str(tmp_path / "shared.jsonl")
+    writers, writes = 3, 10
+    barrier = multiprocessing.Barrier(writers + 1)
+    procs = [
+        multiprocessing.Process(
+            target=_writer, args=(path, w, writes, barrier)
+        )
+        for w in range(writers)
+    ]
+    procs.append(
+        multiprocessing.Process(target=_compacter, args=(path, 8, barrier))
+    )
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    # The exclusive lock around compact()'s read-then-replace means a
+    # rewrite can never discard a record another process appended while
+    # the rewrite was in progress.
+    cache = ScheduleCache(path)
+    records = cache.load()
+    assert cache.load_diagnostics == []
+    assert len(records) == writers * writes
+    # A final compact is idempotent and keeps every key.
+    assert cache.compact() == writers * writes
+
+
+def test_lock_sidecar_is_cleaned_by_clear(tmp_path):
+    path = str(tmp_path / "cache.jsonl")
+    cache = ScheduleCache(path)
+    func = _distinct_func(0, 0)
+    cache.put(func, intel_i7_5930k(), {"use_nti": True}, Schedule(func))
+    cache.compact()
+    assert os.path.exists(path + ".lock")
+    cache.clear()
+    assert not os.path.exists(path)
+    assert not os.path.exists(path + ".lock")
