@@ -41,16 +41,26 @@ request coalescing, micro-batching, admission control, ``/metrics``),
 and ``python -m repro submit matmul --port 8377`` submits one request to
 it and prints the result.
 
+Fleet: ``python -m repro fleet --workers 4`` boots a consistent-hash
+router in front of N serve worker processes (health-gated failover,
+crash restarts, flap quarantine — :mod:`repro.fleet`); ``repro fleet
+status`` and ``repro fleet restart`` talk to a running router
+(``restart`` performs the zero-loss rolling drain/restart).  ``python -m
+repro loadgen`` drives a seeded open-loop workload against a server or
+fleet and writes/gates the ``BENCH_serve.json`` baseline.
+
 Exit codes: 0 = ok, 2 = argparse usage error, 3 = completed but fell back
-to a degraded schedule, 4 = hard failure, 5 = service unavailable or
-overloaded (``submit`` could not get a result; ``sweep`` quarantined
-cells).
+to a degraded schedule (or a degraded fleet in ``fleet status``), 4 =
+hard failure, 5 = service unavailable or overloaded (``submit`` could
+not get a result; ``sweep`` quarantined cells), 6 = cannot bind the
+requested address/port (``serve`` / ``fleet``: it is already in use).
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import errno
 import sys
 
 from repro.arch import PLATFORMS, platform_by_name
@@ -73,6 +83,27 @@ EXIT_OK = 0
 EXIT_FALLBACK = 3
 EXIT_HARD = 4
 EXIT_UNAVAILABLE = 5
+EXIT_BIND = 6
+
+
+def _report_bind_error(host: str, port: int, exc: OSError, *, what: str) -> int:
+    """Friendly bind-failure report; exit 6 for ports that are taken."""
+    print(
+        f"error: cannot listen on {host}:{port}: {exc.strerror or exc}",
+        file=sys.stderr,
+    )
+    if exc.errno == errno.EADDRINUSE:
+        print(
+            f"hint: port {port} is already in use — pick another --port, "
+            f"or stop the other {what} first",
+            file=sys.stderr,
+        )
+        return EXIT_BIND
+    print(
+        "hint: pick another --port or --host (is the address local?)",
+        file=sys.stderr,
+    )
+    return EXIT_HARD
 
 
 def _jobs_arg(value: str):
@@ -285,17 +316,7 @@ def cmd_serve(args) -> int:
     try:
         return server.run()
     except OSError as exc:
-        print(
-            f"error: cannot listen on {args.host}:{args.port}: "
-            f"{exc.strerror or exc}",
-            file=sys.stderr,
-        )
-        print(
-            "hint: pick another --port, or stop the process holding "
-            "this one",
-            file=sys.stderr,
-        )
-        return EXIT_HARD
+        return _report_bind_error(args.host, args.port, exc, what="server")
 
 
 def cmd_submit(args) -> int:
@@ -350,6 +371,182 @@ def cmd_submit(args) -> int:
             f"  stage {entry['stage']}: {len(directives)} directive(s) "
             f"[{source}]"
         )
+    return EXIT_OK
+
+
+def cmd_fleet(args) -> int:
+    """Run a sharded serve fleet, or talk to a running one."""
+    from repro.serve.client import ServeClient
+
+    if args.action == "status":
+        client = ServeClient(args.host, args.port, timeout_s=10.0, retries=0)
+        try:
+            _status, body = client.get("/fleet/status")
+        except ConnectionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            print(
+                f"hint: start a fleet with `python -m repro fleet "
+                f"--port {args.port}`",
+                file=sys.stderr,
+            )
+            return EXIT_UNAVAILABLE
+        workers = body.get("workers", [])
+        print(f"fleet at http://{args.host}:{args.port}:")
+        for worker in workers:
+            print(
+                f"  shard {worker['shard']}: {worker['state']:11s} "
+                f"port={worker['port']} restarts={worker['restarts']} "
+                f"pid={worker['pid']}"
+            )
+        degraded = any(w.get("state") != "up" for w in workers)
+        return EXIT_FALLBACK if degraded else EXIT_OK
+
+    if args.action == "restart":
+        # Rolling drain/restart: one shard out at a time, zero admitted
+        # jobs lost; the call returns once every shard is back up.
+        client = ServeClient(args.host, args.port, timeout_s=600.0, retries=0)
+        try:
+            status, body = client.post("/fleet/restart")
+        except ConnectionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_UNAVAILABLE
+        if status != 200:
+            print(
+                f"error: rolling restart failed (HTTP {status}): "
+                f"{body.get('error', body)}",
+                file=sys.stderr,
+            )
+            return EXIT_HARD
+        print(f"rolled {body.get('rolled', 0)} worker(s), all back up")
+        return EXIT_OK
+
+    # action == "run": boot the workers, then route until SIGTERM/SIGINT.
+    from repro.fleet import FleetRouter, FleetSupervisor
+    from repro.obs import current_tracer
+
+    try:
+        supervisor = FleetSupervisor(
+            workers=args.workers,
+            host=args.host,
+            cache_path=args.schedule_cache,
+            queue_limit=args.queue_limit,
+            probe_interval_s=args.probe_interval_s,
+            tracer=current_tracer(),
+        )
+        router = FleetRouter(
+            supervisor,
+            host=args.host,
+            port=args.port,
+            tracer=current_tracer(),
+            retry_after_s=args.retry_after_s,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid options: {exc}") from None
+    try:
+        supervisor.start()
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_HARD
+    try:
+        return router.run()
+    except OSError as exc:
+        supervisor.stop()
+        return _report_bind_error(args.host, args.port, exc, what="fleet")
+
+
+def cmd_loadgen(args) -> int:
+    """Drive a seeded open-loop load; write/gate BENCH_serve.json."""
+    import json as _json
+
+    from repro.loadgen import (
+        check_serve_regression,
+        run_loadgen,
+        write_payload,
+    )
+
+    loadgen_kwargs = dict(
+        requests=args.requests,
+        rate_rps=args.rate_rps,
+        hot_fraction=args.hot_fraction,
+        seed=args.seed,
+        platform=args.platform,
+        timeout_s=args.timeout_s,
+    )
+    try:
+        if args.fleet:
+            # Self-hosted mode: boot a whole fleet, measure it, tear it
+            # down — what the CI bench-serve job runs as one command.
+            import os
+            import tempfile
+
+            from repro.fleet.testing import FleetThread
+
+            with tempfile.TemporaryDirectory() as tmp:
+                with FleetThread(
+                    workers=args.fleet,
+                    cache_path=os.path.join(tmp, "cache.jsonl"),
+                    queue_limit=32,
+                ) as fleet:
+                    payload = run_loadgen(port=fleet.port, **loadgen_kwargs)
+                    payload["target"] = {
+                        "mode": "fleet",
+                        "workers": args.fleet,
+                    }
+                    payload["fleet_counters"] = fleet.router.metrics_snapshot()[
+                        "counters"
+                    ]
+        else:
+            payload = run_loadgen(
+                host=args.host, port=args.port, **loadgen_kwargs
+            )
+            payload["target"] = {
+                "mode": "external",
+                "host": args.host,
+                "port": args.port,
+            }
+    except ValueError as exc:
+        raise SystemExit(f"invalid options: {exc}") from None
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_UNAVAILABLE
+
+    latency = payload["latency_ms"]
+    dup = payload["duplicates"]
+    print(
+        f"loadgen seed={payload['seed']}: {payload['requests']} requests "
+        f"@ {payload['rate_rps']:g} rps (hot {payload['hot_fraction']:.0%}) "
+        f"in {payload['wall_ms']:.0f} ms"
+    )
+    print(
+        f"  latency p50 {latency['p50_ms']:g} ms | p90 {latency['p90_ms']:g}"
+        f" ms | p99 {latency['p99_ms']:g} ms | max {latency['max_ms']:g} ms"
+    )
+    print(
+        f"  served_by {payload['served_by']} | errors {payload['errors']} | "
+        f"identical {payload['responses_identical']} | warm duplicates "
+        f"{dup['warm']}/{dup['total']}"
+    )
+    if args.out:
+        write_payload(payload, args.out)
+        print(f"  wrote {args.out}")
+    if args.check:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = _json.load(handle)
+        except (OSError, _json.JSONDecodeError) as exc:
+            print(
+                f"loadgen --check: cannot read baseline: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_HARD
+        failures = check_serve_regression(
+            payload, baseline, tolerance=args.tolerance
+        )
+        if failures:
+            for failure in failures:
+                print(f"loadgen --check FAIL: {failure}", file=sys.stderr)
+            return EXIT_HARD
+        print(f"  check vs {args.baseline}: OK (±{args.tolerance:.0%})")
     return EXIT_OK
 
 
@@ -497,6 +694,79 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a repro-trace-v1 JSONL event log "
                               "(serve.* lifecycle events)")
 
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="run a sharded serve fleet (consistent-hash router + N "
+             "worker processes), or query/roll a running one",
+    )
+    p_fleet.add_argument("action", nargs="?", default="run",
+                         choices=("run", "status", "restart"),
+                         help="run (default): boot router+workers; "
+                              "status: show shard states; restart: "
+                              "rolling drain/restart of every shard")
+    p_fleet.add_argument("--host", default="127.0.0.1",
+                         help="router bind/target address")
+    p_fleet.add_argument("--port", type=int, default=8378,
+                         help="router port (default: 8378; 0 = pick free)")
+    p_fleet.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="worker shard processes (default: 2)")
+    p_fleet.add_argument("--queue-limit", type=int, default=16,
+                         dest="queue_limit", metavar="N",
+                         help="per-worker admitted-job bound")
+    p_fleet.add_argument("--schedule-cache", default=None, metavar="PATH",
+                         dest="schedule_cache",
+                         help="base schedule-cache path; each shard gets "
+                              "its own -shardN spelling")
+    p_fleet.add_argument("--probe-interval-s", type=float, default=0.25,
+                         dest="probe_interval_s", metavar="S",
+                         help="health-probe cadence")
+    p_fleet.add_argument("--retry-after-s", type=float, default=1.0,
+                         dest="retry_after_s", metavar="S",
+                         help="backoff hint when no shard can serve")
+    p_fleet.add_argument("--trace", default=None, metavar="PATH",
+                         help="write a repro-trace-v1 JSONL event log "
+                              "(fleet.* lifecycle events)")
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive a seeded open-loop load against a server or fleet; "
+             "write/gate the BENCH_serve.json baseline",
+    )
+    p_load.add_argument("--host", default="127.0.0.1",
+                        help="target address (external mode)")
+    p_load.add_argument("--port", type=int, default=8377,
+                        help="target port (external mode)")
+    p_load.add_argument("--fleet", type=int, default=0, metavar="N",
+                        help="self-host: boot an N-worker fleet, measure "
+                             "it, tear it down (ignores --host/--port)")
+    p_load.add_argument("--requests", type=int, default=20, metavar="N",
+                        help="how many requests to fire (default: 20)")
+    p_load.add_argument("--rate-rps", type=float, default=2.0,
+                        dest="rate_rps", metavar="R",
+                        help="open-loop arrival rate (default: 2/s)")
+    p_load.add_argument("--hot-fraction", type=float, default=0.5,
+                        dest="hot_fraction", metavar="F",
+                        help="fraction of requests re-asking the hot "
+                             "identity (default: 0.5)")
+    p_load.add_argument("--seed", type=int, default=0,
+                        help="arrival/mix/backoff seed (default: 0)")
+    p_load.add_argument("--platform", default="i7-5930k",
+                        help="platform every request targets")
+    p_load.add_argument("--timeout-s", type=float, default=120.0,
+                        dest="timeout_s", metavar="S",
+                        help="per-request socket timeout")
+    p_load.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON payload to PATH")
+    p_load.add_argument("--check", action="store_true",
+                        help="compare against --baseline and exit 4 on "
+                             "regression")
+    p_load.add_argument("--baseline", default="BENCH_serve.json",
+                        metavar="PATH",
+                        help="baseline payload for --check")
+    p_load.add_argument("--tolerance", type=float, default=0.2,
+                        metavar="FRAC",
+                        help="allowed one-sided regression for --check")
+
     p_sub = sub.add_parser(
         "submit",
         help="submit one optimization request to a running server",
@@ -541,6 +811,8 @@ def main(argv=None) -> int:
         "trace": cmd_trace,
         "serve": cmd_serve,
         "submit": cmd_submit,
+        "fleet": cmd_fleet,
+        "loadgen": cmd_loadgen,
     }[args.command]
     try:
         with contextlib.ExitStack() as stack:

@@ -25,6 +25,7 @@ from repro.cache.store import (
     CacheStats,
     ScheduleCache,
     cache_key,
+    shard_cache_path,
 )
 
 __all__ = [
@@ -35,4 +36,5 @@ __all__ = [
     "func_fingerprint",
     "optimize_options",
     "options_fingerprint",
+    "shard_cache_path",
 ]

@@ -53,7 +53,13 @@ from repro.util import ScheduleError
 #: Schema tag; bump when the record layout changes incompatibly.
 CACHE_FORMAT = "repro-schedule-cache-v1"
 
-__all__ = ["CACHE_FORMAT", "CacheStats", "ScheduleCache", "cache_key"]
+__all__ = [
+    "CACHE_FORMAT",
+    "CacheStats",
+    "ScheduleCache",
+    "cache_key",
+    "shard_cache_path",
+]
 
 
 def _canonical(payload: Dict) -> str:
@@ -98,6 +104,21 @@ def cache_key(func_fp: str, arch_fp: str, options: Dict) -> str:
     return hashlib.sha256(
         f"{func_fp}:{arch_fp}:{options_fingerprint(options)}".encode("utf-8")
     ).hexdigest()
+
+
+def shard_cache_path(base_path: str, shard: int) -> str:
+    """The per-shard spelling of a fleet's base cache path.
+
+    ``cache.jsonl`` + shard 2 → ``cache-shard2.jsonl``.  The fleet's
+    consistent-hash router keeps each key on one shard, so giving every
+    worker its own file keeps each store warm for exactly its keyspace
+    and keeps appends single-writer — no cross-process compaction races,
+    and a worker restart reopens a cache that is warm by construction.
+    """
+    if shard < 0:
+        raise ValueError(f"shard must be >= 0, got {shard}")
+    root, ext = os.path.splitext(base_path)
+    return f"{root}-shard{shard}{ext or '.jsonl'}"
 
 
 @dataclass

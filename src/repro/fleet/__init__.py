@@ -1,0 +1,55 @@
+"""The sharded serve fleet: router, supervisor, and health-gated failover.
+
+One front :class:`FleetRouter` consistent-hashes every optimization
+request's identity — the same func/arch/options fingerprints behind
+request coalescing and the persistent schedule cache
+(:func:`repro.serve.schema.coalesce_key`) — onto N ``repro serve``
+worker processes, so each worker's coalescing table and per-shard
+:func:`repro.cache.shard_cache_path` store stay warm by construction.
+The :class:`FleetSupervisor` spawns those workers, probes their
+enriched ``/healthz`` on an interval, restarts crashes and hangs with
+exponential backoff, quarantines flapping shards, and performs
+zero-loss rolling restarts; when a shard is down, the router re-routes
+its keyspace to the deterministic ring sibling with
+``served_by="failover"`` attribution.
+
+Entry points: ``python -m repro fleet --workers N`` (CLI),
+:class:`repro.fleet.testing.FleetThread` (tests/CI), and
+``python -m repro loadgen`` for the measurement harness that feeds
+``BENCH_serve.json``.
+"""
+
+from repro.fleet.hashring import HashRing
+from repro.fleet.metrics import (
+    FLEET_METRIC_COUNTERS,
+    FLEET_METRICS_FORMAT,
+    FleetMetrics,
+    validate_fleet_metrics,
+)
+from repro.fleet.router import FLEET_FORMAT, FleetRouter
+from repro.fleet.supervisor import (
+    STATE_DOWN,
+    STATE_DRAINING,
+    STATE_QUARANTINED,
+    STATE_STARTING,
+    STATE_UP,
+    FleetSupervisor,
+    free_port,
+)
+
+__all__ = [
+    "FLEET_FORMAT",
+    "FLEET_METRIC_COUNTERS",
+    "FLEET_METRICS_FORMAT",
+    "FleetMetrics",
+    "FleetRouter",
+    "FleetSupervisor",
+    "HashRing",
+    "STATE_DOWN",
+    "STATE_DRAINING",
+    "STATE_QUARANTINED",
+    "STATE_STARTING",
+    "STATE_UP",
+    "free_port",
+    "validate_fleet_metrics",
+]

@@ -1,0 +1,167 @@
+"""Fleet-level metrics: the router's counters + per-shard health states.
+
+The router exposes one JSON snapshot (``repro-fleet-metrics-v1``) on its
+``/metrics`` route.  It deliberately does *not* proxy or merge the
+workers' own ``repro-serve-metrics-v1`` snapshots — those stay available
+per worker, and conflating two schemas would break both contracts.  The
+fleet document answers fleet questions: how requests were routed, how
+often the health gate re-routed a keyspace, how many restarts the
+supervisor performed, and what state every shard is in right now.
+
+Latency is observed router-side (admission to response) on the same
+log-spaced histogram the workers use
+(:class:`repro.serve.LatencyHistogram`), so fleet and single-server
+latency distributions are directly comparable — which is exactly what
+``repro loadgen`` and ``BENCH_serve.json`` need.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List
+
+from repro.serve.metrics import LatencyHistogram
+
+__all__ = [
+    "FLEET_METRICS_FORMAT",
+    "FLEET_METRIC_COUNTERS",
+    "FleetMetrics",
+    "validate_fleet_metrics",
+]
+
+#: Fleet metrics snapshot schema tag, versioned independently.
+FLEET_METRICS_FORMAT = "repro-fleet-metrics-v1"
+
+#: Counter names every fleet snapshot must carry (all >= 0 integers).
+FLEET_METRIC_COUNTERS = (
+    "requests_total",      # optimize requests admitted by the router
+    "responses_ok",        # 200s relayed to clients
+    "responses_error",     # non-200s relayed to clients
+    "failover",            # responses served by a sibling shard
+    "forward_retries",     # forward legs retried on another shard
+    "no_shard",            # 503s because no shard could take the key
+    "probe_failures",      # health probes that failed or timed out
+    "worker_restarts",     # crash/hang restarts performed
+    "workers_quarantined", # shards flap-quarantined (never restarted)
+    "rolls",               # completed rolling restarts
+)
+
+
+class FleetMetrics:
+    """The router/supervisor counter registry; thread-safe.
+
+    Mirrors :class:`repro.serve.ServeMetrics`: a fixed counter registry
+    (bumping an unknown name is a loud programming error, so the
+    documented schema cannot drift) plus the shared latency histogram.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            name: 0 for name in FLEET_METRIC_COUNTERS
+        }
+        self._latency = LatencyHistogram()
+        self._started_at = time.perf_counter()
+
+    def bump(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            if name not in self._counters:
+                raise KeyError(
+                    f"unknown fleet counter {name!r}; known: "
+                    f"{sorted(self._counters)}"
+                )
+            self._counters[name] += n
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counters[name]
+
+    def observe_latency(self, ms: float) -> None:
+        with self._lock:
+            self._latency.observe(ms)
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    def snapshot(self, *, workers: List[Dict]) -> Dict:
+        """The full ``repro-fleet-metrics-v1`` document for ``/metrics``.
+
+        ``workers`` is the supervisor's per-shard state listing (shard,
+        port, state, restarts, consecutive failures...).
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            latency = self._latency.snapshot()
+            uptime_ms = (time.perf_counter() - self._started_at) * 1000.0
+        return {
+            "format": FLEET_METRICS_FORMAT,
+            "uptime_ms": round(uptime_ms, 3),
+            "counters": counters,
+            "latency_ms": latency,
+            "workers": [dict(w) for w in workers],
+        }
+
+
+def validate_fleet_metrics(snapshot) -> List[str]:
+    """Check one fleet ``/metrics`` snapshot against the schema.
+
+    Returns every problem found (empty list = valid), in the style of
+    :func:`repro.serve.validate_metrics`; the CI fleet-smoke job fails
+    on a non-empty return.
+    """
+    problems: List[str] = []
+    if not isinstance(snapshot, dict):
+        return [f"snapshot is {type(snapshot).__name__}, not an object"]
+    if snapshot.get("format") != FLEET_METRICS_FORMAT:
+        problems.append(
+            f"format is {snapshot.get('format')!r} "
+            f"(expected {FLEET_METRICS_FORMAT!r})"
+        )
+    uptime = snapshot.get("uptime_ms")
+    if isinstance(uptime, bool) or not isinstance(uptime, (int, float)) or uptime < 0:
+        problems.append(f"uptime_ms must be a number >= 0, got {uptime!r}")
+    counters = snapshot.get("counters")
+    if not isinstance(counters, dict):
+        problems.append(f"counters must be an object, got {counters!r}")
+    else:
+        for name in FLEET_METRIC_COUNTERS:
+            value = counters.get(name)
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, int)
+                or value < 0
+            ):
+                problems.append(
+                    f"counters.{name} must be a non-negative integer, "
+                    f"got {value!r}"
+                )
+    workers = snapshot.get("workers")
+    if not isinstance(workers, list):
+        problems.append(f"workers must be a list, got {workers!r}")
+    else:
+        for index, worker in enumerate(workers):
+            if not isinstance(worker, dict):
+                problems.append(f"workers[{index}] must be an object")
+                continue
+            for key in ("shard", "port", "restarts"):
+                value = worker.get(key)
+                if (
+                    isinstance(value, bool)
+                    or not isinstance(value, int)
+                    or value < 0
+                ):
+                    problems.append(
+                        f"workers[{index}].{key} must be a non-negative "
+                        f"integer, got {value!r}"
+                    )
+            if not isinstance(worker.get("state"), str):
+                problems.append(
+                    f"workers[{index}].state must be a string, "
+                    f"got {worker.get('state')!r}"
+                )
+    latency = snapshot.get("latency_ms")
+    if not isinstance(latency, dict):
+        problems.append(f"latency_ms must be an object, got {latency!r}")
+    return problems

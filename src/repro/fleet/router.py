@@ -1,0 +1,391 @@
+"""The fleet's front door: a consistent-hash proxy over serve workers.
+
+One asyncio HTTP/1.1 server (the exact wire discipline of
+:mod:`repro.serve.http` — ``Connection: close``, JSON bodies) that owns
+no optimizer state at all.  Every ``POST /v1/optimize`` is identified
+*router-side* with the same :func:`repro.serve.identify.identify_request`
+the workers use — so the routing key IS the coalescing/cache key — and
+forwarded to the key's home shard on the :class:`repro.fleet.HashRing`.
+That one invariant is the whole point: identical requests always land on
+the same worker, whose in-process :class:`repro.serve.CoalesceTable` and
+persistent per-shard :class:`repro.cache.ScheduleCache` are therefore
+warm by construction.
+
+Failover is health-gated and deterministic: when the home shard is not
+routable (the supervisor's probe gate says down/draining/quarantined, or
+the forward leg dies with :class:`ConnectionError`), the router walks
+the ring's successor order — the same sibling every time, on every
+router — and attributes the served answer with
+``served_by="failover"`` plus ``failover_from`` so clients and metrics
+can see exactly which answers crossed shards.  Worker 429s (admission
+backpressure) are relayed, not failed over: spilling a hot shard's
+overload onto its sibling would trade transient backpressure for
+permanent cache pollution.
+
+Routes::
+
+    POST /v1/optimize   proxy with failover (the repro-serve-v1 schema)
+    GET  /healthz       router liveness + fleet degradation summary
+    GET  /metrics       repro-fleet-metrics-v1 snapshot
+    GET  /fleet/status  shards, states, ring topology
+    POST /fleet/restart rolling drain/restart of every shard
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import signal
+import sys
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.fleet.hashring import HashRing
+from repro.fleet.metrics import FleetMetrics
+from repro.fleet.supervisor import FleetSupervisor
+from repro.obs import NULL_TRACER
+from repro.obs.events import EVENT_FLEET_FAILOVER
+from repro.serve.http import (
+    HttpViolation,
+    IO_TIMEOUT_S,
+    forward,
+    read_request,
+    write_response,
+)
+from repro.serve.identify import identify_request
+from repro.serve.schema import (
+    SERVED_BY_FAILOVER,
+    error_payload,
+    parse_request,
+)
+from repro.util import ServeError
+
+__all__ = ["FLEET_FORMAT", "FleetRouter"]
+
+#: Schema tag for the router's own documents (``/fleet/status``,
+#: ``/healthz``); bump on any incompatible layout change.
+FLEET_FORMAT = "repro-fleet-v1"
+
+
+class FleetRouter:
+    """One router process in front of a :class:`FleetSupervisor`.
+
+    The router and supervisor share one
+    :class:`~repro.fleet.metrics.FleetMetrics`, so ``/metrics`` is the
+    single pane for both halves: routing counters from here, restart and
+    quarantine counters from the probe loop.
+    """
+
+    def __init__(
+        self,
+        supervisor: FleetSupervisor,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tracer=None,
+        forward_timeout_s: float = 120.0,
+        retry_after_s: float = 1.0,
+    ) -> None:
+        if retry_after_s <= 0:
+            raise ValueError(
+                f"retry_after_s must be positive, got {retry_after_s}"
+            )
+        self.supervisor = supervisor
+        self.host = host
+        self.port = int(port)
+        self.metrics: FleetMetrics = supervisor.metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.forward_timeout_s = float(forward_timeout_s)
+        self.retry_after_s = float(retry_after_s)
+        self.ring = HashRing(supervisor.shards)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._draining = False
+        self._drained: Optional[asyncio.Event] = None
+        self._open_conns = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> int:
+        """Bind the listener; returns the bound port."""
+        self._loop = asyncio.get_running_loop()
+        self._drained = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def drain(self) -> None:
+        """Stop accepting, let every open connection finish its answer."""
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        while self._open_conns:
+            await asyncio.sleep(0.02)
+        self._drained.set()
+
+    def run(self) -> int:
+        """Blocking entry point for the CLI: route until SIGTERM/SIGINT.
+
+        Assumes the supervisor's workers are already started; stops them
+        after the router's own drain, so admitted work finishes on both
+        tiers.  Startup errors (the port is taken) propagate as
+        :class:`OSError` for the CLI to render.
+        """
+
+        async def _main() -> None:
+            await self.start()
+            loop = asyncio.get_running_loop()
+
+            def _begin_drain() -> None:
+                asyncio.ensure_future(self.drain())
+
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, _begin_drain)
+                except (NotImplementedError, RuntimeError):
+                    pass
+            workers = ", ".join(
+                f"shard{w['shard']}:{w['port']}"
+                for w in self.supervisor.states()
+            )
+            print(
+                f"repro fleet: routing on http://{self.host}:{self.port} "
+                f"({workers})",
+                file=sys.stderr,
+                flush=True,
+            )
+            await self._drained.wait()
+
+        asyncio.run(_main())
+        self.supervisor.stop()
+        print("repro fleet: drained, bye", file=sys.stderr, flush=True)
+        return 0
+
+    # -- HTTP plumbing (same shape as the worker's) --------------------
+
+    async def _handle_conn(self, reader, writer) -> None:
+        self._open_conns += 1
+        try:
+            try:
+                method, path, _headers, body = await asyncio.wait_for(
+                    read_request(reader), timeout=IO_TIMEOUT_S
+                )
+            except HttpViolation as exc:
+                await write_response(
+                    writer, exc.status, error_payload(exc.status, str(exc))
+                )
+                return
+            except (
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                ValueError,
+            ):
+                return
+            status, payload, extra = await self._route(method, path, body)
+            await write_response(writer, status, payload, extra)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._open_conns -= 1
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict, Optional[Dict[str, str]]]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, error_payload(405, "healthz is GET-only"), None
+            return self._healthz()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, error_payload(405, "metrics is GET-only"), None
+            return 200, self.metrics_snapshot(), None
+        if path == "/fleet/status":
+            if method != "GET":
+                return 405, error_payload(405, "status is GET-only"), None
+            return 200, self.status_snapshot(), None
+        if path == "/fleet/restart":
+            if method != "POST":
+                return 405, error_payload(405, "restart is POST-only"), None
+            return await self._handle_restart()
+        if path == "/v1/optimize":
+            if method != "POST":
+                return 405, error_payload(405, "optimize is POST-only"), None
+            return await self._handle_optimize(body)
+        return 404, error_payload(404, f"unknown path {path!r}"), None
+
+    def _retry_header(self) -> Dict[str, str]:
+        return {"Retry-After": str(max(1, math.ceil(self.retry_after_s)))}
+
+    # -- operability documents -----------------------------------------
+
+    def _healthz(self) -> Tuple[int, Dict, Optional[Dict[str, str]]]:
+        states = self.supervisor.states()
+        up = sum(1 for w in states if w["state"] == "up")
+        if self._draining:
+            status, code = "draining", 503
+        elif up == len(states):
+            status, code = "ok", 200
+        elif up > 0:
+            status, code = "degraded", 200
+        else:
+            status, code = "down", 503
+        payload = {
+            "format": FLEET_FORMAT,
+            "status": status,
+            "draining": self._draining,
+            "workers_up": up,
+            "workers_total": len(states),
+        }
+        extra = self._retry_header() if code == 503 else None
+        return code, payload, extra
+
+    def metrics_snapshot(self) -> Dict:
+        """The live ``repro-fleet-metrics-v1`` document."""
+        return self.metrics.snapshot(workers=self.supervisor.states())
+
+    def status_snapshot(self) -> Dict:
+        """The ``/fleet/status`` document: shards, states, topology."""
+        return {
+            "format": FLEET_FORMAT,
+            "draining": self._draining,
+            "workers": self.supervisor.states(),
+            "ring": {
+                "shards": list(self.ring.shards),
+                "replicas": self.ring.replicas,
+            },
+        }
+
+    async def _handle_restart(
+        self,
+    ) -> Tuple[int, Dict, Optional[Dict[str, str]]]:
+        try:
+            rolled = await self._loop.run_in_executor(
+                None, self.supervisor.rolling_restart
+            )
+        except RuntimeError as exc:
+            return 500, error_payload(500, str(exc)), None
+        return 200, {"format": FLEET_FORMAT, "rolled": rolled}, None
+
+    # -- the proxy leg -------------------------------------------------
+
+    async def _handle_optimize(
+        self, body: bytes
+    ) -> Tuple[int, Dict, Optional[Dict[str, str]]]:
+        arrived = time.perf_counter()
+        self.metrics.bump("requests_total")
+        if self._draining:
+            self.metrics.bump("responses_error")
+            return (
+                503,
+                error_payload(
+                    503,
+                    "fleet router is draining; retry shortly",
+                    retry_after_s=self.retry_after_s,
+                ),
+                self._retry_header(),
+            )
+        try:
+            request = parse_request(json.loads(body.decode("utf-8")))
+            # identify_request builds the benchmark Funcs to fingerprint
+            # them — CPU work, so keep it off the event loop.
+            _case, _arch, key = await self._loop.run_in_executor(
+                None, identify_request, request
+            )
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self.metrics.bump("responses_error")
+            return 400, error_payload(400, f"request is not JSON: {exc}"), None
+        except ServeError as exc:
+            self.metrics.bump("responses_error")
+            return 400, error_payload(400, str(exc)), None
+
+        order = self.ring.successors(key)
+        home = order[0]
+        outcome = await self._forward_with_failover(order, home, body)
+        elapsed_ms = (time.perf_counter() - arrived) * 1000.0
+        self.metrics.observe_latency(elapsed_ms)
+        status, payload, extra = outcome
+        self.metrics.bump(
+            "responses_ok" if status == 200 else "responses_error"
+        )
+        return status, payload, extra
+
+    async def _forward_with_failover(
+        self, order, home: int, body: bytes
+    ) -> Tuple[int, Dict, Optional[Dict[str, str]]]:
+        """Walk the ring order until a shard answers; attribute failover.
+
+        A shard is tried when the health gate says it is routable; a
+        forward leg that dies (:class:`ConnectionError` — the worker was
+        SIGKILLed mid-request, say) or answers 503 (draining) moves on
+        to the next successor.  Any other answer — success *or* error —
+        is relayed as-is: a 400 or a 429 is the same answer on every
+        shard, so hopping would only hide it.
+        """
+        tried = 0
+        for shard in order:
+            if not self.supervisor.routable(shard):
+                continue
+            if tried:
+                self.metrics.bump("forward_retries")
+            tried += 1
+            try:
+                status, _headers, payload = await forward(
+                    self.supervisor.host,
+                    self.supervisor.port_of(shard),
+                    "POST",
+                    "/v1/optimize",
+                    body,
+                    timeout_s=self.forward_timeout_s,
+                )
+            except ConnectionError:
+                continue
+            except ServeError as exc:
+                return 502, error_payload(502, f"shard {shard}: {exc}"), None
+            if status == 503:
+                continue  # draining worker the gate has not caught yet
+            if status == 200:
+                payload = dict(payload)
+                payload["shard"] = shard
+                if shard != home:
+                    payload["served_by"] = SERVED_BY_FAILOVER
+                    payload["failover_from"] = home
+                    self.metrics.bump("failover")
+                    self.tracer.event(
+                        EVENT_FLEET_FAILOVER,
+                        key=payload.get("key", ""),
+                        home=home,
+                        served_by_shard=shard,
+                    )
+                return 200, payload, None
+            extra = None
+            if status in (429, 503) and "retry_after_s" in payload:
+                extra = {
+                    "Retry-After": str(
+                        max(1, math.ceil(payload["retry_after_s"]))
+                    )
+                }
+            return status, payload, extra
+        self.metrics.bump("no_shard")
+        return (
+            503,
+            error_payload(
+                503,
+                "no shard can take this request right now (all down, "
+                "draining, or quarantined); retry shortly",
+                retry_after_s=self.retry_after_s,
+            ),
+            self._retry_header(),
+        )

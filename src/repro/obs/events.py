@@ -65,6 +65,17 @@ EVENT_CELL_QUARANTINED = "sweep.cell.quarantined"
 EVENT_SERVE_REQUEST = "serve.request"
 EVENT_SERVE_SHED = "serve.shed"
 EVENT_SERVE_DRAIN = "serve.drain"
+#: Fleet lifecycle (see :mod:`repro.fleet`): worker spawn/up/down state
+#: transitions from the supervisor's health gate, one request re-routed
+#: to a sibling shard, one worker restart (crash or rolling), a flapping
+#: worker quarantined, and the rolling-restart roll itself.
+EVENT_FLEET_SPAWN = "fleet.worker.spawn"
+EVENT_FLEET_UP = "fleet.worker.up"
+EVENT_FLEET_DOWN = "fleet.worker.down"
+EVENT_FLEET_RESTART = "fleet.worker.restart"
+EVENT_FLEET_QUARANTINED = "fleet.worker.quarantined"
+EVENT_FLEET_FAILOVER = "fleet.failover"
+EVENT_FLEET_ROLL = "fleet.roll"
 
 # -- machine-readable pruning reasons ----------------------------------
 

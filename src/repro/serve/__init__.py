@@ -26,6 +26,7 @@ CLI: ``python -m repro serve`` / ``python -m repro submit``.
 
 from repro.serve.client import ServeClient
 from repro.serve.metrics import LATENCY_BOUNDS_MS, LatencyHistogram, ServeMetrics
+from repro.serve.identify import identify_request
 from repro.serve.schema import (
     METRICS_FORMAT,
     METRIC_COUNTERS,
@@ -33,14 +34,18 @@ from repro.serve.schema import (
     SERVED_BY,
     SERVED_BY_CACHE,
     SERVED_BY_COALESCED,
+    SERVED_BY_FAILOVER,
     SERVED_BY_SEARCH,
     SERVE_FORMAT,
+    WORKER_SERVED_BY,
     ServeRequest,
     build_request,
     coalesce_key,
     error_payload,
+    healthz_payload,
     parse_request,
     result_payload,
+    validate_healthz,
     validate_metrics,
 )
 from repro.serve.server import OptimizeServer
@@ -56,8 +61,10 @@ __all__ = [
     "SERVED_BY",
     "SERVED_BY_CACHE",
     "SERVED_BY_COALESCED",
+    "SERVED_BY_FAILOVER",
     "SERVED_BY_SEARCH",
     "SERVE_FORMAT",
+    "WORKER_SERVED_BY",
     "ServeClient",
     "ServeMetrics",
     "ServeRequest",
@@ -65,7 +72,10 @@ __all__ = [
     "build_request",
     "coalesce_key",
     "error_payload",
+    "healthz_payload",
+    "identify_request",
     "parse_request",
     "result_payload",
+    "validate_healthz",
     "validate_metrics",
 ]

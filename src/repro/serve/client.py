@@ -2,15 +2,24 @@
 
 A deliberately small, dependency-free HTTP/1.1 client (raw sockets, one
 request per connection — mirroring the server's ``Connection: close``
-discipline).  It speaks the ``repro-serve-v1`` schema, honours
-``Retry-After`` backoff on shed responses, and maps server errors onto
-the repo's exception taxonomy:
+discipline).  It speaks the ``repro-serve-v1`` schema, backs off
+deterministically on shed responses, and maps server errors onto the
+repo's exception taxonomy:
 
 * 429/503 after retries → :class:`repro.util.ServeOverloaded`
   (carries ``retry_after_s``);
 * any other non-200 → :class:`repro.util.ServeError`;
 * socket-level failures → :class:`ConnectionError` (the server is not
   there; nothing protocol-shaped happened).
+
+Backoff discipline: retry *k* sleeps ``base * 2**(k-1)`` seconds,
+jittered by a factor derived deterministically from ``backoff_seed`` and
+capped at ``backoff_cap_s`` — so a thousand clients with distinct seeds
+spread out instead of stampeding, while any one client's schedule is
+exactly reproducible.  A server-provided ``Retry-After`` (sent with both
+429 and 503) acts as a *floor* under the computed delay, never ignored:
+the server knows how long its congestion or drain will last better than
+the client's exponential curve does.
 
 >>> client = ServeClient(port=8377)
 >>> client.wait_ready(timeout_s=5.0)
@@ -22,11 +31,13 @@ True
 
 from __future__ import annotations
 
+import random
 import json
 import socket
 import time
 from typing import Dict, Optional, Tuple, Union
 
+from repro.serve.http import format_request, parse_response
 from repro.serve.schema import build_request
 from repro.util import ServeError, ServeOverloaded
 
@@ -47,8 +58,11 @@ class ServeClient:
     retries:
         How many times :meth:`optimize` re-submits after a shed
         (429/503) response before raising
-        :class:`~repro.util.ServeOverloaded`.  Retries sleep for the
-        server-provided ``retry_after_s``.
+        :class:`~repro.util.ServeOverloaded`.
+    backoff_base_s / backoff_cap_s / backoff_seed:
+        The deterministic retry schedule (see module docstring): retry
+        ``k`` sleeps ``min(cap, base * 2**(k-1)) * jitter(seed, k)``,
+        floored by any server-provided ``Retry-After``.
     """
 
     def __init__(
@@ -58,13 +72,24 @@ class ServeClient:
         *,
         timeout_s: float = 120.0,
         retries: int = 3,
+        backoff_base_s: float = 0.1,
+        backoff_cap_s: float = 5.0,
+        backoff_seed: int = 0,
     ) -> None:
         self.host = host
         self.port = int(port)
         self.timeout_s = float(timeout_s)
         self.retries = int(retries)
+        if backoff_base_s < 0 or backoff_cap_s < 0:
+            raise ValueError(
+                f"backoff_base_s/backoff_cap_s must be >= 0, got "
+                f"{backoff_base_s}/{backoff_cap_s}"
+            )
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.backoff_seed = int(backoff_seed)
 
-    # -- the three endpoints -------------------------------------------
+    # -- the endpoints -------------------------------------------------
 
     def healthz(self) -> Dict:
         """``GET /healthz``; raises :class:`ConnectionError` when down."""
@@ -75,12 +100,33 @@ class ServeClient:
             )
         return body
 
+    def probe(self) -> Tuple[int, Dict]:
+        """``GET /healthz`` without raising on a non-200 answer.
+
+        Returns ``(http_status, body)`` — what a supervisor's health
+        gate needs: a 503-draining worker is *degraded*, not dead, and
+        only a socket-level failure (still a :class:`ConnectionError`)
+        means nobody is listening.
+        """
+        status, _headers, body = self._roundtrip("GET", "/healthz")
+        return status, body
+
     def metrics(self) -> Dict:
         """``GET /metrics``: the live ``repro-serve-metrics-v1`` snapshot."""
         status, _headers, body = self._roundtrip("GET", "/metrics")
         if status != 200:
             raise ServeError(f"metrics returned {status}: {body!r}")
         return body
+
+    def get(self, path: str) -> Tuple[int, Dict]:
+        """One ``GET`` to any path (the fleet's ``/fleet/status`` etc.)."""
+        status, _headers, body = self._roundtrip("GET", path)
+        return status, body
+
+    def post(self, path: str, payload: Optional[Dict] = None) -> Tuple[int, Dict]:
+        """One ``POST`` to any path (the fleet's ``/fleet/restart``)."""
+        status, _headers, body = self._roundtrip("POST", path, payload or {})
+        return status, body
 
     def optimize(
         self,
@@ -96,8 +142,8 @@ class ServeClient:
 
         Returns the full result payload (``schedules`` carries one
         replayable ``repro-schedule-v1`` document per pipeline stage).
-        Shed responses are retried with the server's backoff hint; see
-        the class docstring for the failure taxonomy.
+        Shed responses are retried on the deterministic backoff
+        schedule; see the class docstring for the failure taxonomy.
         """
         payload = build_request(
             benchmark,
@@ -115,10 +161,10 @@ class ServeClient:
             if status == 200:
                 return body
             if status in (429, 503):
-                retry_after = _retry_after_s(headers, body)
+                floor = _retry_after_s(headers, body)
                 if attempt < self.retries:
                     attempt += 1
-                    time.sleep(retry_after)
+                    time.sleep(self.backoff_s(attempt, floor=floor))
                     continue
                 raise ServeOverloaded(
                     body.get(
@@ -126,12 +172,30 @@ class ServeClient:
                         f"server overloaded (HTTP {status}) after "
                         f"{self.retries} retries",
                     ),
-                    retry_after_s=retry_after,
+                    retry_after_s=floor,
                 )
             raise ServeError(
                 f"optimize failed (HTTP {status}): "
                 f"{body.get('error', body)}"
             )
+
+    def backoff_s(self, attempt: int, *, floor: float = 0.0) -> float:
+        """The deterministic delay before retry ``attempt`` (1-based).
+
+        ``min(cap, base * 2**(attempt-1))`` scaled by a jitter factor in
+        ``[1, 1.5]`` seeded from ``backoff_seed`` and the attempt index
+        (identical across reruns, uncorrelated across seeds), then
+        floored by the server's ``Retry-After`` — the server's hint may
+        lengthen a wait, never shorten the cap's protection.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        base = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * 2.0 ** (attempt - 1),
+        )
+        rng = random.Random(f"{self.backoff_seed}#{attempt}")
+        return max(float(floor), base * (1.0 + 0.5 * rng.random()))
 
     def wait_ready(
         self, timeout_s: float = 10.0, interval_s: float = 0.05
@@ -154,13 +218,7 @@ class ServeClient:
         body = b""
         if payload is not None:
             body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        head = (
-            f"{method} {path} HTTP/1.1\r\n"
-            f"Host: {self.host}:{self.port}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n"
-        ).encode("latin-1")
+        head = format_request(method, path, self.host, self.port, body)
         try:
             with socket.create_connection(
                 (self.host, self.port), timeout=self.timeout_s
@@ -176,7 +234,7 @@ class ServeClient:
             raise ConnectionError(
                 f"cannot reach server at {self.host}:{self.port}: {exc}"
             ) from exc
-        return _parse_response(raw)
+        return parse_response(raw)
 
 
 def _read_all(sock: socket.socket) -> bytes:
@@ -195,29 +253,3 @@ def _retry_after_s(headers: Dict[str, str], body: Dict) -> float:
         return max(0.05, float(value))
     except (TypeError, ValueError):
         return 1.0
-
-
-def _parse_response(raw: bytes) -> Tuple[int, Dict[str, str], Dict]:
-    if not raw:
-        raise ConnectionError("server closed the connection without a response")
-    head, _, rest = raw.partition(b"\r\n\r\n")
-    lines = head.decode("latin-1").split("\r\n")
-    try:
-        status = int(lines[0].split(" ", 2)[1])
-    except (IndexError, ValueError):
-        raise ServeError(f"malformed status line {lines[0]!r}") from None
-    headers: Dict[str, str] = {}
-    for line in lines[1:]:
-        name, _, value = line.partition(":")
-        headers[name.strip().lower()] = value.strip()
-    length = headers.get("content-length")
-    payload = rest if length is None else rest[: int(length)]
-    try:
-        body = json.loads(payload.decode("utf-8")) if payload else {}
-    except (json.JSONDecodeError, UnicodeDecodeError):
-        raise ServeError(
-            f"server returned non-JSON body (HTTP {status})"
-        ) from None
-    if not isinstance(body, dict):
-        raise ServeError(f"server returned non-object body (HTTP {status})")
-    return status, headers, body

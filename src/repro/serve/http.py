@@ -1,0 +1,211 @@
+"""Minimal HTTP/1.1 plumbing shared by the serve and fleet layers.
+
+One wire discipline, three consumers: :class:`repro.serve.OptimizeServer`
+(a worker), :class:`repro.fleet.FleetRouter` (the front router proxying
+to workers), and :class:`repro.serve.ServeClient` (the blocking client).
+Every exchange is one request per connection (``Connection: close``),
+JSON bodies only, tight size ceilings — the protocol is an
+implementation detail of this repo, not a general web server.
+
+The async half (:func:`read_request` / :func:`write_response`) runs on
+an event loop against ``asyncio`` stream pairs; the sync half
+(:func:`format_request` / :func:`parse_response`) is shared with the
+blocking client, so a response parsed by the router is parsed by exactly
+the code the client uses — one grammar, no drift.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.util import ServeError
+
+__all__ = [
+    "HttpViolation",
+    "IO_TIMEOUT_S",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "REASONS",
+    "forward",
+    "format_request",
+    "parse_response",
+    "read_request",
+    "write_response",
+]
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Socket-level ceilings; requests are small JSON documents, so anything
+#: beyond these is a protocol error, not a legitimate payload.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+IO_TIMEOUT_S = 30.0
+
+
+class HttpViolation(Exception):
+    """A malformed request we can still answer politely."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+async def read_request(reader) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Read one request head + body from an asyncio stream reader.
+
+    Returns ``(method, path, headers, body)``; raises
+    :class:`HttpViolation` for protocol errors the caller can answer,
+    :class:`ConnectionError` for torn/silent connections.
+    """
+    request_line = await reader.readline()
+    if not request_line:
+        raise ConnectionError("empty request")
+    try:
+        method, path, _version = (
+            request_line.decode("latin-1").strip().split(" ", 2)
+        )
+    except ValueError:
+        raise HttpViolation(400, "malformed request line") from None
+    headers: Dict[str, str] = {}
+    total = len(request_line)
+    while True:
+        line = await reader.readline()
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HttpViolation(400, "request headers too large")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpViolation(400, "malformed Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise HttpViolation(
+                413, f"request body over {MAX_BODY_BYTES} bytes"
+            )
+        body = await reader.readexactly(length)
+    return method.upper(), path, headers, body
+
+
+async def write_response(
+    writer,
+    status: int,
+    payload: Dict,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    """Write one JSON response to an asyncio stream writer."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
+def format_request(
+    method: str, path: str, host: str, port: int, body: bytes
+) -> bytes:
+    """Serialize one request head (the body is appended by the caller)."""
+    return (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("latin-1")
+
+
+def parse_response(raw: bytes) -> Tuple[int, Dict[str, str], Dict]:
+    """Parse one complete response into ``(status, headers, json_body)``.
+
+    Raises :class:`ConnectionError` when the peer closed without
+    answering, :class:`~repro.util.ServeError` when the answer is not
+    protocol-shaped.
+    """
+    if not raw:
+        raise ConnectionError("server closed the connection without a response")
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        status = int(lines[0].split(" ", 2)[1])
+    except (IndexError, ValueError):
+        raise ServeError(f"malformed status line {lines[0]!r}") from None
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = headers.get("content-length")
+    payload = rest if length is None else rest[: int(length)]
+    try:
+        body = json.loads(payload.decode("utf-8")) if payload else {}
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        raise ServeError(
+            f"server returned non-JSON body (HTTP {status})"
+        ) from None
+    if not isinstance(body, dict):
+        raise ServeError(f"server returned non-object body (HTTP {status})")
+    return status, headers, body
+
+
+async def forward(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes,
+    *,
+    timeout_s: float = 120.0,
+) -> Tuple[int, Dict[str, str], Dict]:
+    """One async round-trip to a peer server (the router's proxy leg).
+
+    Raises :class:`ConnectionError` when the peer is unreachable or the
+    connection dies mid-exchange — exactly the signal the router's
+    failover logic keys on.
+    """
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout_s
+        )
+    except (OSError, asyncio.TimeoutError) as exc:
+        raise ConnectionError(
+            f"cannot reach worker at {host}:{port}: {exc}"
+        ) from exc
+    try:
+        writer.write(format_request(method, path, host, port, body) + body)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=timeout_s)
+    except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError) as exc:
+        raise ConnectionError(
+            f"connection to worker at {host}:{port} died mid-request: {exc}"
+        ) from exc
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return parse_response(raw)

@@ -1,0 +1,58 @@
+"""Request identity: from a wire request to its coalescing/shard key.
+
+Both the worker server (for coalescing and the schedule cache) and the
+fleet router (for consistent-hash shard routing) must compute the *same*
+identity for one request, or shard-local caches stop being
+warm-by-construction.  Centralizing the computation here is what makes
+that an invariant instead of a convention: the key is built from the
+content fingerprints of every pipeline stage, the platform fingerprint,
+and the canonical options fingerprint — exactly the inputs that
+determine the chosen schedules (see :mod:`repro.cache.fingerprint`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.arch import platform_by_name
+from repro.bench import EXTRAS, SUITE, make_benchmark, make_extra, size_for
+from repro.cache.fingerprint import func_fingerprint
+from repro.serve.schema import ServeRequest, coalesce_key
+from repro.util import ServeError
+
+__all__ = ["identify_request"]
+
+
+def identify_request(request: ServeRequest) -> Tuple[object, object, str]:
+    """Build the benchmark case, platform, and identity key of a request.
+
+    Returns ``(case, arch, key)``.  Raises
+    :class:`~repro.util.ServeError` with an actionable message for an
+    unknown benchmark or platform — servers map these to 400 responses.
+    """
+    name = request.benchmark
+    try:
+        if name in SUITE:
+            case = make_benchmark(name, **size_for(name, small=request.fast))
+        elif name in EXTRAS:
+            case = make_extra(name)
+        else:
+            raise ServeError(
+                f"unknown benchmark {name!r}; known: "
+                f"{sorted(SUITE) + sorted(EXTRAS)}"
+            )
+    except (KeyError, ValueError) as exc:
+        raise ServeError(f"cannot build benchmark {name!r}: {exc}") from None
+    try:
+        arch = platform_by_name(request.platform)
+    except KeyError:
+        raise ServeError(
+            f"unknown platform {request.platform!r}; see "
+            f"`python -m repro list`"
+        ) from None
+    key = coalesce_key(
+        [func_fingerprint(stage) for stage in case.pipeline],
+        arch.fingerprint(),
+        request.options,
+    )
+    return case, arch, key

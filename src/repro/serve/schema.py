@@ -46,11 +46,22 @@ SERVE_FORMAT = "repro-serve-v1"
 #: Metrics snapshot schema tag, versioned independently of the wire.
 METRICS_FORMAT = "repro-serve-metrics-v1"
 
-#: The three ways a response can be produced (see module docstring).
+#: The ways a response can be produced (see module docstring).
+#: ``failover`` is applied by the fleet router, never by a worker: it
+#: marks a response computed by the deterministic sibling shard because
+#: the key's home shard was down/draining (:mod:`repro.fleet`).
 SERVED_BY_SEARCH = "search"
 SERVED_BY_CACHE = "cache"
 SERVED_BY_COALESCED = "coalesced"
-SERVED_BY = (SERVED_BY_SEARCH, SERVED_BY_CACHE, SERVED_BY_COALESCED)
+SERVED_BY_FAILOVER = "failover"
+SERVED_BY = (
+    SERVED_BY_SEARCH,
+    SERVED_BY_CACHE,
+    SERVED_BY_COALESCED,
+    SERVED_BY_FAILOVER,
+)
+#: What a worker itself may claim (the router adds ``failover``).
+WORKER_SERVED_BY = (SERVED_BY_SEARCH, SERVED_BY_CACHE, SERVED_BY_COALESCED)
 
 #: Option switches a request may set; exactly the schedule-cache key.
 OPTION_KEYS = tuple(optimize_options())
@@ -76,14 +87,18 @@ __all__ = [
     "SERVED_BY",
     "SERVED_BY_CACHE",
     "SERVED_BY_COALESCED",
+    "SERVED_BY_FAILOVER",
     "SERVED_BY_SEARCH",
     "SERVE_FORMAT",
+    "WORKER_SERVED_BY",
     "ServeRequest",
     "build_request",
     "coalesce_key",
     "error_payload",
+    "healthz_payload",
     "parse_request",
     "result_payload",
+    "validate_healthz",
     "validate_metrics",
 ]
 
@@ -256,6 +271,79 @@ def coalesce_key(
     ).hexdigest()
 
 
+def healthz_payload(
+    *,
+    draining: bool,
+    queue_depth: int,
+    queue_limit: int,
+    in_flight: int,
+    admitted: int,
+) -> Dict:
+    """Assemble one enriched ``GET /healthz`` body (``repro-serve-v1``).
+
+    This is more than a liveness probe: the fleet router health-gates on
+    ``draining`` (route around, don't restart), and the queue/in-flight
+    gauges let a supervisor tell a busy worker from a hung one.  The
+    layout is versioned as part of the wire schema; see
+    :func:`validate_healthz`.
+    """
+    return {
+        "format": SERVE_FORMAT,
+        "status": "draining" if draining else "ok",
+        "draining": bool(draining),
+        "queue": {"depth": int(queue_depth), "limit": int(queue_limit)},
+        "in_flight": int(in_flight),
+        "admitted": int(admitted),
+    }
+
+
+def validate_healthz(body) -> List[str]:
+    """Check one ``/healthz`` body against the documented schema.
+
+    Returns every problem found (empty list = valid), in the style of
+    :func:`validate_metrics`.
+    """
+    problems: List[str] = []
+    if not isinstance(body, dict):
+        return [f"healthz body is {type(body).__name__}, not an object"]
+    if body.get("format") != SERVE_FORMAT:
+        problems.append(
+            f"format is {body.get('format')!r} (expected {SERVE_FORMAT!r})"
+        )
+    if body.get("status") not in ("ok", "draining"):
+        problems.append(
+            f"status must be 'ok' or 'draining', got {body.get('status')!r}"
+        )
+    if not isinstance(body.get("draining"), bool):
+        problems.append(
+            f"draining must be a boolean, got {body.get('draining')!r}"
+        )
+    elif (body.get("status") == "draining") != body["draining"]:
+        problems.append("status and the draining flag disagree")
+    queue = body.get("queue")
+    if not isinstance(queue, dict):
+        problems.append(f"queue must be an object, got {queue!r}")
+    for key in ("in_flight", "admitted"):
+        value = body.get(key)
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            problems.append(
+                f"{key} must be a non-negative integer, got {value!r}"
+            )
+    if isinstance(queue, dict):
+        for key in ("depth", "limit"):
+            value = queue.get(key)
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, int)
+                or value < 0
+            ):
+                problems.append(
+                    f"queue.{key} must be a non-negative integer, "
+                    f"got {value!r}"
+                )
+    return problems
+
+
 def result_payload(
     request: ServeRequest,
     key: str,
@@ -266,7 +354,7 @@ def result_payload(
     stage_sources: Optional[Sequence[str]] = None,
 ) -> Dict:
     """Assemble one success response body (server-side)."""
-    assert served_by in SERVED_BY
+    assert served_by in WORKER_SERVED_BY
     return {
         "format": SERVE_FORMAT,
         "kind": "result",

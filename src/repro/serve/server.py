@@ -53,9 +53,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import api
 from repro.arch import platform_by_name
-from repro.bench import EXTRAS, SUITE, make_benchmark, make_extra, size_for
 from repro.cache import ScheduleCache
-from repro.cache.fingerprint import func_fingerprint
 from repro.core.parallel import resolve_jobs
 from repro.ir.serialize import schedule_to_dict
 from repro.obs import NULL_TRACER
@@ -73,38 +71,26 @@ from repro.robust.faults import (
     parse_serve_fault,
 )
 from repro.serve.coalesce import CoalesceTable, Job
+from repro.serve.http import (
+    HttpViolation,
+    IO_TIMEOUT_S,
+    read_request,
+    write_response,
+)
+from repro.serve.identify import identify_request
 from repro.serve.metrics import ServeMetrics
 from repro.serve.schema import (
     SERVED_BY_CACHE,
     SERVED_BY_COALESCED,
     SERVED_BY_SEARCH,
-    SERVE_FORMAT,
-    ServeRequest,
     error_payload,
+    healthz_payload,
     parse_request,
     result_payload,
 )
 from repro.util import Deadline, DeadlineExceeded, ReproError, ServeError
 
 __all__ = ["OptimizeServer"]
-
-_REASONS = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-    504: "Gateway Timeout",
-}
-
-#: Socket-level ceilings; requests are small JSON documents, so anything
-#: beyond these is a protocol error, not a legitimate payload.
-_MAX_HEADER_BYTES = 16 * 1024
-_MAX_BODY_BYTES = 1024 * 1024
-_IO_TIMEOUT_S = 30.0
 
 
 class OptimizeServer:
@@ -287,10 +273,10 @@ class OptimizeServer:
         try:
             try:
                 method, path, _headers, body = await asyncio.wait_for(
-                    self._read_head(reader), timeout=_IO_TIMEOUT_S
+                    read_request(reader), timeout=IO_TIMEOUT_S
                 )
-            except _HttpViolation as exc:
-                await self._respond(
+            except HttpViolation as exc:
+                await write_response(
                     writer, exc.status, error_payload(exc.status, str(exc))
                 )
                 return
@@ -302,7 +288,7 @@ class OptimizeServer:
             ):
                 return  # torn or silent connection: nothing to answer
             status, payload, extra = await self._route(method, path, body)
-            await self._respond(writer, status, payload, extra)
+            await write_response(writer, status, payload, extra)
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
@@ -313,64 +299,17 @@ class OptimizeServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _read_head(
-        self, reader
-    ) -> Tuple[str, str, Dict[str, str], bytes]:
-        request_line = await reader.readline()
-        if not request_line:
-            raise ConnectionError("empty request")
-        try:
-            method, path, _version = (
-                request_line.decode("latin-1").strip().split(" ", 2)
-            )
-        except ValueError:
-            raise _HttpViolation(400, "malformed request line") from None
-        headers: Dict[str, str] = {}
-        total = len(request_line)
-        while True:
-            line = await reader.readline()
-            total += len(line)
-            if total > _MAX_HEADER_BYTES:
-                raise _HttpViolation(400, "request headers too large")
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        body = b""
-        if "content-length" in headers:
-            try:
-                length = int(headers["content-length"])
-            except ValueError:
-                raise _HttpViolation(400, "malformed Content-Length") from None
-            if length > _MAX_BODY_BYTES:
-                raise _HttpViolation(
-                    413, f"request body over {_MAX_BODY_BYTES} bytes"
-                )
-            body = await reader.readexactly(length)
-        return method.upper(), path, headers, body
-
-    async def _respond(
-        self,
-        writer,
-        status: int,
-        payload: Dict,
-        extra_headers: Optional[Dict[str, str]] = None,
-    ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        reason = _REASONS.get(status, "Unknown")
-        lines = [
-            f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(body)}",
-            "Connection: close",
-        ]
-        for name, value in (extra_headers or {}).items():
-            lines.append(f"{name}: {value}")
-        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
-        writer.write(head + body)
-        await writer.drain()
-
     # -- routing -------------------------------------------------------
+
+    def healthz_snapshot(self) -> Dict:
+        """The live enriched ``/healthz`` body (``repro-serve-v1``)."""
+        return healthz_payload(
+            draining=self._draining,
+            queue_depth=self._queue.qsize() if self._queue else 0,
+            queue_limit=self.queue_limit,
+            in_flight=self._in_flight,
+            admitted=self._admitted,
+        )
 
     async def _route(
         self, method: str, path: str, body: bytes
@@ -378,13 +317,12 @@ class OptimizeServer:
         if path == "/healthz":
             if method != "GET":
                 return 405, error_payload(405, "healthz is GET-only"), None
+            # The body is the router's health-gating input, so it is
+            # always the full snapshot; a draining worker still answers
+            # 503 so bare liveness probes keep their old meaning.
             if self._draining:
-                return (
-                    503,
-                    {"status": "draining", "format": SERVE_FORMAT},
-                    self._retry_header(),
-                )
-            return 200, {"status": "ok", "format": SERVE_FORMAT}, None
+                return 503, self.healthz_snapshot(), self._retry_header()
+            return 200, self.healthz_snapshot(), None
         if path == "/metrics":
             if method != "GET":
                 return 405, error_payload(405, "metrics is GET-only"), None
@@ -436,7 +374,7 @@ class OptimizeServer:
             )
         try:
             request = parse_request(json.loads(body.decode("utf-8")))
-            case, arch, key = self._identify(request)
+            case, arch, key = identify_request(request)
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             return 400, error_payload(400, f"request is not JSON: {exc}"), None
         except ServeError as exc:
@@ -510,37 +448,6 @@ class OptimizeServer:
             elapsed_ms=round(elapsed_ms, 3),
         )
         return status, error_payload(status, message), None
-
-    def _identify(self, request: ServeRequest):
-        """Build the benchmark case and its coalescing identity."""
-        from repro.serve.schema import coalesce_key
-
-        name = request.benchmark
-        try:
-            if name in SUITE:
-                case = make_benchmark(name, **size_for(name, small=request.fast))
-            elif name in EXTRAS:
-                case = make_extra(name)
-            else:
-                raise ServeError(
-                    f"unknown benchmark {name!r}; known: "
-                    f"{sorted(SUITE) + sorted(EXTRAS)}"
-                )
-        except (KeyError, ValueError) as exc:
-            raise ServeError(f"cannot build benchmark {name!r}: {exc}") from None
-        try:
-            arch = platform_by_name(request.platform)
-        except KeyError:
-            raise ServeError(
-                f"unknown platform {request.platform!r}; see "
-                f"`python -m repro list`"
-            ) from None
-        key = coalesce_key(
-            [func_fingerprint(stage) for stage in case.pipeline],
-            arch.fingerprint(),
-            request.options,
-        )
-        return case, arch, key
 
     # -- dispatch ------------------------------------------------------
 
@@ -666,11 +573,3 @@ class OptimizeServer:
             elapsed_ms=(time.perf_counter() - started) * 1000.0,
             stage_sources=sources,
         )
-
-
-class _HttpViolation(Exception):
-    """A malformed request we can still answer politely."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status

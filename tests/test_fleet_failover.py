@@ -1,0 +1,170 @@
+"""Failover and self-healing: the fleet's promises under real faults.
+
+The headline test is satellite 4 of the fleet issue: SIGKILL a worker
+*while it is serving a request* and assert the caller still gets an
+answer — attributed ``served_by="failover"`` — that is bit-identical to
+what a single standalone server produces for the same request.  The
+quarantine test drives the supervisor's restart policy directly against
+a worker command that exits immediately (a crash loop no amount of
+respawning can fix).
+"""
+
+import json
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.fleet import (
+    STATE_QUARANTINED,
+    STATE_UP,
+    FleetSupervisor,
+    HashRing,
+)
+from repro.fleet.testing import FleetThread
+from repro.serve import ServeClient, ServerThread
+from repro.serve.identify import identify_request
+from repro.serve.schema import build_request, parse_request
+
+
+def serialized(result):
+    return json.dumps(result["schedules"], sort_keys=True)
+
+
+def home_shard_for(benchmark, platform, shards, **kwargs):
+    """The shard the router will pick — computed the way the router does."""
+    request = parse_request(build_request(benchmark, platform, **kwargs))
+    _case, _arch, key = identify_request(request)
+    ring = HashRing(shards)
+    return ring.route(key), ring.sibling(key)
+
+
+@pytest.mark.slow
+class TestSigkillMidRequest:
+    def test_failover_is_bit_identical_and_accounted(self, tmp_path):
+        # Reference answer from a plain standalone server.
+        with ServerThread(
+            cache_path=str(tmp_path / "ref-cache.jsonl")
+        ) as srv:
+            reference = ServeClient(port=srv.port).optimize(
+                "matmul", "i7-5930k", fast=True
+            )
+
+        home, sibling = home_shard_for(
+            "matmul", "i7-5930k", [0, 1], fast=True
+        )
+        assert home != sibling
+
+        # The home shard's *first job* stalls 2.5s — long enough to
+        # SIGKILL the worker while the request is provably in flight.
+        with FleetThread(
+            workers=2,
+            cache_path=str(tmp_path / "cache.jsonl"),
+            worker_env={home: {"REPRO_SERVE_FAULT": "slow:2.5:1"}},
+        ) as fleet:
+            outcome = {}
+
+            def submit():
+                outcome["result"] = ServeClient(
+                    port=fleet.port, timeout_s=60.0
+                ).optimize("matmul", "i7-5930k", fast=True)
+
+            caller = threading.Thread(target=submit)
+            caller.start()
+            time.sleep(0.8)  # request is now stalled inside the home shard
+            fleet.supervisor.kill_worker(home)
+            caller.join(timeout=60.0)
+            assert not caller.is_alive()
+
+            # The caller never saw the crash: one answer, attributed to
+            # the deterministic sibling, bit-identical to standalone.
+            result = outcome["result"]
+            assert result["served_by"] == "failover"
+            assert result["failover_from"] == home
+            assert result["shard"] == sibling
+            assert serialized(result) == serialized(reference)
+
+            # Metrics account for the hop.
+            counters = ServeClient(port=fleet.port).metrics()["counters"]
+            assert counters["failover"] == 1
+            assert counters["forward_retries"] >= 1
+            assert counters["responses_ok"] == 1
+
+            # And the supervisor heals the dead shard: respawned on the
+            # same port, back to "up" without operator intervention.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if fleet.supervisor.state_of(home) == STATE_UP:
+                    break
+                time.sleep(0.2)
+            assert fleet.supervisor.state_of(home) == STATE_UP
+            assert counters["worker_restarts"] >= 0  # snapshot was earlier
+            final = ServeClient(port=fleet.port).metrics()
+            assert final["counters"]["worker_restarts"] >= 1
+
+
+class TestFlapQuarantine:
+    def test_crash_loop_is_quarantined_not_respawned_forever(self):
+        # A worker whose process exits immediately can never pass the
+        # health gate, so this test drives the supervisor's restart
+        # policy directly rather than through start()'s readiness wait.
+        supervisor = FleetSupervisor(
+            workers=1,
+            worker_cmd=lambda shard, port: [
+                sys.executable,
+                "-c",
+                "import sys; sys.exit(1)",
+            ],
+            restart_backoff_base_s=0.0,
+            restart_backoff_cap_s=0.0,
+            flap_window_s=30.0,
+            flap_threshold=2,
+        )
+        worker = supervisor._workers[0]
+        supervisor._spawn(worker)
+        worker.proc.wait()
+
+        # Two restarts are within policy; the third strike quarantines.
+        for _ in range(3):
+            supervisor._note_down(worker, "exited")
+            supervisor._maybe_restart(worker)
+            if worker.proc is not None and worker.proc.poll() is None:
+                worker.proc.wait()
+
+        assert worker.state == STATE_QUARANTINED
+        assert worker.restarts == 2
+        counters = supervisor.metrics.counters()
+        assert counters["worker_restarts"] == 2
+        assert counters["workers_quarantined"] == 1
+
+        # Once quarantined, the supervisor never touches the shard again.
+        supervisor._maybe_restart(worker)
+        assert worker.state == STATE_QUARANTINED
+        assert supervisor.metrics.counters()["worker_restarts"] == 2
+
+    def test_restart_backoff_is_exponential_and_capped(self):
+        supervisor = FleetSupervisor(
+            workers=1,
+            worker_cmd=lambda shard, port: [
+                sys.executable,
+                "-c",
+                "import sys; sys.exit(1)",
+            ],
+            restart_backoff_base_s=0.25,
+            restart_backoff_cap_s=1.0,
+            flap_window_s=3600.0,  # every restart stays "recent"
+            flap_threshold=10,  # ...but none of them quarantines
+        )
+        worker = supervisor._workers[0]
+        delays = []
+        for _ in range(4):
+            supervisor._note_down(worker, "test")
+            worker.next_restart_at = 0.0  # skip the wait, keep the math
+            before = time.monotonic()
+            supervisor._maybe_restart(worker)
+            delays.append(worker.next_restart_at - before)
+            worker.proc.wait()
+        # min(cap, base * 2**(n-1)): 0.25, 0.5, then pinned at the cap.
+        for delay, expected in zip(delays, (0.25, 0.5, 1.0, 1.0)):
+            assert delay == pytest.approx(expected, abs=0.1)

@@ -1,0 +1,129 @@
+"""Unit tests for the fleet's consistent-hash ring and shard cache paths.
+
+All pure-function determinism — no sockets, no subprocesses.  The
+properties asserted here are the ones the router's correctness leans on:
+same placement on every construction, one deterministic failover
+sibling, bounded remap under resize, and reasonable balance.
+"""
+
+import pytest
+
+from repro.cache import shard_cache_path
+from repro.fleet import FleetMetrics, HashRing, validate_fleet_metrics
+
+
+def keys(n):
+    return [f"key-{i:04d}" for i in range(n)]
+
+
+class TestHashRing:
+    def test_route_is_deterministic_across_instances(self):
+        a, b = HashRing([0, 1, 2]), HashRing([0, 1, 2])
+        for key in keys(200):
+            assert a.route(key) == b.route(key)
+
+    def test_shard_order_does_not_matter(self):
+        a, b = HashRing([2, 0, 1]), HashRing([0, 1, 2])
+        for key in keys(100):
+            assert a.route(key) == b.route(key)
+
+    def test_successors_are_distinct_and_complete(self):
+        ring = HashRing([0, 1, 2, 3])
+        for key in keys(50):
+            order = ring.successors(key)
+            assert sorted(order) == [0, 1, 2, 3]
+            assert order[0] == ring.route(key)
+
+    def test_successors_limit_truncates(self):
+        ring = HashRing([0, 1, 2, 3])
+        assert len(ring.successors("k", limit=2)) == 2
+        assert ring.successors("k", limit=99) == ring.successors("k")
+
+    def test_sibling_is_deterministic_and_distinct(self):
+        ring = HashRing([0, 1, 2])
+        for key in keys(100):
+            sibling = ring.sibling(key)
+            assert sibling == ring.sibling(key)
+            assert sibling != ring.route(key)
+
+    def test_single_shard_sibling_is_itself(self):
+        ring = HashRing([0])
+        assert ring.route("k") == 0
+        assert ring.sibling("k") == 0
+
+    def test_balance_is_reasonable(self):
+        # 64 vnodes/shard will not be perfect, but no shard should own
+        # less than half or more than double its fair share.
+        ring = HashRing([0, 1, 2, 3])
+        share = ring.keyspace_share(keys(2000))
+        assert sum(share.values()) == 2000
+        for shard, owned in share.items():
+            assert 250 <= owned <= 1000, (shard, owned)
+
+    def test_resize_remaps_boundedly(self):
+        # Going 3 -> 4 shards should move roughly 1/4 of the keyspace,
+        # not reshuffle everything (the property modulo hashing lacks).
+        small, large = HashRing([0, 1, 2]), HashRing([0, 1, 2, 3])
+        sample = keys(1000)
+        moved = sum(
+            1 for key in sample if small.route(key) != large.route(key)
+        )
+        assert 0 < moved < 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            HashRing([])
+        with pytest.raises(ValueError, match="duplicate"):
+            HashRing([0, 0, 1])
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing([0, 1], replicas=0)
+
+
+class TestShardCachePath:
+    def test_suffix_is_inserted_before_extension(self):
+        assert shard_cache_path("cache.jsonl", 2) == "cache-shard2.jsonl"
+        assert (
+            shard_cache_path("/x/y/cache.jsonl", 0) == "/x/y/cache-shard0.jsonl"
+        )
+
+    def test_extensionless_path_gains_jsonl(self):
+        assert shard_cache_path("cache", 1) == "cache-shard1.jsonl"
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(ValueError, match="shard"):
+            shard_cache_path("cache.jsonl", -1)
+
+    def test_shards_never_collide(self):
+        paths = {shard_cache_path("cache.jsonl", s) for s in range(8)}
+        assert len(paths) == 8
+
+
+class TestFleetMetrics:
+    def test_snapshot_passes_its_own_validator(self):
+        metrics = FleetMetrics()
+        metrics.bump("requests_total")
+        metrics.bump("failover", 2)
+        metrics.observe_latency(12.5)
+        snapshot = metrics.snapshot(
+            workers=[
+                {"shard": 0, "port": 1234, "state": "up", "restarts": 0},
+                {"shard": 1, "port": 1235, "state": "down", "restarts": 3},
+            ]
+        )
+        assert validate_fleet_metrics(snapshot) == []
+        assert snapshot["counters"]["failover"] == 2
+        assert snapshot["latency_ms"]["count"] == 1
+
+    def test_unknown_counter_is_loud(self):
+        with pytest.raises(KeyError, match="unknown fleet counter"):
+            FleetMetrics().bump("nope")
+
+    def test_validator_catches_problems(self):
+        snapshot = FleetMetrics().snapshot(workers=[])
+        snapshot["counters"]["failover"] = -1
+        snapshot["workers"] = [{"shard": "zero"}]
+        problems = validate_fleet_metrics(snapshot)
+        assert any("failover" in p for p in problems)
+        assert any("workers[0]" in p for p in problems)
+        assert validate_fleet_metrics("nope") != []
+        assert validate_fleet_metrics({"format": "wrong"}) != []

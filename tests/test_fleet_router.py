@@ -1,0 +1,148 @@
+"""Behavioral tests for the fleet router (real workers, real sockets).
+
+Each test boots a real fleet through
+:class:`repro.fleet.testing.FleetThread` — worker subprocesses under the
+supervisor, the router on a daemon thread — and drives it with the same
+:class:`repro.serve.ServeClient` production traffic uses.  Subprocess
+boots are expensive on a small machine, so each test packs several
+assertions into one fleet lifetime.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.fleet import FLEET_FORMAT, validate_fleet_metrics
+from repro.fleet.testing import FleetThread
+from repro.serve import ServeClient
+
+pytestmark = pytest.mark.slow
+
+
+def serialized(result):
+    return json.dumps(result["schedules"], sort_keys=True)
+
+
+def make_fleet(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("cache_path", str(tmp_path / "cache.jsonl"))
+    kwargs.setdefault("queue_limit", 8)
+    return FleetThread(**kwargs)
+
+
+class TestRoutingAndOperability:
+    def test_stickiness_warm_cache_and_surfaces(self, tmp_path):
+        with make_fleet(tmp_path) as fleet:
+            client = ServeClient(port=fleet.port)
+
+            # Same identity -> same shard, and the second hit is warm.
+            first = client.optimize("matmul", "i7-5930k", fast=True)
+            second = client.optimize("matmul", "i7-5930k", fast=True)
+            assert first["served_by"] == "search"
+            assert second["served_by"] == "cache"
+            assert first["shard"] == second["shard"]
+            assert serialized(first) == serialized(second)
+
+            # Router healthz: all shards up.
+            health = client.healthz()
+            assert health["format"] == FLEET_FORMAT
+            assert health["status"] == "ok"
+            assert health["workers_up"] == 2
+
+            # /fleet/status: topology + per-shard state.
+            status, body = client.get("/fleet/status")
+            assert status == 200
+            assert body["format"] == FLEET_FORMAT
+            assert body["ring"]["shards"] == [0, 1]
+            assert [w["state"] for w in body["workers"]] == ["up", "up"]
+
+            # /metrics: the fleet schema holds and counted our traffic.
+            snapshot = client.metrics()
+            assert validate_fleet_metrics(snapshot) == []
+            assert snapshot["counters"]["requests_total"] == 2
+            assert snapshot["counters"]["responses_ok"] == 2
+            assert snapshot["counters"]["failover"] == 0
+
+            # Unknown path and wrong method answer politely.
+            assert client.get("/nope")[0] == 404
+            assert client.post("/healthz")[0] == 405
+
+            # Bad requests come back 400 with the worker's friendly
+            # message relayed verbatim through the proxy leg.
+            status, body = client.post(
+                "/v1/optimize",
+                {"format": "repro-serve-v1", "benchmark": 7, "platform": "x"},
+            )
+            assert status == 400
+            assert "benchmark" in body["error"]
+
+    def test_per_shard_caches_do_not_collide(self, tmp_path):
+        # Distinct identities spread over shards; each shard's cache file
+        # carries only its own keyspace.
+        with make_fleet(tmp_path) as fleet:
+            client = ServeClient(port=fleet.port)
+            shards = {
+                client.optimize("matmul", "i7-5930k", fast=True)["shard"],
+                client.optimize("syrk", "i7-5930k", fast=True)["shard"],
+                client.optimize("copy", "i7-5930k", fast=True)["shard"],
+                client.optimize(
+                    "matmul", "i7-5930k", fast=True, use_nti=False
+                )["shard"],
+            }
+        caches = list(tmp_path.glob("cache-shard*.jsonl"))
+        assert caches, "no per-shard cache files were written"
+        assert len(caches) == len(shards)
+
+
+class TestRollingRestart:
+    def test_zero_loss_roll_under_traffic(self, tmp_path):
+        with make_fleet(tmp_path) as fleet:
+            client = ServeClient(port=fleet.port)
+            # Warm both the hot identity and a second one first.
+            warm = client.optimize("matmul", "i7-5930k", fast=True)
+            client.optimize("copy", "i7-5930k", fast=True)
+
+            results = []
+            errors = []
+
+            def pound():
+                c = ServeClient(port=fleet.port, retries=6, backoff_seed=1)
+                for _ in range(4):
+                    try:
+                        results.append(
+                            c.optimize("matmul", "i7-5930k", fast=True)
+                        )
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        errors.append(exc)
+
+            pounder = threading.Thread(target=pound)
+            pounder.start()
+            status, body = ServeClient(port=fleet.port, timeout_s=120.0).post(
+                "/fleet/restart"
+            )
+            pounder.join(timeout=120.0)
+
+            assert status == 200
+            assert body["rolled"] == 2
+            assert errors == []
+            assert len(results) == 4
+            # Every response, including any that crossed shards mid-roll,
+            # is bit-identical to the pre-roll answer.
+            for result in results:
+                assert serialized(result) == serialized(warm)
+
+            # The roll is visible in metrics, every shard is back up, and
+            # the per-shard cache survived the restart (a fresh request
+            # on the home shard is served warm, not re-searched).
+            snapshot = client.metrics()
+            assert snapshot["counters"]["rolls"] == 1
+            # A roll is planned maintenance: it bumps each worker's own
+            # restart count but NOT the unplanned-healing counter that
+            # operators alert on.
+            assert snapshot["counters"]["worker_restarts"] == 0
+            assert all(w["restarts"] == 1 for w in snapshot["workers"])
+            assert all(w["state"] == "up" for w in snapshot["workers"])
+            again = client.optimize("matmul", "i7-5930k", fast=True)
+            assert again["served_by"] == "cache"
+            assert serialized(again) == serialized(warm)

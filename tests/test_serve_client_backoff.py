@@ -1,0 +1,126 @@
+"""The client's deterministic retry backoff (cap, jitter, Retry-After).
+
+The schedule contract: retry *k* sleeps ``min(cap, base * 2**(k-1))``
+scaled by a jitter factor in ``[1, 1.5]`` derived only from
+``backoff_seed`` and ``k`` — bit-reproducible per client, uncorrelated
+across seeds — and a server-provided ``Retry-After`` acts as a floor,
+never ignored.  The integration half runs a one-socket fake server that
+sheds once with ``Retry-After: 2`` and then answers, asserting the
+client actually slept at least the floor.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve import ServeClient
+
+
+class TestBackoffSchedule:
+    def test_deterministic_per_seed(self):
+        a = ServeClient(port=1, backoff_seed=7)
+        b = ServeClient(port=2, backoff_seed=7)
+        assert [a.backoff_s(k) for k in range(1, 6)] == [
+            b.backoff_s(k) for k in range(1, 6)
+        ]
+
+    def test_distinct_seeds_decorrelate(self):
+        a = ServeClient(port=1, backoff_seed=1)
+        b = ServeClient(port=1, backoff_seed=2)
+        schedule_a = [a.backoff_s(k) for k in range(1, 6)]
+        schedule_b = [b.backoff_s(k) for k in range(1, 6)]
+        assert schedule_a != schedule_b
+
+    def test_exponential_growth_capped(self):
+        client = ServeClient(
+            port=1, backoff_base_s=0.1, backoff_cap_s=1.0, backoff_seed=0
+        )
+        for attempt in range(1, 20):
+            delay = client.backoff_s(attempt)
+            base = min(1.0, 0.1 * 2.0 ** (attempt - 1))
+            assert base <= delay <= base * 1.5
+        # Far down the schedule the cap (times max jitter) bounds it.
+        assert client.backoff_s(50) <= 1.5
+
+    def test_retry_after_is_a_floor_not_a_suggestion(self):
+        client = ServeClient(port=1, backoff_base_s=0.01, backoff_cap_s=0.1)
+        assert client.backoff_s(1, floor=10.0) == 10.0
+        # ...but a small floor never *shortens* the computed delay.
+        assert client.backoff_s(4, floor=0.0) == client.backoff_s(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="1-based"):
+            ServeClient(port=1).backoff_s(0)
+        with pytest.raises(ValueError, match="backoff"):
+            ServeClient(port=1, backoff_base_s=-1.0)
+
+
+def _fake_server(responses):
+    """A one-thread server answering each connection with the next canned
+    response; returns (port, thread, served_list)."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(4)
+    port = listener.getsockname()[1]
+    served = []
+
+    def run():
+        for raw in responses:
+            conn, _ = listener.accept()
+            conn.settimeout(5.0)
+            try:
+                chunk = conn.recv(65536)  # one small request: one read
+                served.append(chunk)
+                conn.sendall(raw)
+            finally:
+                conn.close()
+        listener.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return port, thread, served
+
+
+def _http(status, reason, body, extra_headers=""):
+    payload = json.dumps(body).encode()
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"{extra_headers}"
+        f"Connection: close\r\n\r\n"
+    ).encode() + payload
+
+
+class TestRetryAfterIntegration:
+    def test_shed_then_success_sleeps_at_least_the_floor(self, monkeypatch):
+        shed = _http(
+            503,
+            "Service Unavailable",
+            {
+                "format": "repro-serve-v1",
+                "kind": "error",
+                "status": 503,
+                "error": "draining",
+                "retry_after_s": 2.0,
+            },
+            extra_headers="Retry-After: 2\r\n",
+        )
+        ok = _http(200, "OK", {"format": "repro-serve-v1", "served_by": "cache"})
+        port, thread, served = _fake_server([shed, ok])
+
+        slept = []
+        monkeypatch.setattr(time, "sleep", lambda s: slept.append(s))
+        client = ServeClient(
+            port=port, retries=2, backoff_base_s=0.01, backoff_seed=3
+        )
+        result = client.optimize("matmul", "i7-5930k", fast=True)
+        thread.join(timeout=5.0)
+
+        assert result["served_by"] == "cache"
+        assert len(served) == 2  # one shed, one retry
+        assert slept == [client.backoff_s(1, floor=2.0)]
+        assert slept[0] >= 2.0

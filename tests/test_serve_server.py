@@ -15,7 +15,12 @@ import pytest
 
 from repro.obs import CollectingTracer
 from repro.robust import crash_job, parse_serve_fault, slow_job
-from repro.serve import ServeClient, ServerThread, validate_metrics
+from repro.serve import (
+    ServeClient,
+    ServerThread,
+    validate_healthz,
+    validate_metrics,
+)
 from repro.util import ServeError, ServeOverloaded
 
 def serialized(result):
@@ -62,6 +67,25 @@ class TestBasicServing:
                 "POST", "/healthz", {"x": 1}
             )
             assert status == 405
+
+    def test_healthz_is_enriched_and_schema_valid(self, tmp_path):
+        with make_server(tmp_path) as srv:
+            client = ServeClient(port=srv.port)
+            body = client.healthz()
+            assert validate_healthz(body) == []
+            assert body["draining"] is False
+            assert body["queue"] == {"depth": 0, "limit": 8}
+            assert body["in_flight"] == 0
+            assert body["admitted"] == 0
+            client.optimize("copy", "i7-5930k", fast=True)
+            status, after = client.probe()
+            assert status == 200
+            assert validate_healthz(after) == []
+            assert after["admitted"] == 1
+        # With the server gone, probe degrades to the socket error a
+        # supervisor counts as a failed probe.
+        with pytest.raises(ConnectionError):
+            client.probe()
 
     def test_bad_request_is_400_with_friendly_error(self, tmp_path):
         with make_server(tmp_path) as srv:
