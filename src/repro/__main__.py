@@ -396,9 +396,50 @@ def cmd_fleet(args) -> int:
             print(
                 f"  shard {worker['shard']}: {worker['state']:11s} "
                 f"port={worker['port']} restarts={worker['restarts']} "
-                f"pid={worker['pid']}"
+                f"pid={worker['pid']} breaker={worker.get('breaker', 'closed')}"
             )
-        degraded = any(w.get("state") != "up" for w in workers)
+        # Quarantined shards are a different incident class from down
+        # ones: the supervisor restarts down shards on its own, but a
+        # flap-quarantined shard stays out until an operator rolls the
+        # fleet — list them separately so the distinction is loud.
+        quarantined = [w for w in workers if w.get("state") == "quarantined"]
+        down = [
+            w for w in workers if w.get("state") not in ("up", "quarantined")
+        ]
+        if quarantined:
+            print(
+                "quarantined shards (flapping; excluded from restarts — "
+                "run `repro fleet restart` once the cause is fixed):"
+            )
+            for worker in quarantined:
+                print(
+                    f"  shard {worker['shard']}: "
+                    f"restarts={worker['restarts']}"
+                )
+        if down:
+            print("down shards (the supervisor is restarting them):")
+            for worker in down:
+                print(f"  shard {worker['shard']}: {worker['state']}")
+        cache = body.get("cache")
+        cache_bad = False
+        if cache is not None:
+            corrupt = sum(
+                shard.get("corrupt_lines", 0)
+                for shard in cache.get("shards", {}).values()
+            )
+            if cache.get("consistent") and not corrupt:
+                print(
+                    f"cache: consistent across shards "
+                    f"({cache.get('shared_keys', 0)} shared key(s))"
+                )
+            else:
+                cache_bad = True
+                print(
+                    f"cache: INCONSISTENT — mismatched keys: "
+                    f"{cache.get('mismatched_keys', [])}, corrupt lines "
+                    f"on disk: {corrupt}"
+                )
+        degraded = any(w.get("state") != "up" for w in workers) or cache_bad
         return EXIT_FALLBACK if degraded else EXIT_OK
 
     if args.action == "restart":
@@ -452,6 +493,86 @@ def cmd_fleet(args) -> int:
     except OSError as exc:
         supervisor.stop()
         return _report_bind_error(args.host, args.port, exc, what="fleet")
+
+
+def cmd_chaos(args) -> int:
+    """Run a seeded chaos scenario against a live in-process fleet."""
+    import json as _json
+
+    from repro.chaos import SCENARIOS, run_scenario, scenario_names
+    from repro.obs import current_tracer
+
+    if args.action == "list":
+        for name in scenario_names():
+            print(f"{name:26s} {SCENARIOS[name].description}")
+        return EXIT_OK
+
+    if not args.scenario:
+        print(
+            "error: chaos run needs --scenario (see `repro chaos list`)",
+            file=sys.stderr,
+        )
+        return 2
+
+    def one_run():
+        return run_scenario(
+            args.scenario,
+            seed=args.seed,
+            requests=args.requests,
+            tracer=current_tracer(),
+        )
+
+    try:
+        result = one_run()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    mismatch = False
+    if args.check:
+        # The harness's own reproducibility is part of the contract:
+        # the same (scenario, seed) must produce a bit-identical
+        # invariant report.
+        repeat = one_run()
+        mismatch = _json.dumps(result.report, sort_keys=True) != _json.dumps(
+            repeat.report, sort_keys=True
+        )
+
+    if args.json:
+        document = {"report": result.report,
+                    "observations": result.observations}
+        if args.check:
+            document["check"] = "mismatch" if mismatch else "identical"
+        print(_json.dumps(document, indent=2, sort_keys=True))
+    else:
+        report = result.report
+        print(
+            f"chaos {report['scenario']} seed={report['seed']} "
+            f"({report['requests']} requests, {report['workers']} workers)"
+        )
+        for invariant in report["invariants"]:
+            mark = "ok " if invariant["ok"] else "FAIL"
+            print(f"  [{mark}] {invariant['name']}: {invariant['detail']}")
+        tally = result.observations.get("outcomes", {})
+        print(
+            f"  outcomes: {tally.get('ok', 0)} ok, "
+            f"{tally.get('shed', 0)} shed, {tally.get('failed', 0)} failed; "
+            f"{result.observations.get('failover_served', 0)} served by "
+            f"failover"
+        )
+        if args.check:
+            print(
+                "  determinism: reports "
+                + ("DIVERGED across repeat runs" if mismatch
+                   else "bit-identical across repeat runs")
+            )
+    if mismatch:
+        print(
+            "error: same seed produced different invariant reports",
+            file=sys.stderr,
+        )
+        return EXIT_HARD
+    return EXIT_OK if result.ok else EXIT_HARD
 
 
 def cmd_loadgen(args) -> int:
@@ -727,6 +848,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a repro-trace-v1 JSONL event log "
                               "(fleet.* lifecycle events)")
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos harness: drive a live fleet through scripted "
+             "faults and assert global invariants",
+    )
+    p_chaos.add_argument("action", nargs="?", default="run",
+                         choices=("run", "list"),
+                         help="run: execute one scenario; list: show the "
+                              "scenario catalog")
+    p_chaos.add_argument("--scenario", default=None, metavar="NAME",
+                         help="scenario to run (see `repro chaos list`)")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="fault/mix/backoff seed; same seed, same "
+                              "invariant report (default: 0)")
+    p_chaos.add_argument("--requests", type=int, default=None, metavar="N",
+                         help="override the scenario's request count")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="print the report + observations as JSON")
+    p_chaos.add_argument("--check", action="store_true",
+                         help="run the scenario twice and require "
+                              "bit-identical invariant reports; exit 4 "
+                              "on divergence or any failed invariant")
+
     p_load = sub.add_parser(
         "loadgen",
         help="drive a seeded open-loop load against a server or fleet; "
@@ -812,6 +956,7 @@ def main(argv=None) -> int:
         "serve": cmd_serve,
         "submit": cmd_submit,
         "fleet": cmd_fleet,
+        "chaos": cmd_chaos,
         "loadgen": cmd_loadgen,
     }[args.command]
     try:

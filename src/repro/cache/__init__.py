@@ -25,6 +25,7 @@ from repro.cache.store import (
     CacheStats,
     ScheduleCache,
     cache_key,
+    check_shard_caches,
     shard_cache_path,
 )
 
@@ -33,6 +34,7 @@ __all__ = [
     "CacheStats",
     "ScheduleCache",
     "cache_key",
+    "check_shard_caches",
     "func_fingerprint",
     "optimize_options",
     "options_fingerprint",

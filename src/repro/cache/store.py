@@ -19,6 +19,17 @@ never the cache.  The last record per key wins, so re-caching a key
 simply appends a superseding line; :meth:`ScheduleCache.compact` drops
 superseded lines via an atomic rewrite.
 
+Corruption is *counted and healed*, never silently absorbed: every
+skipped line bumps ``stats.corrupt_lines_skipped`` (surfaced through the
+serve layer's ``/metrics`` cache block), :meth:`ScheduleCache.compact`
+preserves the damaged raw lines in a ``<path>.quarantine`` sidecar
+before rewriting the store clean (one structured ``cache.corrupt`` trace
+event per compact that found any), and :meth:`ScheduleCache.heal` is the
+detect-quarantine-repair loop the serve layer runs at startup.  For a
+sharded fleet, :func:`check_shard_caches` cross-checks that any key
+present in several shard stores (failover writes) carries bit-identical
+schedules everywhere — the ``fleet status`` consistency report.
+
 Hits are *replayed*, not trusted: :meth:`ScheduleCache.get` re-applies
 the stored directives to the caller's Func through
 :func:`repro.ir.serialize.schedule_from_dict`, so a stale entry whose
@@ -36,7 +47,7 @@ import tempfile
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 try:  # advisory inter-process locking; unix-only, gracefully absent
     import fcntl
@@ -58,6 +69,7 @@ __all__ = [
     "CacheStats",
     "ScheduleCache",
     "cache_key",
+    "check_shard_caches",
     "shard_cache_path",
 ]
 
@@ -123,12 +135,20 @@ def shard_cache_path(base_path: str, shard: int) -> str:
 
 @dataclass
 class CacheStats:
-    """Cumulative counters for one :class:`ScheduleCache` instance."""
+    """Cumulative counters for one :class:`ScheduleCache` instance.
+
+    ``corrupt_lines_skipped`` counts every damaged line a load refused
+    to ingest (unparsable JSON, checksum mismatch, malformed record);
+    ``quarantined_lines`` counts how many of those :meth:`compact`
+    preserved in the ``.quarantine`` sidecar before repairing the store.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     replay_failures: int = 0
+    corrupt_lines_skipped: int = 0
+    quarantined_lines: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -136,6 +156,8 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "replay_failures": self.replay_failures,
+            "corrupt_lines_skipped": self.corrupt_lines_skipped,
+            "quarantined_lines": self.quarantined_lines,
         }
 
 
@@ -153,13 +175,22 @@ class ScheduleCache:
     shared lock appends hold, so rewrites never drop concurrent appends.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, *, tracer=None) -> None:
         self.path = str(path)
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._records: Optional[Dict[str, Dict]] = None
         #: Human-readable notes about skipped lines from the last load.
         self.load_diagnostics: List[str] = []
+        #: Raw damaged lines from the last load, kept verbatim so
+        #: :meth:`compact` can quarantine them before the rewrite
+        #: destroys the evidence.
+        self._corrupt_raw: List[str] = []
+        if tracer is None:
+            from repro.obs import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
 
     # -- key construction ---------------------------------------------
 
@@ -169,9 +200,17 @@ class ScheduleCache:
 
     # -- reading -------------------------------------------------------
 
-    def load(self) -> Dict[str, Dict]:
-        """Parse the backing file; last valid record per key wins."""
+    def load(self, *, count_corrupt: bool = True) -> Dict[str, Dict]:
+        """Parse the backing file; last valid record per key wins.
+
+        Damaged lines are skipped (and kept verbatim for
+        :meth:`compact`'s quarantine); each skip bumps
+        ``stats.corrupt_lines_skipped`` unless ``count_corrupt`` is
+        false — :meth:`compact`'s internal re-read passes false so one
+        corrupt line is never counted twice by the heal cycle.
+        """
         self.load_diagnostics = []
+        self._corrupt_raw = []
         records: Dict[str, Dict] = {}
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
@@ -185,6 +224,9 @@ class ScheduleCache:
             note = self._ingest(line, lineno, records)
             if note is not None:
                 self.load_diagnostics.append(note)
+                self._corrupt_raw.append(line)
+                if count_corrupt:
+                    self.stats.corrupt_lines_skipped += 1
         return records
 
     def _ingest(
@@ -305,6 +347,13 @@ class ScheduleCache:
         + fsync + rename, as in :meth:`repro.sweep.Journal.rewrite`);
         returns the surviving record count.
 
+        Corrupt lines are not simply dropped: their raw bytes are
+        appended to the ``<path>.quarantine`` sidecar first (fsync'd,
+        counted in ``stats.quarantined_lines``) and one structured
+        ``cache.corrupt`` trace event is emitted per compact that found
+        any — so a flipped bit leaves an audit trail instead of
+        vanishing in the rewrite.
+
         Holds the *exclusive* advisory lock for the whole
         read-then-replace, so records appended by other processes midway
         cannot be lost to the rewrite — appenders (shared lock) simply
@@ -312,8 +361,14 @@ class ScheduleCache:
         """
         with self._lock:
             with _advisory_lock(self.path, exclusive=True):
+                # Re-read under the lock (other processes may have
+                # appended); the re-read must not double-count lines the
+                # first load already reported.
                 self._records = None
-                records = self._loaded()
+                records = self.load(count_corrupt=False)
+                self._records = records
+                if self._corrupt_raw:
+                    self._quarantine(self._corrupt_raw)
                 directory = os.path.dirname(os.path.abspath(self.path)) or "."
                 fd, tmp_path = tempfile.mkstemp(
                     prefix=".schedule-cache-", suffix=".tmp", dir=directory
@@ -333,6 +388,46 @@ class ScheduleCache:
                     raise
                 return len(records)
 
+    def _quarantine(self, lines: List[str]) -> None:
+        """Preserve damaged raw lines in the sidecar; called from
+        :meth:`compact` with both locks held."""
+        quarantine_path = self.path + ".quarantine"
+        fd = os.open(
+            quarantine_path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            os.write(
+                fd, ("\n".join(lines) + "\n").encode("utf-8", "replace")
+            )
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        self.stats.quarantined_lines += len(lines)
+        from repro.obs.events import EVENT_CACHE_CORRUPT
+
+        self.tracer.event(
+            EVENT_CACHE_CORRUPT,
+            path=self.path,
+            lines=len(lines),
+            quarantine=quarantine_path,
+        )
+
+    def heal(self) -> int:
+        """Detect, quarantine, and repair corrupt lines; returns how many.
+
+        The self-healing loop the serve layer runs at startup: load the
+        store (counting damage), and — only when damage was found —
+        compact it, which preserves the damaged lines in the
+        ``.quarantine`` sidecar and rewrites the store clean.  A healthy
+        store is left untouched (no rewrite churn).
+        """
+        with self._lock:
+            self._records = self.load()
+            corrupt = len(self._corrupt_raw)
+        if corrupt:
+            self.compact()
+        return corrupt
+
     def clear(self) -> None:
         """Remove the backing file (and lock sidecar); forget the map."""
         with self._lock:
@@ -342,3 +437,58 @@ class ScheduleCache:
                     os.unlink(path)
                 except FileNotFoundError:
                     pass
+
+
+def check_shard_caches(base_path: str, shards: Sequence[int]) -> Dict:
+    """Cross-shard consistency report over a fleet's per-shard stores.
+
+    The consistent-hash router keeps each key home on one shard, but a
+    failover leg legitimately writes the same key into the successor's
+    store — and because the whole pipeline is deterministic, those twin
+    entries must carry *bit-identical* canonical schedule JSON.  Any key
+    present in several shard files whose schedules differ means the
+    determinism contract broke somewhere (a corrupt line that still
+    checksums, divergent search inputs, a bad failover), which is worth
+    failing ``fleet status`` over.
+
+    Returns a JSON-shaped report::
+
+        {"shards": {"0": {"path": ..., "entries": N,
+                          "corrupt_lines": M}, ...},
+         "shared_keys": K, "mismatched_keys": ["<key>", ...],
+         "consistent": bool}
+
+    Each shard file is loaded fresh (read-only; no instance reuse), so
+    the check sees exactly what is on disk right now.
+    """
+    per_shard: Dict[str, Dict] = {}
+    schedules_by_key: Dict[str, Dict[str, str]] = {}
+    for shard in shards:
+        path = shard_cache_path(base_path, shard)
+        store = ScheduleCache(path)
+        records = store.load()
+        per_shard[str(shard)] = {
+            "path": path,
+            "entries": len(records),
+            "corrupt_lines": len(store._corrupt_raw),
+        }
+        for key, payload in records.items():
+            schedules_by_key.setdefault(key, {})[str(shard)] = _canonical(
+                payload.get("schedule", {})
+            )
+    shared = {
+        key: by_shard
+        for key, by_shard in schedules_by_key.items()
+        if len(by_shard) > 1
+    }
+    mismatched = sorted(
+        key
+        for key, by_shard in shared.items()
+        if len(set(by_shard.values())) > 1
+    )
+    return {
+        "shards": per_shard,
+        "shared_keys": len(shared),
+        "mismatched_keys": mismatched,
+        "consistent": not mismatched,
+    }

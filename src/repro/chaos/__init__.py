@@ -1,0 +1,55 @@
+"""Deterministic chaos harness for the serve fleet.
+
+``repro.chaos`` drives a *live* fleet — real worker subprocesses, the
+real supervisor probe gate, the real router with its circuit breakers —
+through seeded, scripted multi-fault scenarios (worker SIGKILL
+mid-request, hung workers, slow shards, a rolling restart racing a
+kill, corrupted cache files under load, admission 429 storms) and
+asserts global invariants after every run: no admitted request lost,
+every completed answer bit-identical to a standalone server's, retry
+traffic bounded by the clients' budgets, router counters conserved, and
+shard caches healed and mutually consistent.
+
+Everything a scenario does derives from ``(scenario name, seed)``:
+request mix, fault targets, client backoff jitter.  The invariant
+report (``repro-chaos-report-v1``) carries only seed-deterministic
+fields, so ``repro chaos run --seed S --scenario X --check`` can run a
+scenario twice and require the two reports to be bit-identical — the
+harness's own reproducibility is itself under test.
+
+Entry points: ``repro chaos list`` / ``repro chaos run`` (CLI) and
+:func:`run_scenario` (library/tests).
+"""
+
+from repro.chaos.engine import ChaosResult, run_scenario
+from repro.chaos.invariants import (
+    CHAOS_REPORT_FORMAT,
+    Invariant,
+    build_report,
+    evaluate_invariants,
+)
+from repro.chaos.plan import (
+    ChaosAction,
+    ChaosPlan,
+    ChaosScenario,
+    SCENARIOS,
+    build_plan,
+    get_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "CHAOS_REPORT_FORMAT",
+    "ChaosAction",
+    "ChaosPlan",
+    "ChaosResult",
+    "ChaosScenario",
+    "Invariant",
+    "SCENARIOS",
+    "build_plan",
+    "build_report",
+    "evaluate_invariants",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,288 @@
+"""Global invariants asserted after every chaos run.
+
+An invariant is a *cross-cutting* property that must hold no matter
+which faults fired or in what interleaving: no admitted request is
+lost, every completed answer is bit-identical to a standalone server's,
+retry traffic is bounded by the clients' stated budgets, the router's
+counters conserve (every admitted request is accounted as exactly one
+response), shed requests carry well-formed retry hints, and the shard
+caches end the run mutually consistent and fully healed.
+
+The report built from these checks (``repro-chaos-report-v1``) contains
+only seed-deterministic fields — names, booleans, and constant detail
+strings on success — so two runs of the same ``(scenario, seed)`` can
+be compared bit-for-bit (``repro chaos run --check``).  Timing-flavored
+numbers (counters, failover tallies, shed counts) live in the separate
+*observations* section, which the determinism check ignores.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache import check_shard_caches, shard_cache_path
+from repro.chaos.plan import ACTION_CORRUPT_CACHE, ChaosPlan
+
+__all__ = [
+    "CHAOS_REPORT_FORMAT",
+    "Invariant",
+    "build_report",
+    "evaluate_invariants",
+]
+
+#: Schema tag of the deterministic invariant report.
+CHAOS_REPORT_FORMAT = "repro-chaos-report-v1"
+
+#: Outcome states the engine records per planned request.
+OUTCOME_OK = "ok"
+OUTCOME_SHED = "shed"
+OUTCOME_FAILED = "failed"
+
+
+@dataclass
+class Invariant:
+    """One named check: ``ok`` plus a human-readable ``detail``.
+
+    On success ``detail`` is a constant string (never interpolates a
+    timing-dependent number) so it is safe to compare across runs; on
+    failure it says what went wrong as precisely as possible — a failed
+    run exits nonzero, so its report never reaches the bit-compare.
+    """
+
+    name: str
+    ok: bool
+    detail: str
+
+    def to_dict(self) -> Dict:
+        return {"name": self.name, "ok": self.ok, "detail": self.detail}
+
+
+def _check_no_lost_requests(plan: ChaosPlan, outcomes: List[Dict]) -> Invariant:
+    name = "no_lost_requests"
+    planned = {request.index for request in plan.requests}
+    seen = [outcome["index"] for outcome in outcomes]
+    missing = sorted(planned - set(seen))
+    if missing or len(seen) != len(set(seen)):
+        return Invariant(
+            name, False,
+            f"missing outcomes for request indices {missing}; "
+            f"{len(seen) - len(set(seen))} duplicate outcome(s)",
+        )
+    bad = [o["index"] for o in outcomes
+           if o["status"] not in (OUTCOME_OK, OUTCOME_SHED, OUTCOME_FAILED)]
+    if bad:
+        return Invariant(name, False, f"unknown outcome status at {bad}")
+    if plan.scenario.require_all_ok:
+        not_ok = sorted(
+            (o["index"], o["status"], o.get("error", ""))
+            for o in outcomes if o["status"] != OUTCOME_OK
+        )
+        if not_ok:
+            return Invariant(
+                name, False,
+                f"scenario requires every request to succeed; failures: "
+                f"{not_ok}",
+            )
+        return Invariant(
+            name, True, "every planned request completed successfully"
+        )
+    failed = [o for o in outcomes if o["status"] == OUTCOME_FAILED]
+    if failed:
+        return Invariant(
+            name, False,
+            "requests neither answered nor shed: "
+            f"{sorted((o['index'], o.get('error', '')) for o in failed)}",
+        )
+    return Invariant(
+        name, True, "every planned request was answered or loudly shed"
+    )
+
+
+def _check_bit_identical(
+    plan: ChaosPlan, outcomes: List[Dict], reference: Dict[str, str]
+) -> Invariant:
+    name = "bit_identical_results"
+    mismatched = []
+    for outcome in outcomes:
+        if outcome["status"] != OUTCOME_OK:
+            continue
+        expected = reference.get(outcome["identity"])
+        if expected is None:
+            mismatched.append((outcome["index"], "no reference answer"))
+        elif outcome["schedules"] != expected:
+            mismatched.append((outcome["index"], outcome["identity"]))
+    if mismatched:
+        return Invariant(
+            name, False,
+            f"results diverged from the standalone reference: {mismatched}",
+        )
+    return Invariant(
+        name, True,
+        "every completed result bit-identical to the standalone reference",
+    )
+
+
+def _check_retry_budget(
+    plan: ChaosPlan, outcomes: List[Dict], counters: Dict[str, int]
+) -> Invariant:
+    name = "retry_budget_bounded"
+    # Each planned request may hit the router at most (retries + 1)
+    # times; anything beyond that would be an unbounded retry storm.
+    budget = len(plan.requests) * (plan.scenario.client_retries + 1)
+    admitted = counters.get("requests_total", 0)
+    if admitted > budget:
+        return Invariant(
+            name, False,
+            f"router admitted {admitted} requests, over the aggregate "
+            f"client budget of {budget}",
+        )
+    return Invariant(
+        name, True, "router traffic stayed within the clients' retry budgets"
+    )
+
+
+def _check_metrics_conserved(
+    plan: ChaosPlan, outcomes: List[Dict], counters: Dict[str, int]
+) -> Invariant:
+    name = "metrics_conserved"
+    admitted = counters.get("requests_total", 0)
+    answered = counters.get("responses_ok", 0) + counters.get(
+        "responses_error", 0
+    )
+    if admitted != answered:
+        return Invariant(
+            name, False,
+            f"router admitted {admitted} requests but accounted "
+            f"{answered} responses",
+        )
+    tally = {
+        status: sum(1 for o in outcomes if o["status"] == status)
+        for status in (OUTCOME_OK, OUTCOME_SHED, OUTCOME_FAILED)
+    }
+    if sum(tally.values()) != len(plan.requests):
+        return Invariant(
+            name, False,
+            f"harness outcomes {tally} do not sum to the "
+            f"{len(plan.requests)} planned requests",
+        )
+    return Invariant(
+        name, True,
+        "every admitted request accounted as exactly one response",
+    )
+
+
+def _check_shed_well_formed(outcomes: List[Dict]) -> Invariant:
+    name = "shed_requests_well_formed"
+    bad = [
+        outcome["index"]
+        for outcome in outcomes
+        if outcome["status"] == OUTCOME_SHED
+        and not (outcome.get("retry_after_s", 0) > 0 or outcome.get("reason"))
+    ]
+    if bad:
+        return Invariant(
+            name, False,
+            f"shed responses without a retry hint or reason at {bad}",
+        )
+    return Invariant(
+        name, True, "every shed response carried a retry hint or a reason"
+    )
+
+
+def _check_cache_consistent(
+    plan: ChaosPlan, status: Optional[Dict]
+) -> Optional[Invariant]:
+    if not plan.scenario.use_cache:
+        return None
+    name = "cache_consistent"
+    cache = (status or {}).get("cache")
+    if not isinstance(cache, dict):
+        return Invariant(
+            name, False, "fleet status carried no cache consistency report"
+        )
+    if not cache.get("consistent", False):
+        return Invariant(
+            name, False,
+            f"shard caches disagree on keys {cache.get('mismatched_keys')}",
+        )
+    return Invariant(
+        name, True, "shard caches mutually consistent on shared keys"
+    )
+
+
+def _check_cache_healed(
+    plan: ChaosPlan, cache_path: Optional[str]
+) -> Optional[Invariant]:
+    if not any(a.kind == ACTION_CORRUPT_CACHE for a in plan.actions):
+        return None
+    name = "cache_healed"
+    if not cache_path:
+        return Invariant(
+            name, False, "scenario corrupts caches but ran cache-less"
+        )
+    report = check_shard_caches(cache_path, range(plan.scenario.workers))
+    dirty = sorted(
+        shard for shard, entry in report["shards"].items()
+        if entry["corrupt_lines"]
+    )
+    if dirty:
+        return Invariant(
+            name, False, f"corrupt lines survived healing on shards {dirty}"
+        )
+    unquarantined = [
+        shard
+        for shard in range(plan.scenario.workers)
+        if not os.path.exists(
+            shard_cache_path(cache_path, shard) + ".quarantine"
+        )
+    ]
+    if unquarantined:
+        return Invariant(
+            name, False,
+            f"no quarantine sidecar written for shards {unquarantined}",
+        )
+    return Invariant(
+        name, True, "corrupt cache lines quarantined and stores healed"
+    )
+
+
+def evaluate_invariants(
+    plan: ChaosPlan,
+    outcomes: List[Dict],
+    *,
+    reference: Dict[str, str],
+    counters: Dict[str, int],
+    status: Optional[Dict] = None,
+    cache_path: Optional[str] = None,
+) -> List[Invariant]:
+    """Run every applicable invariant; order is fixed and deterministic."""
+    invariants = [
+        _check_no_lost_requests(plan, outcomes),
+        _check_bit_identical(plan, outcomes, reference),
+        _check_retry_budget(plan, outcomes, counters),
+        _check_metrics_conserved(plan, outcomes, counters),
+        _check_shed_well_formed(outcomes),
+    ]
+    for optional in (
+        _check_cache_consistent(plan, status),
+        _check_cache_healed(plan, cache_path),
+    ):
+        if optional is not None:
+            invariants.append(optional)
+    return invariants
+
+
+def build_report(plan: ChaosPlan, invariants: List[Invariant]) -> Dict:
+    """The deterministic report: same ``(scenario, seed)`` → same bytes."""
+    return {
+        "format": CHAOS_REPORT_FORMAT,
+        "scenario": plan.scenario.name,
+        "seed": plan.seed,
+        "workers": plan.scenario.workers,
+        "requests": len(plan.requests),
+        "identities": sorted({r.identity for r in plan.requests}),
+        "ok": all(inv.ok for inv in invariants),
+        "invariants": [inv.to_dict() for inv in invariants],
+    }

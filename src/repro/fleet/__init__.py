@@ -19,6 +19,12 @@ Entry points: ``python -m repro fleet --workers N`` (CLI),
 ``BENCH_serve.json``.
 """
 
+from repro.fleet.breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
 from repro.fleet.hashring import HashRing
 from repro.fleet.metrics import (
     FLEET_METRIC_COUNTERS,
@@ -38,6 +44,10 @@ from repro.fleet.supervisor import (
 )
 
 __all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
     "FLEET_FORMAT",
     "FLEET_METRIC_COUNTERS",
     "FLEET_METRICS_FORMAT",

@@ -1,0 +1,182 @@
+"""Per-shard circuit breaking for the fleet router's forward legs.
+
+A consistent-hash fleet has a failure mode plain health probing is too
+slow for: a shard that accepts TCP connections but fails every request
+(wedged process, poisoned state) keeps eating its keyspace's traffic —
+plus one forward-timeout of router latency per request — until the
+supervisor's probe loop notices.  The breaker closes that gap from the
+*data path*: every forward-leg outcome feeds the shard's breaker, and
+``failure_threshold`` consecutive connection failures trip it **open**,
+after which the router skips the shard outright (failover takes the
+keyspace) without waiting for a probe cycle.
+
+The state machine is the classic three-state breaker, kept boring and
+deterministic on purpose:
+
+* **closed** — normal; consecutive connection failures are counted,
+  any success resets the count.
+* **open** — all requests refused for ``open_for_s`` seconds (measured
+  on an injectable ``clock``, so tests drive time by hand).
+* **half_open** — after the cool-off, exactly *one* probe request is
+  admitted (counter-gated, not sampled — no randomness anywhere);
+  success closes the breaker, failure re-opens it for another
+  ``open_for_s``.
+
+The breaker is a pure state machine: it owns no sockets and does its
+own metrics/trace plumbing only through the ``FleetMetrics`` registry
+and tracer handed in (counters ``breaker_opened`` / ``breaker_probes``,
+event :data:`repro.obs.events.EVENT_FLEET_BREAKER` on every state
+transition).  Deciding *what counts as a failure* stays in the router:
+only transport-level failures (:class:`ConnectionError` legs) feed
+:meth:`record_failure` — an HTTP error relayed from a live worker is an
+answer, not an outage.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class _ShardState:
+    __slots__ = ("state", "failures", "opened_at", "probe_in_flight")
+
+    def __init__(self) -> None:
+        self.state = BREAKER_CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probe_in_flight = False
+
+
+class CircuitBreaker:
+    """One breaker per shard, consulted on every forward leg.
+
+    Thread-safe (one lock around the whole table) although the router
+    drives it from a single event loop — status snapshots may be read
+    from other threads.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[int],
+        *,
+        failure_threshold: int = 3,
+        open_for_s: float = 5.0,
+        clock: Optional[Callable[[], float]] = None,
+        metrics=None,
+        tracer=None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if open_for_s <= 0:
+            raise ValueError(f"open_for_s must be positive, got {open_for_s}")
+        self.failure_threshold = int(failure_threshold)
+        self.open_for_s = float(open_for_s)
+        self._clock = clock if clock is not None else time.monotonic
+        self._metrics = metrics
+        self._tracer = tracer
+        self._lock = threading.Lock()
+        self._shards: Dict[int, _ShardState] = {
+            int(shard): _ShardState() for shard in shards
+        }
+
+    # -- plumbing ------------------------------------------------------
+
+    def _entry(self, shard: int) -> _ShardState:
+        try:
+            return self._shards[shard]
+        except KeyError:
+            raise KeyError(
+                f"unknown shard {shard}; known: {sorted(self._shards)}"
+            ) from None
+
+    def _transition(self, shard: int, entry: _ShardState, state: str) -> None:
+        if entry.state == state:
+            return
+        entry.state = state
+        if self._tracer is not None:
+            from repro.obs.events import EVENT_FLEET_BREAKER
+
+            self._tracer.event(EVENT_FLEET_BREAKER, shard=shard, state=state)
+
+    # -- the data-path API ---------------------------------------------
+
+    def allow(self, shard: int) -> bool:
+        """May the router forward to this shard right now?
+
+        Open breakers start admitting again only through the half-open
+        probe: once ``open_for_s`` has elapsed, the *first* caller gets
+        the probe slot (and ``breaker_probes`` is bumped); everyone else
+        keeps being refused until that probe's outcome is recorded.
+        """
+        with self._lock:
+            entry = self._entry(shard)
+            if entry.state == BREAKER_CLOSED:
+                return True
+            if entry.state == BREAKER_OPEN:
+                if self._clock() - entry.opened_at < self.open_for_s:
+                    return False
+                self._transition(shard, entry, BREAKER_HALF_OPEN)
+                entry.probe_in_flight = False
+            # half-open: exactly one probe may be in flight.
+            if entry.probe_in_flight:
+                return False
+            entry.probe_in_flight = True
+            if self._metrics is not None:
+                self._metrics.bump("breaker_probes")
+            return True
+
+    def record_success(self, shard: int) -> None:
+        """A forward leg to ``shard`` got an HTTP answer (any status)."""
+        with self._lock:
+            entry = self._entry(shard)
+            entry.failures = 0
+            entry.probe_in_flight = False
+            self._transition(shard, entry, BREAKER_CLOSED)
+
+    def record_failure(self, shard: int) -> None:
+        """A forward leg to ``shard`` died at the transport level."""
+        with self._lock:
+            entry = self._entry(shard)
+            entry.failures += 1
+            entry.probe_in_flight = False
+            if entry.state == BREAKER_HALF_OPEN:
+                # The probe failed: straight back to open, fresh cool-off.
+                entry.opened_at = self._clock()
+                self._transition(shard, entry, BREAKER_OPEN)
+                if self._metrics is not None:
+                    self._metrics.bump("breaker_opened")
+                return
+            if (
+                entry.state == BREAKER_CLOSED
+                and entry.failures >= self.failure_threshold
+            ):
+                entry.opened_at = self._clock()
+                self._transition(shard, entry, BREAKER_OPEN)
+                if self._metrics is not None:
+                    self._metrics.bump("breaker_opened")
+
+    # -- introspection -------------------------------------------------
+
+    def state_of(self, shard: int) -> str:
+        with self._lock:
+            return self._entry(shard).state
+
+    def states(self) -> Dict[int, str]:
+        """Per-shard breaker state, for status/metrics documents."""
+        with self._lock:
+            return {shard: entry.state for shard, entry in self._shards.items()}

@@ -45,6 +45,9 @@ FLEET_METRIC_COUNTERS = (
     "worker_restarts",     # crash/hang restarts performed
     "workers_quarantined", # shards flap-quarantined (never restarted)
     "rolls",               # completed rolling restarts
+    "breaker_opened",      # per-shard circuit breakers tripped open
+    "breaker_probes",      # half-open probe requests admitted
+    "deadline_expired",    # 504s because the end-to-end budget ran out
 )
 
 

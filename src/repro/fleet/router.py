@@ -41,12 +41,15 @@ import sys
 import time
 from typing import Dict, Optional, Tuple
 
+from repro.cache import check_shard_caches
+from repro.fleet.breaker import CircuitBreaker
 from repro.fleet.hashring import HashRing
 from repro.fleet.metrics import FleetMetrics
 from repro.fleet.supervisor import FleetSupervisor
 from repro.obs import NULL_TRACER
 from repro.obs.events import EVENT_FLEET_FAILOVER
 from repro.serve.http import (
+    DEADLINE_HEADER,
     HttpViolation,
     IO_TIMEOUT_S,
     forward,
@@ -55,11 +58,14 @@ from repro.serve.http import (
 )
 from repro.serve.identify import identify_request
 from repro.serve.schema import (
+    REASON_DEADLINE_EXPIRED,
     SERVED_BY_FAILOVER,
+    ServeRequest,
     error_payload,
     parse_request,
 )
 from repro.util import ServeError
+from repro.util.deadline import Deadline
 
 __all__ = ["FLEET_FORMAT", "FleetRouter"]
 
@@ -86,6 +92,9 @@ class FleetRouter:
         tracer=None,
         forward_timeout_s: float = 120.0,
         retry_after_s: float = 1.0,
+        breaker_failure_threshold: int = 3,
+        breaker_open_for_s: float = 5.0,
+        breaker_clock=None,
     ) -> None:
         if retry_after_s <= 0:
             raise ValueError(
@@ -99,6 +108,14 @@ class FleetRouter:
         self.forward_timeout_s = float(forward_timeout_s)
         self.retry_after_s = float(retry_after_s)
         self.ring = HashRing(supervisor.shards)
+        self.breaker = CircuitBreaker(
+            supervisor.shards,
+            failure_threshold=breaker_failure_threshold,
+            open_for_s=breaker_open_for_s,
+            clock=breaker_clock,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._draining = False
@@ -215,7 +232,13 @@ class FleetRouter:
         if path == "/fleet/status":
             if method != "GET":
                 return 405, error_payload(405, "status is GET-only"), None
-            return 200, self.status_snapshot(), None
+            # The cache consistency check reads shard files — disk work,
+            # so keep it off the event loop.
+            return (
+                200,
+                await self._loop.run_in_executor(None, self.status_snapshot),
+                None,
+            )
         if path == "/fleet/restart":
             if method != "POST":
                 return 405, error_payload(405, "restart is POST-only"), None
@@ -252,21 +275,42 @@ class FleetRouter:
         extra = self._retry_header() if code == 503 else None
         return code, payload, extra
 
+    def _workers_with_breaker(self) -> list:
+        """Supervisor states with each shard's breaker state merged in."""
+        breaker_states = self.breaker.states()
+        workers = self.supervisor.states()
+        for worker in workers:
+            worker["breaker"] = breaker_states.get(worker["shard"], "closed")
+        return workers
+
     def metrics_snapshot(self) -> Dict:
         """The live ``repro-fleet-metrics-v1`` document."""
-        return self.metrics.snapshot(workers=self.supervisor.states())
+        return self.metrics.snapshot(workers=self._workers_with_breaker())
 
-    def status_snapshot(self) -> Dict:
-        """The ``/fleet/status`` document: shards, states, topology."""
-        return {
+    def status_snapshot(self, *, check_caches: bool = True) -> Dict:
+        """The ``/fleet/status`` document: shards, states, topology.
+
+        When the fleet runs with a persistent schedule cache, the
+        document also carries the cross-shard consistency report
+        (:func:`repro.cache.check_shard_caches`): shard stores sharing a
+        key (failover writes) must agree bit-for-bit, and corrupt lines
+        on disk are surfaced per shard.  ``check_caches=False`` skips
+        the disk reads (the CLI's ``--no-cache-check``).
+        """
+        payload = {
             "format": FLEET_FORMAT,
             "draining": self._draining,
-            "workers": self.supervisor.states(),
+            "workers": self._workers_with_breaker(),
             "ring": {
                 "shards": list(self.ring.shards),
                 "replicas": self.ring.replicas,
             },
         }
+        if check_caches and self.supervisor.cache_path:
+            payload["cache"] = check_shard_caches(
+                self.supervisor.cache_path, self.supervisor.shards
+            )
+        return payload
 
     async def _handle_restart(
         self,
@@ -311,9 +355,19 @@ class FleetRouter:
             self.metrics.bump("responses_error")
             return 400, error_payload(400, str(exc)), None
 
+        # The end-to-end budget is charged ONCE, here at admission: every
+        # forward leg (failover successors included) sees only what is
+        # left of it, so a failed-over request can never double-spend.
+        deadline = (
+            Deadline(request.deadline_ms / 1000.0, "fleet-admission")
+            if request.deadline_ms is not None
+            else None
+        )
         order = self.ring.successors(key)
         home = order[0]
-        outcome = await self._forward_with_failover(order, home, body)
+        outcome = await self._forward_with_failover(
+            order, home, body, request=request, deadline=deadline
+        )
         elapsed_ms = (time.perf_counter() - arrived) * 1000.0
         self.metrics.observe_latency(elapsed_ms)
         status, payload, extra = outcome
@@ -322,25 +376,70 @@ class FleetRouter:
         )
         return status, payload, extra
 
+    def _deadline_expired_payload(
+        self, request: ServeRequest, home: int
+    ) -> Tuple[int, Dict, Optional[Dict[str, str]]]:
+        """The router-side 504: budget died between forward legs.
+
+        Attribution (benchmark/platform/home shard) is preserved so a
+        timed-out caller still learns which request died where — the
+        chaos harness asserts on exactly these fields.
+        """
+        self.metrics.bump("deadline_expired")
+        payload = error_payload(
+            504,
+            f"end-to-end deadline of {request.deadline_ms:g} ms expired "
+            f"before a shard could answer",
+            reason=REASON_DEADLINE_EXPIRED,
+        )
+        payload["benchmark"] = request.benchmark
+        payload["platform"] = request.platform
+        payload["shard"] = home
+        return 504, payload, None
+
     async def _forward_with_failover(
-        self, order, home: int, body: bytes
+        self,
+        order,
+        home: int,
+        body: bytes,
+        *,
+        request: ServeRequest,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[int, Dict, Optional[Dict[str, str]]]:
         """Walk the ring order until a shard answers; attribute failover.
 
-        A shard is tried when the health gate says it is routable; a
-        forward leg that dies (:class:`ConnectionError` — the worker was
-        SIGKILLed mid-request, say) or answers 503 (draining) moves on
-        to the next successor.  Any other answer — success *or* error —
-        is relayed as-is: a 400 or a 429 is the same answer on every
-        shard, so hopping would only hide it.
+        A shard is tried when the health gate says it is routable AND
+        its circuit breaker admits the leg; a forward leg that dies
+        (:class:`ConnectionError` — the worker was SIGKILLed
+        mid-request, say) feeds the breaker and moves on, a 503
+        (draining) moves on without penalizing the breaker (an HTTP
+        answer is proof of life).  Any other answer — success *or*
+        error — is relayed as-is: a 400 or a 429 is the same answer on
+        every shard, so hopping would only hide it.
+
+        Between legs the remaining end-to-end budget is re-checked: a
+        deadline that dies after the home shard failed but before the
+        successor answers yields a 504 ``deadline_expired`` (never a
+        wasted search on the successor), and each admitted leg carries
+        the remaining budget in the :data:`DEADLINE_HEADER` so the
+        worker's own admission gate sees the same clock.
         """
         tried = 0
         for shard in order:
             if not self.supervisor.routable(shard):
                 continue
+            if not self.breaker.allow(shard):
+                continue
+            if deadline is not None and deadline.expired():
+                return self._deadline_expired_payload(request, home)
             if tried:
                 self.metrics.bump("forward_retries")
             tried += 1
+            extra_headers = None
+            if deadline is not None:
+                extra_headers = {
+                    DEADLINE_HEADER: f"{deadline.remaining_ms():.3f}"
+                }
             try:
                 status, _headers, payload = await forward(
                     self.supervisor.host,
@@ -349,11 +448,15 @@ class FleetRouter:
                     "/v1/optimize",
                     body,
                     timeout_s=self.forward_timeout_s,
+                    extra_headers=extra_headers,
                 )
             except ConnectionError:
+                self.breaker.record_failure(shard)
                 continue
             except ServeError as exc:
+                self.breaker.record_success(shard)
                 return 502, error_payload(502, f"shard {shard}: {exc}"), None
+            self.breaker.record_success(shard)
             if status == 503:
                 continue  # draining worker the gate has not caught yet
             if status == 200:

@@ -34,6 +34,7 @@ transition emits a ``fleet.*`` trace event and bumps the shared
 from __future__ import annotations
 
 import os
+import signal
 import socket
 import subprocess
 import sys
@@ -527,3 +528,27 @@ class FleetSupervisor:
             worker.proc.wait()
         with self._lock:
             worker.state = STATE_DOWN
+
+    def suspend_worker(self, shard: int) -> None:
+        """SIGSTOP one worker — a *hung* process, not a dead one.
+
+        The process keeps its port bound and its PID alive, but answers
+        nothing: exactly the failure the probe gate's ``down_after``
+        consecutive-failure counter plus hung-process reclaim
+        (:meth:`_probe_one` SIGKILLs a live-but-unresponsive process
+        before respawning) exists for.  The chaos harness's hung-worker
+        scenario drives this hook.
+        """
+        worker = self._worker(shard)
+        if worker.proc is not None and worker.proc.poll() is None:
+            worker.proc.send_signal(signal.SIGSTOP)
+
+    def resume_worker(self, shard: int) -> None:
+        """SIGCONT a suspended worker (undo :meth:`suspend_worker`).
+
+        Usually unnecessary — the probe gate reclaims a hung worker with
+        SIGKILL — but lets a test end a hang without the reclaim path.
+        """
+        worker = self._worker(shard)
+        if worker.proc is not None and worker.proc.poll() is None:
+            worker.proc.send_signal(signal.SIGCONT)

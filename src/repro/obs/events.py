@@ -76,6 +76,18 @@ EVENT_FLEET_RESTART = "fleet.worker.restart"
 EVENT_FLEET_QUARANTINED = "fleet.worker.quarantined"
 EVENT_FLEET_FAILOVER = "fleet.failover"
 EVENT_FLEET_ROLL = "fleet.roll"
+#: One per-shard circuit-breaker state transition in the fleet router
+#: (attrs: ``shard``, ``state`` = closed | open | half_open).
+EVENT_FLEET_BREAKER = "fleet.breaker"
+#: One :meth:`repro.cache.ScheduleCache.compact` that found corrupt or
+#: checksum-mismatched lines (attrs: ``path``, ``lines``, the sidecar
+#: ``quarantine`` they were preserved in) — emitted at most once per
+#: compact, per satellite contract.
+EVENT_CACHE_CORRUPT = "cache.corrupt"
+#: Chaos-harness lifecycle (see :mod:`repro.chaos`): one scripted fault
+#: executed against the live fleet (attrs: ``scenario``, ``action``,
+#: ``after_responses``, plus action-specific fields).
+EVENT_CHAOS_FAULT = "chaos.fault"
 
 # -- machine-readable pruning reasons ----------------------------------
 

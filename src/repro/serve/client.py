@@ -35,11 +35,12 @@ import random
 import json
 import socket
 import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Dict, Optional, Tuple, Union
 
 from repro.serve.http import format_request, parse_response
-from repro.serve.schema import build_request
-from repro.util import ServeError, ServeOverloaded
+from repro.serve.schema import REASON_DEADLINE_EXHAUSTED, build_request
+from repro.util import Deadline, ServeError, ServeOverloaded
 
 __all__ = ["ServeClient"]
 
@@ -136,6 +137,7 @@ class ServeClient:
         fast: bool = False,
         jobs: Union[int, str] = 1,
         deadline_ms: Optional[float] = None,
+        hedge_after_s: Optional[float] = None,
         **options,
     ) -> Dict:
         """Submit one optimization request; block until its result.
@@ -144,6 +146,22 @@ class ServeClient:
         replayable ``repro-schedule-v1`` document per pipeline stage).
         Shed responses are retried on the deterministic backoff
         schedule; see the class docstring for the failure taxonomy.
+
+        ``deadline_ms`` is the caller's *own* end-to-end budget, charged
+        once here: re-submissions carry only the shrunken remainder, and
+        the retry loop stops — raising
+        :class:`~repro.util.ServeOverloaded` with
+        ``reason="deadline_exhausted"`` and the last shed status — the
+        moment the budget forbids another attempt, instead of sleeping
+        through a backoff it can no longer afford.
+
+        ``hedge_after_s`` arms *bounded hedging*: when the primary
+        request has not answered within that many seconds and the
+        deadline budget (if any) still has time left, exactly one backup
+        request is launched and the first answer wins.  Server-side
+        request coalescing makes the backup share the primary's
+        computation, so a hedge never duplicates a search — it only
+        dodges a slow or dying connection.
         """
         payload = build_request(
             benchmark,
@@ -153,10 +171,38 @@ class ServeClient:
             deadline_ms=deadline_ms,
             **options,
         )
+        deadline = (
+            Deadline(deadline_ms / 1000.0, "client")
+            if deadline_ms is not None
+            else None
+        )
+        if hedge_after_s is None:
+            return self._optimize_with_retries(payload, deadline)
+        return self._optimize_hedged(payload, deadline, hedge_after_s)
+
+    def _optimize_with_retries(
+        self, payload: Dict, deadline: Optional[Deadline]
+    ) -> Dict:
+        """The retry loop: deterministic backoff, deadline-aware stop."""
         attempt = 0
         while True:
+            request = payload
+            if deadline is not None:
+                remaining_ms = deadline.remaining_ms()
+                if remaining_ms <= 0:
+                    raise ServeOverloaded(
+                        f"deadline of {payload['deadline_ms']:g} ms "
+                        f"exhausted before the request could be "
+                        f"(re)submitted (deadline_exhausted)",
+                        retry_after_s=0.05,
+                        reason=REASON_DEADLINE_EXHAUSTED,
+                    )
+                # Re-submissions spend from the same budget: the server
+                # must never be granted time the caller no longer has.
+                request = dict(payload)
+                request["deadline_ms"] = remaining_ms
             status, headers, body = self._roundtrip(
-                "POST", "/v1/optimize", payload
+                "POST", "/v1/optimize", request
             )
             if status == 200:
                 return body
@@ -164,7 +210,24 @@ class ServeClient:
                 floor = _retry_after_s(headers, body)
                 if attempt < self.retries:
                     attempt += 1
-                    time.sleep(self.backoff_s(attempt, floor=floor))
+                    delay = self.backoff_s(attempt, floor=floor)
+                    if deadline is not None and (
+                        deadline.expired()
+                        or delay >= (deadline.remaining() or 0.0)
+                    ):
+                        # The budget cannot absorb this backoff: stop
+                        # retrying NOW and surface the last shed answer
+                        # with the deadline_exhausted hint, rather than
+                        # sleeping into a guaranteed timeout.
+                        raise ServeOverloaded(
+                            f"{body.get('error', f'HTTP {status}')} — "
+                            f"deadline budget cannot absorb another "
+                            f"{delay:.3f}s backoff (deadline_exhausted)",
+                            retry_after_s=floor,
+                            reason=REASON_DEADLINE_EXHAUSTED,
+                            last_status=status,
+                        )
+                    time.sleep(delay)
                     continue
                 raise ServeOverloaded(
                     body.get(
@@ -173,11 +236,53 @@ class ServeClient:
                         f"{self.retries} retries",
                     ),
                     retry_after_s=floor,
+                    last_status=status,
                 )
             raise ServeError(
                 f"optimize failed (HTTP {status}): "
                 f"{body.get('error', body)}"
             )
+
+    def _optimize_hedged(
+        self,
+        payload: Dict,
+        deadline: Optional[Deadline],
+        hedge_after_s: float,
+    ) -> Dict:
+        """Primary plus at most ONE budget-gated backup; first answer wins."""
+        if hedge_after_s < 0:
+            raise ValueError(
+                f"hedge_after_s must be >= 0, got {hedge_after_s}"
+            )
+        pool = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-hedge"
+        )
+        try:
+            primary = pool.submit(
+                self._optimize_with_retries, payload, deadline
+            )
+            done, _pending = wait([primary], timeout=hedge_after_s)
+            futures = [primary]
+            if not done and (
+                deadline is None or (deadline.remaining() or 0.0) > 0
+            ):
+                futures.append(
+                    pool.submit(
+                        self._optimize_with_retries, payload, deadline
+                    )
+                )
+            while True:
+                done, pending = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    if future.exception() is None:
+                        return future.result()
+                if not pending:
+                    raise primary.exception()
+                futures = list(pending)
+        finally:
+            # Never block the winner on the loser's socket; the loser
+            # thread finishes (or times out) on its own.
+            pool.shutdown(wait=False)
 
     def backoff_s(self, attempt: int, *, floor: float = 0.0) -> float:
         """The deterministic delay before retry ``attempt`` (1-based).

@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 from repro.util import ServeError
 
 __all__ = [
+    "DEADLINE_HEADER",
     "HttpViolation",
     "IO_TIMEOUT_S",
     "MAX_BODY_BYTES",
@@ -34,6 +35,14 @@ __all__ = [
     "read_request",
     "write_response",
 ]
+
+#: End-to-end deadline budget header.  The fleet router charges a
+#: request's ``deadline_ms`` once at its own admission and forwards the
+#: *remaining* budget under this header on every proxy leg (including
+#: failover successors), so a failed-over request can never double-spend
+#: its deadline; a worker seeing the header uses it instead of the
+#: body's ``deadline_ms`` and refuses already-exhausted work with 504.
+DEADLINE_HEADER = "x-repro-deadline-ms"
 
 REASONS = {
     200: "OK",
@@ -127,16 +136,24 @@ async def write_response(
 
 
 def format_request(
-    method: str, path: str, host: str, port: int, body: bytes
+    method: str,
+    path: str,
+    host: str,
+    port: int,
+    body: bytes,
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
     """Serialize one request head (the body is appended by the caller)."""
-    return (
-        f"{method} {path} HTTP/1.1\r\n"
-        f"Host: {host}:{port}\r\n"
-        f"Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        f"Connection: close\r\n\r\n"
-    ).encode("latin-1")
+    lines = [
+        f"{method} {path} HTTP/1.1",
+        f"Host: {host}:{port}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
 
 
 def parse_response(raw: bytes) -> Tuple[int, Dict[str, str], Dict]:
@@ -179,6 +196,7 @@ async def forward(
     body: bytes,
     *,
     timeout_s: float = 120.0,
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> Tuple[int, Dict[str, str], Dict]:
     """One async round-trip to a peer server (the router's proxy leg).
 
@@ -195,7 +213,10 @@ async def forward(
             f"cannot reach worker at {host}:{port}: {exc}"
         ) from exc
     try:
-        writer.write(format_request(method, path, host, port, body) + body)
+        writer.write(
+            format_request(method, path, host, port, body, extra_headers)
+            + body
+        )
         await writer.drain()
         raw = await asyncio.wait_for(reader.read(), timeout=timeout_s)
     except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError) as exc:

@@ -63,6 +63,16 @@ SERVED_BY = (
 #: What a worker itself may claim (the router adds ``failover``).
 WORKER_SERVED_BY = (SERVED_BY_SEARCH, SERVED_BY_CACHE, SERVED_BY_COALESCED)
 
+#: Machine-readable ``reason`` tags an error response may carry (the
+#: human-facing ``error`` message stays free-form).  ``deadline_expired``
+#: marks a 504 whose end-to-end budget ran out — at a worker's
+#: admission gate, mid-search, or at the router between failover legs;
+#: ``deadline_exhausted`` is the client-side cousin attached to a
+#: :class:`~repro.util.ServeOverloaded` when the caller's own budget
+#: forbids another retry.
+REASON_DEADLINE_EXPIRED = "deadline_expired"
+REASON_DEADLINE_EXHAUSTED = "deadline_exhausted"
+
 #: Option switches a request may set; exactly the schedule-cache key.
 OPTION_KEYS = tuple(optimize_options())
 
@@ -84,6 +94,8 @@ __all__ = [
     "METRICS_FORMAT",
     "METRIC_COUNTERS",
     "OPTION_KEYS",
+    "REASON_DEADLINE_EXHAUSTED",
+    "REASON_DEADLINE_EXPIRED",
     "SERVED_BY",
     "SERVED_BY_CACHE",
     "SERVED_BY_COALESCED",
@@ -376,9 +388,18 @@ def result_payload(
 
 
 def error_payload(
-    status: int, message: str, *, retry_after_s: Optional[float] = None
+    status: int,
+    message: str,
+    *,
+    retry_after_s: Optional[float] = None,
+    reason: Optional[str] = None,
 ) -> Dict:
-    """Assemble one error response body (server-side)."""
+    """Assemble one error response body (server-side).
+
+    ``reason`` is the optional machine-readable tag
+    (:data:`REASON_DEADLINE_EXPIRED` and friends) clients and the chaos
+    harness key on; the ``error`` message stays free-form prose.
+    """
     payload = {
         "format": SERVE_FORMAT,
         "kind": "error",
@@ -387,6 +408,8 @@ def error_payload(
     }
     if retry_after_s is not None:
         payload["retry_after_s"] = retry_after_s
+    if reason is not None:
+        payload["reason"] = str(reason)
     return payload
 
 

@@ -72,6 +72,7 @@ from repro.robust.faults import (
 )
 from repro.serve.coalesce import CoalesceTable, Job
 from repro.serve.http import (
+    DEADLINE_HEADER,
     HttpViolation,
     IO_TIMEOUT_S,
     read_request,
@@ -80,6 +81,7 @@ from repro.serve.http import (
 from repro.serve.identify import identify_request
 from repro.serve.metrics import ServeMetrics
 from repro.serve.schema import (
+    REASON_DEADLINE_EXPIRED,
     SERVED_BY_CACHE,
     SERVED_BY_COALESCED,
     SERVED_BY_SEARCH,
@@ -157,8 +159,12 @@ class OptimizeServer:
         self.batch_max = int(batch_max)
         self.retry_after_s = float(retry_after_s)
         self.metrics = ServeMetrics()
-        self.cache = ScheduleCache(cache_path) if cache_path else None
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.cache = (
+            ScheduleCache(cache_path, tracer=self.tracer)
+            if cache_path
+            else None
+        )
         if fault_plan is None:
             armed = os.environ.get(SERVE_FAULT_ENV)
             fault_plan = parse_serve_fault(armed) if armed else None
@@ -185,6 +191,12 @@ class OptimizeServer:
     async def start(self) -> int:
         """Bind the listener and start the dispatcher; returns the port."""
         self._loop = asyncio.get_running_loop()
+        if self.cache is not None:
+            # Self-heal before serving: corrupt lines (torn appends from
+            # a SIGKILLed predecessor, disk bit-flips) are counted,
+            # quarantined to the sidecar, and compacted away — so this
+            # instance starts from a store that is clean by construction.
+            await self._loop.run_in_executor(None, self.cache.heal)
         self._queue = asyncio.Queue(maxsize=self.queue_limit)
         self._slots = asyncio.Semaphore(self.workers)
         self._drained = asyncio.Event()
@@ -272,7 +284,7 @@ class OptimizeServer:
         self._open_conns += 1
         try:
             try:
-                method, path, _headers, body = await asyncio.wait_for(
+                method, path, headers, body = await asyncio.wait_for(
                     read_request(reader), timeout=IO_TIMEOUT_S
                 )
             except HttpViolation as exc:
@@ -287,7 +299,9 @@ class OptimizeServer:
                 ValueError,
             ):
                 return  # torn or silent connection: nothing to answer
-            status, payload, extra = await self._route(method, path, body)
+            status, payload, extra = await self._route(
+                method, path, headers, body
+            )
             await write_response(writer, status, payload, extra)
         except (ConnectionError, asyncio.CancelledError):
             pass
@@ -312,7 +326,7 @@ class OptimizeServer:
         )
 
     async def _route(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
     ) -> Tuple[int, Dict, Optional[Dict[str, str]]]:
         if path == "/healthz":
             if method != "GET":
@@ -330,7 +344,7 @@ class OptimizeServer:
         if path == "/v1/optimize":
             if method != "POST":
                 return 405, error_payload(405, "optimize is POST-only"), None
-            return await self._handle_optimize(body)
+            return await self._handle_optimize(body, headers)
         return 404, error_payload(404, f"unknown path {path!r}"), None
 
     def _retry_header(self) -> Dict[str, str]:
@@ -356,7 +370,7 @@ class OptimizeServer:
     # -- admission -----------------------------------------------------
 
     async def _handle_optimize(
-        self, body: bytes
+        self, body: bytes, headers: Optional[Dict[str, str]] = None
     ) -> Tuple[int, Dict, Optional[Dict[str, str]]]:
         arrived = time.perf_counter()
         self.metrics.bump("requests_total")
@@ -380,6 +394,48 @@ class OptimizeServer:
         except ServeError as exc:
             return 400, error_payload(400, str(exc)), None
 
+        # The fleet router charges the end-to-end budget once at its own
+        # admission and forwards only the *remainder* here; when the
+        # header is present it overrides the body's deadline_ms (which
+        # the router already spent from).  Exhausted work is refused
+        # before it can queue — searching for a caller whose budget is
+        # gone wastes a worker and can only produce a late answer.
+        budget_ms = request.deadline_ms
+        raw_budget = (headers or {}).get(DEADLINE_HEADER)
+        if raw_budget is not None:
+            try:
+                budget_ms = float(raw_budget)
+            except ValueError:
+                return (
+                    400,
+                    error_payload(
+                        400,
+                        f"malformed {DEADLINE_HEADER} header: {raw_budget!r}",
+                    ),
+                    None,
+                )
+        if budget_ms is not None and budget_ms <= 0:
+            self.metrics.bump("deadline_expired")
+            self.metrics.bump("responses_error")
+            payload = error_payload(
+                504,
+                "end-to-end deadline budget exhausted before admission",
+                reason=REASON_DEADLINE_EXPIRED,
+            )
+            payload["benchmark"] = request.benchmark
+            payload["platform"] = request.platform
+            self.tracer.event(
+                EVENT_SERVE_REQUEST,
+                benchmark=request.benchmark,
+                platform=request.platform,
+                served_by="error",
+                status=504,
+                elapsed_ms=round(
+                    (time.perf_counter() - arrived) * 1000.0, 3
+                ),
+            )
+            return 504, payload, None
+
         job = self._table.lookup(key)
         coalesced = job is not None
         if coalesced:
@@ -393,8 +449,8 @@ class OptimizeServer:
                 future=self._loop.create_future(),
                 index=self._admitted,
                 deadline=(
-                    Deadline(request.deadline_ms / 1000.0, label="repro.serve")
-                    if request.deadline_ms is not None
+                    Deadline(budget_ms / 1000.0, label="repro.serve")
+                    if budget_ms is not None
                     else None
                 ),
             )
@@ -447,7 +503,17 @@ class OptimizeServer:
             status=status,
             elapsed_ms=round(elapsed_ms, 3),
         )
-        return status, error_payload(status, message), None
+        payload = error_payload(
+            status,
+            message,
+            reason=REASON_DEADLINE_EXPIRED if status == 504 else None,
+        )
+        if status == 504:
+            # Deadline 504s keep their attribution: a timed-out caller
+            # (or the chaos harness) still learns which request died.
+            payload["benchmark"] = request.benchmark
+            payload["platform"] = request.platform
+        return status, payload, None
 
     # -- dispatch ------------------------------------------------------
 

@@ -76,6 +76,16 @@ class Deadline:
             return None
         return max(0.0, self._expires_at - time.perf_counter())
 
+    def remaining_ms(self) -> Optional[float]:
+        """Milliseconds left (never negative), or ``None`` when unbounded.
+
+        The serving layers speak milliseconds on the wire
+        (``deadline_ms``, the end-to-end budget header), so they get the
+        unit conversion in one place instead of four.
+        """
+        remaining = self.remaining()
+        return None if remaining is None else remaining * 1000.0
+
     def expired(self) -> bool:
         """Whether the budget has run out."""
         if self._expires_at is None:

@@ -56,12 +56,24 @@ class ServeOverloaded(ServeError):
 
     Carries the server's ``Retry-After`` hint so callers can implement
     their own backoff; :meth:`repro.serve.client.ServeClient.optimize`
-    raises this only once its bounded retries are exhausted.
+    raises this only once its bounded retries are exhausted — or, when
+    the caller set a ``deadline_ms``, as soon as that budget forbids
+    another retry (``reason`` is then
+    :data:`repro.serve.schema.REASON_DEADLINE_EXHAUSTED`).
     """
 
-    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+    def __init__(
+        self,
+        message: str,
+        retry_after_s: float = 1.0,
+        *,
+        reason: str = "",
+        last_status: int = 0,
+    ) -> None:
         super().__init__(message)
         self.retry_after_s = retry_after_s
+        self.reason = reason
+        self.last_status = last_status
 
 
 class DeadlineExceeded(ReproError, TimeoutError):

@@ -1,0 +1,63 @@
+"""Live chaos scenarios: real fleets, real faults, asserted invariants.
+
+Each test boots a ``FleetThread``, lets the seeded controller fire its
+scripted faults, and requires the full invariant suite to come back
+green — these are the same runs CI's chaos-smoke job executes via
+``repro chaos run --check``.  Kept to a handful of scenarios because
+each one costs a few seconds of wall clock; the deterministic planning
+and invariant logic is covered exhaustively (and fast) in
+``test_chaos_engine.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import run_scenario
+
+pytestmark = pytest.mark.slow
+
+
+def _assert_green(result):
+    bad = [inv.to_dict() for inv in result.invariants if not inv.ok]
+    assert result.ok, f"invariants failed: {bad}\n{result.observations}"
+
+
+class TestScenarios:
+    def test_slow_shard_stays_correct(self):
+        result = run_scenario("slow-shard", seed=7)
+        _assert_green(result)
+        assert result.observations["outcomes"]["ok"] == len(
+            result.plan.requests
+        )
+
+    def test_kill_mid_request_fails_over(self):
+        result = run_scenario("kill-mid-request", seed=7)
+        _assert_green(result)
+        # The kill fired and the orphaned identity was answered anyway —
+        # by the ring successor, not by a lucky retry to a restarted home.
+        assert result.observations["faults_fired"]
+        assert result.observations["failover_served"] >= 1
+
+    def test_corrupt_cache_under_load_heals(self):
+        result = run_scenario("corrupt-cache-under-load", seed=7)
+        _assert_green(result)
+        by_name = {inv.name: inv for inv in result.invariants}
+        assert by_name["cache_healed"].ok
+        assert by_name["cache_consistent"].ok
+
+    def test_429_storm_sheds_loudly_never_fails(self):
+        result = run_scenario("429-storm", seed=7)
+        _assert_green(result)
+        tally = result.observations["outcomes"]
+        assert tally["failed"] == 0
+        assert tally["shed"] >= 1  # the storm actually shed something
+
+    def test_same_seed_same_report(self):
+        first = run_scenario("kill-during-roll", seed=11)
+        second = run_scenario("kill-during-roll", seed=11)
+        _assert_green(first)
+        _assert_green(second)
+        assert json.dumps(first.report, sort_keys=True) == json.dumps(
+            second.report, sort_keys=True
+        )

@@ -1,0 +1,154 @@
+"""The per-shard circuit breaker: a deterministic three-state machine.
+
+Time is injected (``clock``) so every transition is driven by hand; the
+probe slot is counter-gated, not sampled, so there is no randomness to
+average over.  The router-integration half checks the one semantic
+decision that lives outside the state machine: only transport-level
+failures trip the breaker — an HTTP error from a live worker is an
+answer, not an outage.
+"""
+
+import pytest
+
+from repro.fleet import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    FleetMetrics,
+)
+from repro.obs import CollectingTracer
+from repro.obs.events import EVENT_FLEET_BREAKER
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(
+        [0, 1], failure_threshold=3, open_for_s=5.0, clock=clock
+    )
+
+
+class TestStateMachine:
+    def test_starts_closed_and_admits(self, breaker):
+        assert breaker.state_of(0) == BREAKER_CLOSED
+        assert breaker.allow(0)
+
+    def test_threshold_consecutive_failures_trip_open(self, breaker):
+        for _ in range(2):
+            breaker.record_failure(0)
+        assert breaker.state_of(0) == BREAKER_CLOSED  # one short
+        breaker.record_failure(0)
+        assert breaker.state_of(0) == BREAKER_OPEN
+        assert not breaker.allow(0)
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure(0)
+        breaker.record_failure(0)
+        breaker.record_success(0)
+        breaker.record_failure(0)
+        breaker.record_failure(0)
+        assert breaker.state_of(0) == BREAKER_CLOSED
+
+    def test_shards_are_independent(self, breaker):
+        for _ in range(3):
+            breaker.record_failure(0)
+        assert breaker.state_of(0) == BREAKER_OPEN
+        assert breaker.state_of(1) == BREAKER_CLOSED
+        assert breaker.allow(1)
+
+    def test_cooloff_admits_exactly_one_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure(0)
+        clock.advance(4.9)
+        assert not breaker.allow(0)  # still cooling off
+        clock.advance(0.2)
+        assert breaker.allow(0)  # the probe slot
+        assert breaker.state_of(0) == BREAKER_HALF_OPEN
+        assert not breaker.allow(0)  # probe in flight: everyone else waits
+        assert not breaker.allow(0)
+
+    def test_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure(0)
+        clock.advance(5.0)
+        assert breaker.allow(0)
+        breaker.record_success(0)
+        assert breaker.state_of(0) == BREAKER_CLOSED
+        assert breaker.allow(0)
+
+    def test_probe_failure_reopens_with_fresh_cooloff(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure(0)
+        clock.advance(5.0)
+        assert breaker.allow(0)
+        breaker.record_failure(0)
+        assert breaker.state_of(0) == BREAKER_OPEN
+        clock.advance(4.9)
+        assert not breaker.allow(0)  # the cool-off restarted at re-open
+        clock.advance(0.2)
+        assert breaker.allow(0)
+
+    def test_states_snapshot(self, breaker):
+        for _ in range(3):
+            breaker.record_failure(1)
+        assert breaker.states() == {0: BREAKER_CLOSED, 1: BREAKER_OPEN}
+
+    def test_unknown_shard_is_loud(self, breaker):
+        with pytest.raises(KeyError, match="unknown shard 9"):
+            breaker.allow(9)
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker([0], failure_threshold=0)
+        with pytest.raises(ValueError, match="open_for_s"):
+            CircuitBreaker([0], open_for_s=0.0)
+
+
+class TestPlumbing:
+    def test_metrics_counters(self, clock):
+        metrics = FleetMetrics()
+        breaker = CircuitBreaker(
+            [0], failure_threshold=2, open_for_s=1.0, clock=clock,
+            metrics=metrics,
+        )
+        breaker.record_failure(0)
+        breaker.record_failure(0)
+        assert metrics.get("breaker_opened") == 1
+        clock.advance(1.0)
+        breaker.allow(0)
+        assert metrics.get("breaker_probes") == 1
+        breaker.record_failure(0)  # probe failed: re-open counts again
+        assert metrics.get("breaker_opened") == 2
+
+    def test_transition_events(self, clock):
+        tracer = CollectingTracer()
+        breaker = CircuitBreaker(
+            [0], failure_threshold=1, open_for_s=1.0, clock=clock,
+            tracer=tracer,
+        )
+        breaker.record_failure(0)
+        clock.advance(1.0)
+        breaker.allow(0)
+        breaker.record_success(0)
+        states = [
+            event["attrs"]["state"]
+            for event in tracer.events
+            if event["name"] == EVENT_FLEET_BREAKER
+        ]
+        assert states == [BREAKER_OPEN, BREAKER_HALF_OPEN, BREAKER_CLOSED]

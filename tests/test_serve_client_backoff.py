@@ -17,6 +17,8 @@ import time
 import pytest
 
 from repro.serve import ServeClient
+from repro.serve.schema import REASON_DEADLINE_EXHAUSTED
+from repro.util import ServeError, ServeOverloaded
 
 
 class TestBackoffSchedule:
@@ -124,3 +126,138 @@ class TestRetryAfterIntegration:
         assert len(served) == 2  # one shed, one retry
         assert slept == [client.backoff_s(1, floor=2.0)]
         assert slept[0] >= 2.0
+
+
+def _request_body(raw):
+    """The JSON payload of one captured HTTP request."""
+    return json.loads(raw.split(b"\r\n\r\n", 1)[1])
+
+
+class TestDeadlineAwareRetries:
+    """The client stops retrying the moment its own budget forbids it."""
+
+    def test_stops_instead_of_sleeping_past_the_budget(self, monkeypatch):
+        # One shed with Retry-After: 2 against a 500 ms budget: the
+        # 2-second floor cannot fit, so the client must raise NOW with
+        # the deadline_exhausted hint — not sleep into a sure timeout.
+        shed = _http(
+            429,
+            "Too Many Requests",
+            {
+                "format": "repro-serve-v1",
+                "kind": "error",
+                "status": 429,
+                "error": "admission queue is full",
+                "retry_after_s": 2.0,
+            },
+            extra_headers="Retry-After: 2\r\n",
+        )
+        port, thread, served = _fake_server([shed])
+        slept = []
+        monkeypatch.setattr(time, "sleep", lambda s: slept.append(s))
+        client = ServeClient(port=port, retries=5, backoff_base_s=0.01)
+        with pytest.raises(ServeOverloaded) as excinfo:
+            client.optimize(
+                "matmul", "i7-5930k", fast=True, deadline_ms=500.0
+            )
+        thread.join(timeout=5.0)
+        assert excinfo.value.reason == REASON_DEADLINE_EXHAUSTED
+        assert excinfo.value.last_status == 429
+        assert "deadline_exhausted" in str(excinfo.value)
+        assert "admission queue is full" in str(excinfo.value)
+        assert len(served) == 1  # no second submission
+        assert slept == []  # and no sleep it could not afford
+
+    def test_resubmission_carries_the_shrunken_budget(self):
+        shed = _http(
+            429,
+            "Too Many Requests",
+            {
+                "format": "repro-serve-v1",
+                "kind": "error",
+                "status": 429,
+                "error": "busy",
+                "retry_after_s": 0.05,
+            },
+        )
+        ok = _http(200, "OK", {"format": "repro-serve-v1",
+                               "served_by": "cache"})
+        port, thread, served = _fake_server([shed, ok])
+        client = ServeClient(port=port, retries=2, backoff_base_s=0.01)
+        client.optimize(
+            "matmul", "i7-5930k", fast=True, deadline_ms=10000.0
+        )
+        thread.join(timeout=5.0)
+        first = _request_body(served[0])["deadline_ms"]
+        second = _request_body(served[1])["deadline_ms"]
+        # Both legs spend from ONE budget charged at the original call:
+        # each submission carries strictly less than the caller granted.
+        assert 0 < first <= 10000.0
+        assert 0 < second < first
+
+    def test_already_exhausted_budget_never_touches_the_network(self):
+        client = ServeClient(port=1, retries=3)  # nothing listens on :1
+        with pytest.raises(ServeOverloaded) as excinfo:
+            client.optimize(
+                "matmul", "i7-5930k", fast=True, deadline_ms=0.0001
+            )
+        assert excinfo.value.reason == REASON_DEADLINE_EXHAUSTED
+
+
+class TestHedging:
+    """Bounded hedging: at most one backup, first answer wins."""
+
+    OK = _http(200, "OK", {"format": "repro-serve-v1", "served_by": "cache"})
+    ERR = _http(
+        500,
+        "Internal Server Error",
+        {"format": "repro-serve-v1", "kind": "error", "status": 500,
+         "error": "boom"},
+    )
+
+    def test_fast_primary_never_hedges(self):
+        port, thread, served = _fake_server([self.OK])
+        client = ServeClient(port=port, retries=0)
+        result = client.optimize(
+            "matmul", "i7-5930k", fast=True, hedge_after_s=5.0
+        )
+        thread.join(timeout=5.0)
+        assert result["served_by"] == "cache"
+        assert len(served) == 1  # no backup was launched
+
+    def test_slow_primary_launches_exactly_one_backup(self):
+        port, thread, served = _fake_server([self.OK, self.OK])
+        client = ServeClient(port=port, retries=0)
+        result = client.optimize(
+            "matmul", "i7-5930k", fast=True, hedge_after_s=0.0
+        )
+        thread.join(timeout=5.0)
+        assert result["served_by"] == "cache"
+        assert len(served) == 2  # primary + one backup, never more
+
+    def test_backup_absorbs_a_failing_leg(self):
+        # One of the two legs gets a 500; whichever it is, the other's
+        # answer wins and the caller never sees the failure.
+        port, thread, served = _fake_server([self.ERR, self.OK])
+        client = ServeClient(port=port, retries=0)
+        result = client.optimize(
+            "matmul", "i7-5930k", fast=True, hedge_after_s=0.0
+        )
+        thread.join(timeout=5.0)
+        assert result["served_by"] == "cache"
+        assert len(served) == 2
+
+    def test_both_legs_failing_surfaces_the_error(self):
+        port, thread, served = _fake_server([self.ERR, self.ERR])
+        client = ServeClient(port=port, retries=0)
+        with pytest.raises(ServeError, match="boom"):
+            client.optimize(
+                "matmul", "i7-5930k", fast=True, hedge_after_s=0.0
+            )
+        thread.join(timeout=5.0)
+
+    def test_negative_hedge_delay_is_rejected(self):
+        with pytest.raises(ValueError, match="hedge_after_s"):
+            ServeClient(port=1).optimize(
+                "matmul", "i7-5930k", fast=True, hedge_after_s=-1.0
+            )

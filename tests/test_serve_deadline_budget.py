@@ -1,0 +1,203 @@
+"""End-to-end deadline budgets: charged once, propagated, refused dead.
+
+The contract under test: a request's ``deadline_ms`` is charged once at
+the admission point (the fleet router when there is one, the worker
+otherwise) and only the *remainder* travels on each forward leg via the
+``x-repro-deadline-ms`` header; work whose budget is exhausted is
+refused with a 504 whose payload keeps its attribution
+(``reason="deadline_expired"``, benchmark, platform) — never silently
+searched anyway.  The fleet half includes the headline case: the budget
+dies *between* the home shard failing and the successor answering, and
+the successor must never run the search.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.fleet.testing import FleetThread
+from repro.serve import ServeClient, ServerThread
+from repro.serve.http import DEADLINE_HEADER, forward
+from repro.serve.schema import (
+    REASON_DEADLINE_EXPIRED,
+    build_request,
+)
+
+from tests.test_fleet_failover import home_shard_for
+
+
+def _forward(port, body, *, headers=None):
+    return asyncio.run(
+        forward(
+            "127.0.0.1",
+            port,
+            "POST",
+            "/v1/optimize",
+            json.dumps(body).encode("utf-8"),
+            timeout_s=30.0,
+            extra_headers=headers,
+        )
+    )
+
+
+class TestWorkerBudget:
+    def test_expired_body_budget_is_refused_with_attribution(self):
+        with ServerThread() as srv:
+            client = ServeClient(port=srv.port, retries=0)
+            status, body = client.post(
+                "/v1/optimize",
+                build_request(
+                    "matmul", "i7-5930k", fast=True, deadline_ms=0.001
+                ),
+            )
+            assert status == 504
+            assert body["reason"] == REASON_DEADLINE_EXPIRED
+            assert body["benchmark"] == "matmul"
+            assert body["platform"] == "i7-5930k"
+            counters = client.metrics()["counters"]
+            assert counters["deadline_expired"] >= 1
+
+    def test_header_budget_overrides_the_body(self):
+        # The body says "plenty of time" but the router-forwarded header
+        # says the end-to-end budget is gone: the header wins.
+        with ServerThread() as srv:
+            status, _headers, body = _forward(
+                srv.port,
+                build_request(
+                    "matmul", "i7-5930k", fast=True, deadline_ms=60000.0
+                ),
+                headers={DEADLINE_HEADER: "0.0"},
+            )
+            assert status == 504
+            assert body["reason"] == REASON_DEADLINE_EXPIRED
+            assert body["benchmark"] == "matmul"
+            # The refusal happened before any search was admitted.
+            counters = ServeClient(port=srv.port).metrics()["counters"]
+            assert counters["responses_ok"] == 0
+
+    def test_malformed_header_is_a_400_not_a_crash(self):
+        with ServerThread() as srv:
+            status, _headers, body = _forward(
+                srv.port,
+                build_request("matmul", "i7-5930k", fast=True),
+                headers={DEADLINE_HEADER: "soon"},
+            )
+            assert status == 400
+            assert DEADLINE_HEADER in body["error"]
+
+    def test_generous_budget_still_succeeds(self):
+        with ServerThread() as srv:
+            result = ServeClient(port=srv.port).optimize(
+                "matmul", "i7-5930k", fast=True, deadline_ms=120000.0
+            )
+            assert result["schedules"]
+
+
+@pytest.mark.slow
+class TestFleetBudget:
+    def test_router_charges_once_and_forwards_the_remainder(self, tmp_path):
+        with FleetThread(
+            workers=2, cache_path=str(tmp_path / "cache.jsonl")
+        ) as fleet:
+            result = ServeClient(port=fleet.port).optimize(
+                "matmul", "i7-5930k", fast=True, deadline_ms=120000.0
+            )
+            assert result["schedules"]
+            counters = ServeClient(port=fleet.port).metrics()["counters"]
+            assert counters["deadline_expired"] == 0
+
+    def test_expiry_during_failover_is_a_504_never_a_duplicate_search(
+        self, tmp_path
+    ):
+        """The headline case: the budget dies between the home shard
+        failing and the successor answering.
+
+        The home worker is SIGSTOPped (alive but silent), so the
+        router's forward leg hangs until the probe gate reclaims the
+        hung process (~2 probe intervals) and the RST surfaces as a
+        ConnectionError — by which point the 250 ms budget is long
+        gone.  The router must answer 504 ``deadline_expired`` with
+        attribution and must NOT forward to the successor.
+        """
+        home, successor = home_shard_for(
+            "matmul", "i7-5930k", [0, 1], fast=True
+        )
+        with FleetThread(
+            workers=2,
+            cache_path=str(tmp_path / "cache.jsonl"),
+            probe_interval_s=0.3,
+            probe_timeout_s=1.0,
+            down_after=2,
+            restart_backoff_base_s=0.05,
+        ) as fleet:
+            client = ServeClient(port=fleet.port, retries=0, timeout_s=60.0)
+            # Warm nothing; suspend the home shard first so the very
+            # first leg hangs.
+            fleet.supervisor.suspend_worker(home)
+            status, body = client.post(
+                "/v1/optimize",
+                build_request(
+                    "matmul", "i7-5930k", fast=True, deadline_ms=250.0
+                ),
+            )
+            assert status == 504
+            assert body["reason"] == REASON_DEADLINE_EXPIRED
+            assert body["benchmark"] == "matmul"
+            assert body["platform"] == "i7-5930k"
+            assert body["shard"] == home
+
+            counters = client.metrics()["counters"]
+            assert counters["deadline_expired"] == 1
+            # Never a duplicate search: the successor was not asked.
+            assert counters["failover"] == 0
+            successor_client = ServeClient(
+                port=fleet.supervisor.port_of(successor)
+            )
+            successor_counters = successor_client.metrics()["counters"]
+            assert successor_counters["requests_total"] == 0
+            # Conservation: the 504 is accounted exactly once.
+            assert counters["requests_total"] == (
+                counters["responses_ok"] + counters["responses_error"]
+            )
+
+    def test_breaker_opens_on_repeated_dead_legs(self, tmp_path):
+        """Connection failures feed the per-shard breaker; once open,
+        the router routes around the shard without waiting for a probe
+        cycle (and the breaker state shows in /metrics workers)."""
+        home, successor = home_shard_for(
+            "matmul", "i7-5930k", [0, 1], fast=True
+        )
+        with FleetThread(
+            workers=2,
+            cache_path=str(tmp_path / "cache.jsonl"),
+            probe_interval_s=30.0,  # the probe gate never fires: data path only
+            router_kwargs={
+                "breaker_failure_threshold": 1,
+                "breaker_open_for_s": 60.0,
+            },
+        ) as fleet:
+            # Kill the home worker; mark it back "up" so the router's
+            # health gate admits the leg and the breaker alone must
+            # learn the truth from the dead connection.
+            fleet.supervisor.kill_worker(home)
+            with fleet.supervisor._lock:
+                fleet.supervisor._worker(home).state = "up"
+            client = ServeClient(port=fleet.port, retries=0, timeout_s=60.0)
+            result = client.optimize("matmul", "i7-5930k", fast=True)
+            assert result["served_by"] == "failover"
+            snapshot = client.metrics()
+            assert snapshot["counters"]["breaker_opened"] == 1
+            states = {
+                w["shard"]: w["breaker"] for w in snapshot["workers"]
+            }
+            assert states[home] == "open"
+            assert states[successor] == "closed"
+            # Next request skips the dead shard outright: no new
+            # forward_retries beyond the first request's.
+            retries_before = snapshot["counters"]["forward_retries"]
+            result = client.optimize("gemm", "i7-5930k", fast=True)
+            assert result["schedules"]
+            after = client.metrics()["counters"]["forward_retries"]
+            assert after == retries_before
