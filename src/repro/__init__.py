@@ -45,7 +45,7 @@ benchmarks plus the ``python -m repro.bench`` perf harness) and
 """
 
 from repro import api
-from repro.api import OptimizeRequest, OptimizeResult
+from repro.api import OptimizeOptions, OptimizeRequest, OptimizeResult
 from repro.arch import ArchSpec, CacheSpec, platform_by_name
 from repro.cache import ScheduleCache
 from repro.core import (
@@ -87,6 +87,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "api",
+    "OptimizeOptions",
     "OptimizeRequest",
     "OptimizeResult",
     "ScheduleCache",

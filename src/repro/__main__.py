@@ -118,6 +118,38 @@ def _jobs_arg(value: str):
         ) from None
 
 
+def _kv_arg(value: str, *, flag: str, cast, what: str):
+    """Parse ``name=value,name=value`` flag payloads (``--dims`` etc.)."""
+    out = {}
+    for item in value.split(","):
+        name, sep, raw = item.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise argparse.ArgumentTypeError(
+                f"{flag} wants NAME=VALUE[,NAME=VALUE...], got {item!r}"
+            )
+        try:
+            out[name] = cast(raw.strip())
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{flag}: {name}={raw.strip()!r} is not {what}"
+            ) from None
+    return out
+
+
+def _dims_arg(value: str):
+    return _kv_arg(value, flag="--dims", cast=int, what="an integer")
+
+
+def _dtypes_arg(value: str):
+    return _kv_arg(value, flag="--dtypes", cast=str, what="a dtype name")
+
+
+def _param_arg(value: str):
+    pairs = _kv_arg(value, flag="--param", cast=float, what="a number")
+    return list(pairs.items())
+
+
 def _make_case(name: str, fast: bool):
     if name in SUITE:
         return make_benchmark(name, **size_for(name, small=fast))
@@ -125,6 +157,43 @@ def _make_case(name: str, fast: bool):
         return make_extra(name)
     raise SystemExit(
         f"unknown benchmark {name!r}; see `python -m repro list`"
+    )
+
+
+def _resolve_case(args):
+    """The target of a CLI run: a named benchmark XOR a ``--spec``."""
+    if (args.benchmark is None) == (args.spec is None):
+        raise SystemExit(
+            "pass exactly one of a benchmark name or --spec "
+            "(see `python -m repro list` for names)"
+        )
+    if args.spec is None:
+        if args.dims or args.dtypes or args.params:
+            raise SystemExit(
+                "--dims/--dtypes/--param are only meaningful with --spec"
+            )
+        return _make_case(args.benchmark, args.fast)
+    if args.dims is None:
+        raise SystemExit(
+            "--spec needs --dims (loop extents, e.g. "
+            "--dims i=512,j=512,k=512)"
+        )
+    from repro.bench.suite import BenchmarkCase
+    from repro.frontend import lower_spec
+    from repro.util import ValidationError
+
+    params = dict(p for group in (args.params or []) for p in group)
+    try:
+        lowered = lower_spec(
+            args.spec, args.dims, dtypes=args.dtypes, params=params or None
+        )
+    except ValidationError as exc:
+        raise SystemExit(f"invalid --spec: {exc}") from None
+    return BenchmarkCase(
+        name=lowered.name,
+        description="kernel spec",
+        pipeline=lowered.pipeline,
+        problem_size="x".join(str(v) for v in args.dims.values()),
     )
 
 
@@ -162,7 +231,7 @@ def cmd_list(_args) -> int:
 
 def cmd_optimize(args) -> int:
     arch = _resolve_platform(args.platform)
-    case = _make_case(args.benchmark, args.fast)
+    case = _resolve_case(args)
     policy = _policy(args, allow_nti=not args.no_nti)
     cache = None
     if args.schedule_cache:
@@ -197,7 +266,7 @@ def cmd_compare(args) -> int:
     fell_back = False
 
     def fresh():
-        return _make_case(args.benchmark, args.fast)
+        return _resolve_case(args)
 
     def proposed_schedules(funcs, allow_nti):
         nonlocal fell_back
@@ -232,7 +301,7 @@ def cmd_compare(args) -> int:
             case.pipeline, {f: tuner.tune(f).schedule for f in case.funcs}
         )
     fastest = min(times.values())
-    print(f"{args.benchmark} on {arch.name}:")
+    print(f"{case.name} on {arch.name}:")
     for name, ms in sorted(times.items(), key=lambda kv: kv[1]):
         print(f"  {name:22s} {ms:10.2f} ms   rel {fastest / ms:4.2f}")
     return EXIT_FALLBACK if fell_back else EXIT_OK
@@ -330,6 +399,7 @@ def cmd_submit(args) -> int:
         timeout_s=args.timeout_s,
         retries=args.retries,
     )
+    params = dict(p for group in (args.params or []) for p in group)
     try:
         result = client.optimize(
             args.benchmark,
@@ -337,6 +407,10 @@ def cmd_submit(args) -> int:
             fast=args.fast,
             jobs=args.jobs,
             deadline_ms=args.deadline_ms,
+            spec=args.spec,
+            dims=args.dims,
+            dtypes=args.dtypes,
+            params=params or None,
             use_nti=not args.no_nti,
         )
     except ServeOverloaded as exc:
@@ -673,7 +747,7 @@ def cmd_loadgen(args) -> int:
 
 def cmd_codegen(args) -> int:
     arch = _resolve_platform(args.platform)
-    case = _make_case(args.benchmark, args.fast)
+    case = _resolve_case(args)
     policy = _policy(args, allow_nti=not args.no_nti)
     fell_back = False
     nests = []
@@ -681,7 +755,7 @@ def cmd_codegen(args) -> int:
         safe = safe_optimize(stage, arch, policy)
         fell_back = fell_back or safe.fell_back
         nests.extend(lower(stage, safe.schedule))
-    source = codegen(nests, function_name=args.benchmark.replace("-", "_"))
+    source = codegen(nests, function_name=case.name.replace("-", "_"))
     if args.output:
         try:
             with open(args.output, "w") as handle:
@@ -705,8 +779,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list benchmarks and platforms")
 
+    def spec_flags(p):
+        p.add_argument("--spec", default=None, metavar="SPEC",
+                       help="kernel spec string instead of a benchmark "
+                            "name, e.g. 'C[i,j] += A[i,k] * B[k,j]' "
+                            "(see docs/API.md, \"Kernel spec language\")")
+        p.add_argument("--dims", type=_dims_arg, default=None,
+                       metavar="N=EXT,...",
+                       help="loop extents for --spec, e.g. "
+                            "i=512,j=512,k=512")
+        p.add_argument("--dtypes", type=_dtypes_arg, default=None,
+                       metavar="T=DT,...",
+                       help="per-tensor dtypes for --spec "
+                            "(default float32), e.g. C=float64")
+        p.add_argument("--param", action="append", type=_param_arg,
+                       default=None, dest="params", metavar="NAME=VALUE",
+                       help="scalar constant for --spec (repeatable), "
+                            "e.g. --param a=0.5")
+
     def common(p):
-        p.add_argument("benchmark")
+        p.add_argument("benchmark", nargs="?", default=None)
+        spec_flags(p)
         p.add_argument("--platform", default="i7-5930k",
                        help="i7-5930k | i7-6700 | arm-a15")
         p.add_argument("--fast", action="store_true",
@@ -915,7 +1008,8 @@ def build_parser() -> argparse.ArgumentParser:
         "submit",
         help="submit one optimization request to a running server",
     )
-    p_sub.add_argument("benchmark")
+    p_sub.add_argument("benchmark", nargs="?", default=None)
+    spec_flags(p_sub)
     p_sub.add_argument("--host", default="127.0.0.1",
                        help="server address (default: 127.0.0.1)")
     p_sub.add_argument("--port", type=int, default=8377,

@@ -40,7 +40,8 @@ API" section for the deprecation schedule of the legacy keywords.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import warnings
+from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Mapping, Optional, Union
 
@@ -56,6 +57,7 @@ from repro.core.temporal import TemporalResult, optimize_temporal
 from repro.ir.func import Func, Pipeline
 from repro.ir.schedule import Schedule
 from repro.obs.stats import CandidateStats
+from repro.options import OptimizeOptions
 from repro.robust.diagnostics import Diagnostics
 from repro.robust.policy import FallbackPolicy
 from repro.robust.safe import SafeResult, safe_optimize, safe_optimize_pipeline
@@ -66,6 +68,7 @@ __all__ = [
     "MODE_SAFE",
     "MODE_SPATIAL",
     "MODE_TEMPORAL",
+    "OptimizeOptions",
     "OptimizeRequest",
     "OptimizeResult",
     "optimize",
@@ -79,30 +82,76 @@ MODE_SAFE = "safe"
 _MODES = (MODE_AUTO, MODE_TEMPORAL, MODE_SPATIAL, MODE_SAFE)
 
 
+class _Unset:
+    """Sentinel distinguishing "not passed" from any real value."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+#: Legacy per-keyword option spellings, now folded into ``options=``.
+_LEGACY_OPTION_FIELDS = (
+    "use_nti",
+    "parallelize",
+    "vectorize",
+    "exhaustive",
+    "use_emu",
+    "order_step",
+    "jobs",
+    "tracer",
+)
+
+#: The canonical constructor surface (everything that is *not* a legacy
+#: option keyword); ``with_overrides`` rebuilds requests from these.
+_CANONICAL_FIELDS = (
+    "arch",
+    "func",
+    "pipeline",
+    "spec",
+    "dims",
+    "dtypes",
+    "params",
+    "mode",
+    "options",
+    "deadline_ms",
+    "policy",
+    "cache_path",
+)
+
+
 @dataclass(frozen=True)
 class OptimizeRequest:
     """Everything one optimization run needs, in one value object.
 
-    Exactly one of ``func`` / ``pipeline`` must be set.  ``pipeline``
-    targets support the ``auto`` and ``safe`` modes (stages are
-    optimized independently, as ``compute_root``).
+    Exactly one of ``func`` / ``pipeline`` / ``spec`` must be set.
+    ``pipeline`` targets support the ``auto`` and ``safe`` modes (stages
+    are optimized independently, as ``compute_root``).  A ``spec``
+    target is a kernel-spec string (see :mod:`repro.frontend` and
+    docs/API.md § *Kernel spec language*) lowered at construction time:
+    after ``__init__`` the request's ``func`` (single-stage spec) or
+    ``pipeline`` (multi-stage) is populated with the lowered target, so
+    everything downstream sees a plain IR request.
 
     Attributes
     ----------
-    func / pipeline:
-        The optimization target.
+    func / pipeline / spec:
+        The optimization target.  ``spec`` needs ``dims`` (loop extents,
+        e.g. ``{"i": 512, "j": 512, "k": 512}``) and accepts optional
+        ``dtypes`` / ``params`` mappings.
     arch:
         Target platform parameters (paper Table 1).
     mode:
         ``auto`` | ``temporal`` | ``spatial`` | ``safe`` (see module
         docstring).
-    use_nti / parallelize / vectorize / exhaustive / use_emu / order_step:
-        The uniform switch set of the legacy surfaces.
-    jobs:
-        Worker processes for the Algorithm-2/3 candidate searches
-        (0 or ``"auto"`` = resolve from ``os.cpu_count()``, degrading
-        to the serial path on single-core hosts; 1 = serial);
-        bit-identical results either way.
+    options:
+        The consolidated :class:`repro.options.OptimizeOptions` — the
+        six schedule-changing switches plus ``jobs`` and ``tracer``.
+        The per-keyword spellings (``use_nti=...``, ``jobs=...``, ...)
+        keep working but raise :class:`DeprecationWarning`; after
+        construction the resolved values are readable as plain
+        attributes (``request.use_nti`` etc.) either way.
     deadline_ms:
         Cooperative time budget for the whole run (``None`` =
         unbounded).  In safe mode this becomes the policy's
@@ -114,31 +163,32 @@ class OptimizeRequest:
         Path of a persistent :class:`repro.cache.ScheduleCache`; when
         set, ``auto`` and ``safe`` runs consult it before searching and
         store what they find.
-    tracer:
-        Optional :class:`repro.obs.Tracer` installed for the run.
     """
 
     arch: ArchSpec
     func: Optional[Func] = None
     pipeline: Optional[Pipeline] = None
+    spec: Optional[str] = None
+    dims: Optional[Mapping[str, int]] = None
+    dtypes: Optional[Mapping[str, str]] = None
+    params: Optional[Mapping[str, Union[int, float]]] = None
     mode: str = MODE_AUTO
-    use_nti: bool = True
-    parallelize: bool = True
-    vectorize: bool = True
-    exhaustive: bool = False
-    use_emu: bool = True
-    order_step: bool = True
-    jobs: Union[int, str] = 1
+    options: Optional[OptimizeOptions] = None
+    use_nti: object = _UNSET
+    parallelize: object = _UNSET
+    vectorize: object = _UNSET
+    exhaustive: object = _UNSET
+    use_emu: object = _UNSET
+    order_step: object = _UNSET
+    jobs: object = _UNSET
     deadline_ms: Optional[float] = None
     policy: Optional[FallbackPolicy] = None
     cache_path: Optional[str] = None
-    tracer: object = None
+    tracer: object = _UNSET
 
     def __post_init__(self) -> None:
-        if (self.func is None) == (self.pipeline is None):
-            raise ValueError(
-                "an OptimizeRequest needs exactly one of func= / pipeline="
-            )
+        self._resolve_options()
+        self._resolve_target()
         if self.mode not in _MODES:
             raise ValueError(
                 f"unknown mode {self.mode!r}; known: {list(_MODES)}"
@@ -151,11 +201,6 @@ class OptimizeRequest:
                 f"mode {self.mode!r} targets a single Func; pipelines "
                 f"support the 'auto' and 'safe' modes"
             )
-        # Delegate jobs validation (and the "auto" spelling) to the
-        # parallel-search layer so every surface rejects the same inputs.
-        from repro.core.parallel import resolve_jobs
-
-        resolve_jobs(self.jobs)
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ValueError(
                 f"deadline_ms must be positive, got {self.deadline_ms}"
@@ -163,9 +208,125 @@ class OptimizeRequest:
         if self.policy is not None and self.mode != MODE_SAFE:
             raise ValueError("policy= is only meaningful with mode='safe'")
 
+    def _resolve_options(self) -> None:
+        """Merge legacy per-keyword options into ``options`` and mirror
+        the resolved values back onto the legacy attribute names, so
+        both spellings *read* identically after construction."""
+        legacy = {
+            name: getattr(self, name)
+            for name in _LEGACY_OPTION_FIELDS
+            if getattr(self, name) is not _UNSET
+        }
+        if legacy:
+            warnings.warn(
+                f"passing {sorted(legacy)} to OptimizeRequest is "
+                f"deprecated; use options=OptimizeOptions(...) "
+                f"(see docs/API.md, 'Migration notes')",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if self.options is not None:
+                raise ValueError(
+                    f"pass options= or the legacy keyword(s) "
+                    f"{sorted(legacy)}, not both"
+                )
+        # OptimizeOptions.__post_init__ validates jobs for every path.
+        resolved = (self.options or OptimizeOptions()).replace(**legacy)
+        object.__setattr__(self, "options", resolved)
+        for name in _LEGACY_OPTION_FIELDS:
+            object.__setattr__(self, name, getattr(resolved, name))
+
+    def _resolve_target(self) -> None:
+        """Enforce exactly-one target and lower a spec into IR."""
+        targets = [
+            kind
+            for kind, value in (
+                ("func", self.func),
+                ("pipeline", self.pipeline),
+                ("spec", self.spec),
+            )
+            if value is not None
+        ]
+        if len(targets) != 1:
+            raise ValueError(
+                "an OptimizeRequest needs exactly one of func= / "
+                "pipeline= / spec=" + (f"; got {targets}" if targets else "")
+            )
+        if self.spec is None:
+            for name in ("dims", "dtypes", "params"):
+                if getattr(self, name) is not None:
+                    raise ValueError(
+                        f"{name}= is only meaningful together with spec="
+                    )
+            return
+        from repro.frontend import lower_spec
+        from repro.util import ValidationError
+
+        if self.dims is None:
+            raise ValidationError(
+                "spec= needs dims= (loop extents, e.g. "
+                "{'i': 512, 'j': 512, 'k': 512})"
+            )
+        lowered = lower_spec(
+            self.spec, self.dims, dtypes=self.dtypes, params=self.params
+        )
+        funcs = lowered.funcs
+        if len(funcs) == 1:
+            object.__setattr__(self, "func", funcs[0])
+        else:
+            object.__setattr__(self, "pipeline", lowered.pipeline)
+
     def with_overrides(self, **kwargs) -> "OptimizeRequest":
-        """Copy with some fields replaced (runs validation again)."""
-        return replace(self, **kwargs)
+        """Copy with some fields replaced (runs validation again).
+
+        Accepts the same keywords as the constructor; legacy option
+        keywords warn exactly like the constructor does.  Passing a new
+        target (``func`` / ``pipeline`` / ``spec``) replaces the old
+        one, whichever spelling built it.
+        """
+        base = {name: getattr(self, name) for name in _CANONICAL_FIELDS}
+        if self.spec is not None:
+            # The lowered twin of a spec target is derived state; keep
+            # only the spec so re-validation lowers it afresh.
+            base["func"] = None
+            base["pipeline"] = None
+        if any(k in kwargs for k in ("func", "pipeline", "spec")):
+            for key in ("func", "pipeline", "spec", "dims",
+                        "dtypes", "params"):
+                base[key] = None
+        unknown = sorted(
+            set(kwargs) - set(_CANONICAL_FIELDS) - set(_LEGACY_OPTION_FIELDS)
+        )
+        if unknown:
+            raise TypeError(
+                f"unknown OptimizeRequest field(s) {unknown}"
+            )
+        legacy = {
+            name: kwargs.pop(name)
+            for name in _LEGACY_OPTION_FIELDS
+            if name in kwargs
+        }
+        if legacy:
+            # Same shim as the constructor: warn once, fold into the
+            # canonical options field (which `base` already carries, so
+            # passing both through would trip the both-spellings guard).
+            warnings.warn(
+                f"passing {sorted(legacy)} to with_overrides is "
+                f"deprecated; use options=OptimizeOptions(...) "
+                f"(see docs/API.md, 'Migration notes')",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if "options" in kwargs:
+                raise ValueError(
+                    f"pass options= or the legacy keyword(s) "
+                    f"{sorted(legacy)}, not both"
+                )
+            base["options"] = (
+                base["options"] or OptimizeOptions()
+            ).replace(**legacy)
+        base.update(kwargs)
+        return OptimizeRequest(**base)
 
 
 @dataclass(frozen=True)
@@ -361,16 +522,9 @@ def optimize(request: OptimizeRequest) -> OptimizeResult:
 
     cache = _schedule_cache(request)
     if cache is not None:
-        from repro.cache import optimize_options
-
-        options = optimize_options(
-            use_nti=request.use_nti,
-            parallelize=request.parallelize,
-            vectorize=request.vectorize,
-            exhaustive=request.exhaustive,
-            use_emu=request.use_emu,
-            order_step=request.order_step,
-        )
+        # OptimizeOptions is the single fingerprint source: the cache
+        # key's options half is exactly its cache identity.
+        options = request.options.cache_dict()
         hit = cache.get(request.func, request.arch, options)
         if hit is not None:
             return OptimizeResult(

@@ -106,15 +106,23 @@ def optimize_options(
 ) -> Dict[str, bool]:
     """The canonical options dict for one :func:`repro.core.optimize`
     configuration — exactly the switches that can change the chosen
-    schedule, nothing that cannot (``jobs``, tracers, deadlines)."""
-    return {
-        "use_nti": bool(use_nti),
-        "parallelize": bool(parallelize),
-        "vectorize": bool(vectorize),
-        "exhaustive": bool(exhaustive),
-        "use_emu": bool(use_emu),
-        "order_step": bool(order_step),
-    }
+    schedule, nothing that cannot (``jobs``, tracers, deadlines).
+
+    Delegates to :class:`repro.options.OptimizeOptions`, the single
+    source of truth for the option surface; the explicit keyword-only
+    signature is kept so anything *outside* the cache identity
+    (``jobs=...``) is rejected right here with a ``TypeError``.
+    """
+    from repro.options import OptimizeOptions
+
+    return OptimizeOptions(
+        use_nti=use_nti,
+        parallelize=parallelize,
+        vectorize=vectorize,
+        exhaustive=exhaustive,
+        use_emu=use_emu,
+        order_step=order_step,
+    ).cache_dict()
 
 
 def options_fingerprint(options: Dict) -> str:

@@ -42,6 +42,7 @@ import time
 from repro.obs import NULL_TRACER, JsonlTracer, activate_tracer
 from repro.experiments import ExperimentConfig
 from repro.experiments import (  # noqa: F401  (imported for registry order)
+    corpus,
     fig4,
     fig5,
     fig6,
@@ -61,13 +62,15 @@ ORDER = [
     ("Fig. 7", fig7, True),
     ("Table 6", table6, True),
     ("Table 4", table4, True),
+    ("Corpus", corpus, True),
 ]
 
 #: Regenerators whose measurements flow through the recording-aware
 #: harness entry points (``measure_case`` / ``optimize_runtime``) — the
 #: set the sweep plans and executes in workers.  Table 6 (tile-size
 #: models) measures inline by design: its cells are deterministic
-#: simulator runs, cheap relative to the autotuner searches.
+#: simulator runs, cheap relative to the autotuner searches — and the
+#: corpus win/loss table measures inline for the same reason.
 SWEPT_MODULES = (table5, fig4, fig6, fig5, fig7, table4)
 
 #: Journal location when neither --journal nor REPRO_SWEEP_JOURNAL is set.

@@ -59,12 +59,14 @@ from repro.serve.http import (
 from repro.serve.identify import identify_request
 from repro.serve.schema import (
     REASON_DEADLINE_EXPIRED,
+    REASON_INVALID_SPEC,
     SERVED_BY_FAILOVER,
     ServeRequest,
     error_payload,
     parse_request,
+    render_for,
 )
-from repro.util import ServeError
+from repro.util import ServeError, ValidationError
 from repro.util.deadline import Deadline
 
 __all__ = ["FLEET_FORMAT", "FleetRouter"]
@@ -341,10 +343,12 @@ class FleetRouter:
                 ),
                 self._retry_header(),
             )
+        request = None
         try:
             request = parse_request(json.loads(body.decode("utf-8")))
-            # identify_request builds the benchmark Funcs to fingerprint
-            # them — CPU work, so keep it off the event loop.
+            # identify_request builds the benchmark Funcs (lowering spec
+            # targets) to fingerprint them — CPU work, so keep it off
+            # the event loop.
             _case, _arch, key = await self._loop.run_in_executor(
                 None, identify_request, request
             )
@@ -353,7 +357,19 @@ class FleetRouter:
             return 400, error_payload(400, f"request is not JSON: {exc}"), None
         except ServeError as exc:
             self.metrics.bump("responses_error")
-            return 400, error_payload(400, str(exc)), None
+            return 400, render_for(request, error_payload(400, str(exc))), None
+        except ValidationError as exc:
+            # A spec that does not lower is the caller's bug: reject at
+            # the router before any shard burns a forward leg on it.
+            self.metrics.bump("responses_error")
+            return (
+                400,
+                render_for(
+                    request,
+                    error_payload(400, str(exc), reason=REASON_INVALID_SPEC),
+                ),
+                None,
+            )
 
         # The end-to-end budget is charged ONCE, here at admission: every
         # forward leg (failover successors included) sees only what is
@@ -392,10 +408,10 @@ class FleetRouter:
             f"before a shard could answer",
             reason=REASON_DEADLINE_EXPIRED,
         )
-        payload["benchmark"] = request.benchmark
+        payload["benchmark"] = request.label
         payload["platform"] = request.platform
         payload["shard"] = home
-        return 504, payload, None
+        return 504, render_for(request, payload), None
 
     async def _forward_with_failover(
         self,

@@ -1,0 +1,197 @@
+"""The frontend CLI: lower specs, list the corpus, pin the manifest.
+
+Usage::
+
+    python -m repro.frontend lower 'C[i,j] += A[i,k] * B[k,j]' \
+        --dims i=512,j=512,k=512
+    python -m repro.frontend corpus
+    python -m repro.frontend manifest > benchmarks/corpus_manifest.json
+    python -m repro.frontend manifest --check benchmarks/corpus_manifest.json
+
+``lower`` prints the lowered stages and their content fingerprints —
+the hashes the serve layer coalesces and shards on — so two interpreter
+runs printing identical output *is* the determinism guarantee.
+
+``manifest --check`` exits 1 on any drift against the committed golden
+file: a lowering change, fingerprint change, or classification change
+is an API break for every cache and serve deployment, so CI treats it
+like one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import json
+import sys
+
+from repro.frontend.corpus import CORPUS, corpus_manifest
+from repro.frontend.lowering import lower_spec
+from repro.util import ValidationError
+
+EXIT_OK = 0
+EXIT_DRIFT = 1
+EXIT_USAGE = 2
+
+
+def _dims(value: str):
+    out = {}
+    for item in value.split(","):
+        name, sep, raw = item.partition("=")
+        if not sep:
+            raise argparse.ArgumentTypeError(
+                f"--dims wants NAME=EXT[,NAME=EXT...], got {item!r}"
+            )
+        try:
+            out[name.strip()] = int(raw)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"--dims: {name.strip()}={raw!r} is not an integer"
+            ) from None
+    return out
+
+
+def _kv(value: str, flag: str):
+    out = {}
+    for item in value.split(","):
+        name, sep, raw = item.partition("=")
+        if not sep:
+            raise argparse.ArgumentTypeError(
+                f"{flag} wants NAME=VALUE[,NAME=VALUE...], got {item!r}"
+            )
+        out[name.strip()] = raw.strip()
+    return out
+
+
+def cmd_lower(args) -> int:
+    params = None
+    if args.params:
+        params = {}
+        for group in args.params:
+            for name, raw in _kv(group, "--param").items():
+                try:
+                    params[name] = float(raw)
+                except ValueError:
+                    print(
+                        f"error: --param {name}={raw!r} is not a number",
+                        file=sys.stderr,
+                    )
+                    return EXIT_USAGE
+    try:
+        lowered = lower_spec(
+            args.spec, args.dims or {}, dtypes=args.dtypes, params=params
+        )
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    for func, fingerprint in zip(lowered.funcs, lowered.fingerprints):
+        print(f"stage {func.name}: {fingerprint}")
+        if args.verbose:
+            for index, definition in enumerate(func.definitions):
+                kind = "pure" if index == 0 else f"update {index}"
+                print(f"  {kind}: {definition.rhs!r}")
+            bounds = {
+                v.name: func.bound_of(v.name)
+                for v in func.definitions[0].lhs_vars
+            }
+            print(f"  bounds: {bounds}")
+    return EXIT_OK
+
+
+def cmd_corpus(_args) -> int:
+    for kernel in CORPUS:
+        print(
+            f"{kernel.name:20s} {kernel.family:9s} "
+            f"{'x'.join(str(v) for v in kernel.dims.values()):>14s}  "
+            f"{kernel.description}"
+        )
+    print(f"{len(CORPUS)} kernels")
+    return EXIT_OK
+
+
+def _render_manifest() -> str:
+    return json.dumps(corpus_manifest(), indent=2, sort_keys=True) + "\n"
+
+
+def cmd_manifest(args) -> int:
+    rendered = _render_manifest()
+    if args.check is None:
+        sys.stdout.write(rendered)
+        return EXIT_OK
+    try:
+        with open(args.check) as handle:
+            golden = handle.read()
+    except OSError as exc:
+        print(
+            f"error: cannot read {args.check!r}: {exc.strerror or exc}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if golden == rendered:
+        print(
+            f"{args.check}: manifest matches "
+            f"({len(corpus_manifest()['kernels'])} kernels)"
+        )
+        return EXIT_OK
+    diff = difflib.unified_diff(
+        golden.splitlines(keepends=True),
+        rendered.splitlines(keepends=True),
+        fromfile=args.check,
+        tofile="regenerated",
+    )
+    sys.stderr.writelines(diff)
+    print(
+        f"{args.check}: manifest drift — lowering, fingerprints, or "
+        f"classification changed; regenerate with `python -m "
+        f"repro.frontend manifest > {args.check}` if intentional",
+        file=sys.stderr,
+    )
+    return EXIT_DRIFT
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.frontend",
+        description="Kernel spec frontend: lower, list, pin",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_lower = sub.add_parser("lower", help="lower one spec, print stages")
+    p_lower.add_argument("spec", help="e.g. 'C[i,j] += A[i,k] * B[k,j]'")
+    p_lower.add_argument("--dims", type=_dims, default=None,
+                         metavar="N=EXT,...",
+                         help="loop extents, e.g. i=512,j=512,k=512")
+    p_lower.add_argument("--dtypes", type=lambda v: _kv(v, "--dtypes"),
+                         default=None, metavar="T=DT,...",
+                         help="per-tensor dtypes (default float32)")
+    p_lower.add_argument("--param", action="append", default=None,
+                         dest="params", metavar="NAME=VALUE",
+                         help="scalar constant (repeatable)")
+    p_lower.add_argument("-v", "--verbose", action="store_true",
+                         help="also print definitions and bounds")
+
+    sub.add_parser("corpus", help="list the generated kernel corpus")
+
+    p_manifest = sub.add_parser(
+        "manifest",
+        help="print (or --check) the golden corpus manifest",
+    )
+    p_manifest.add_argument("--check", default=None, metavar="PATH",
+                            help="compare against a committed manifest; "
+                                 "exit 1 on drift")
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "lower": cmd_lower,
+        "corpus": cmd_corpus,
+        "manifest": cmd_manifest,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,279 @@
+"""Tokenizer and recursive-descent parser for the kernel spec language.
+
+The grammar (see docs/API.md § *Kernel spec language*)::
+
+    spec   := stmt (';' stmt)* [';']
+    stmt   := access ('=' | '+=') expr
+    access := NAME '[' expr (',' expr)* ']'
+    expr   := orex
+    orex   := andex ('|' andex)*
+    andex  := sum ('&' sum)*
+    sum    := product (('+' | '-') product)*
+    product:= unary (('*' | '/') unary)*
+    unary  := '-' unary | atom
+    atom   := NUMBER | NAME | access | '(' expr ')'
+
+Numbers keep their written type (``2`` is an integer, ``2.0`` / ``0.2``
+a float) — this matters because lowered constants are fingerprinted by
+value *and* type.  The parser produces a tiny plain AST
+(:class:`Num` / :class:`Name` / :class:`Neg` / :class:`Bin` /
+:class:`Ref`); all semantic checks (which names are loop variables,
+buffers, stages or scalar parameters; affine index validation) happen in
+:mod:`repro.frontend.lowering`.
+
+Every syntax error raises :class:`~repro.util.ValidationError` with the
+offending position, so malformed specs surface as HTTP 400s (never 500s)
+when they arrive over the serve wire.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from repro.util import ValidationError
+
+__all__ = [
+    "Bin",
+    "Name",
+    "Neg",
+    "Num",
+    "Ref",
+    "Statement",
+    "parse_spec",
+]
+
+
+# --- AST -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    """A numeric literal; ``value`` keeps the written int/float type."""
+
+    value: Union[int, float]
+
+
+@dataclass(frozen=True)
+class Name:
+    """A bare identifier (loop variable in an index, parameter in a value)."""
+
+    id: str
+
+
+@dataclass(frozen=True)
+class Neg:
+    """Unary minus."""
+
+    operand: object
+
+
+@dataclass(frozen=True)
+class Bin:
+    """A binary operation (``+ - * / & |``)."""
+
+    op: str
+    lhs: object
+    rhs: object
+
+
+@dataclass(frozen=True)
+class Ref:
+    """An indexed reference ``NAME[expr, ...]`` (buffer or stage access)."""
+
+    name: str
+    indices: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One ``LHS[vars...] = rhs`` or ``LHS[vars...] += rhs`` statement."""
+
+    lhs_name: str
+    lhs_indices: Tuple[object, ...]
+    op: str  # "=" or "+="
+    rhs: object
+
+
+# --- tokenizer -------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?
+               |\d+[eE][+-]?\d+|\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<pluseq>\+=)
+  | (?P<sym>[\[\](),;+\-*/&|=])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    """Yield ``(kind, value, position)`` tokens; reject anything else."""
+    tokens: List[Tuple[str, str, int]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ValidationError(
+                f"spec syntax error at position {pos}: unexpected "
+                f"character {text[pos]!r}"
+            )
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append((kind, match.group(), pos))
+        pos = match.end()
+    tokens.append(("eof", "", len(text)))
+    return tokens
+
+
+# --- parser ----------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.i = 0
+
+    def _peek(self) -> Tuple[str, str, int]:
+        return self.tokens[self.i]
+
+    def _next(self) -> Tuple[str, str, int]:
+        token = self.tokens[self.i]
+        self.i += 1
+        return token
+
+    def _expect(self, value: str) -> None:
+        kind, got, pos = self._peek()
+        if got != value:
+            raise ValidationError(
+                f"spec syntax error at position {pos}: expected {value!r}, "
+                f"got {got!r}" + ("" if kind != "eof" else " (end of spec)")
+            )
+        self._next()
+
+    def _error(self, message: str) -> ValidationError:
+        _kind, got, pos = self._peek()
+        what = repr(got) if got else "end of spec"
+        return ValidationError(
+            f"spec syntax error at position {pos}: {message}, got {what}"
+        )
+
+    # statements
+
+    def parse(self) -> List[Statement]:
+        statements = [self._statement()]
+        while self._peek()[1] == ";":
+            self._next()
+            if self._peek()[0] == "eof":
+                break  # tolerate one trailing semicolon
+            statements.append(self._statement())
+        if self._peek()[0] != "eof":
+            raise self._error("expected ';' between statements")
+        return statements
+
+    def _statement(self) -> Statement:
+        kind, name, _pos = self._peek()
+        if kind != "name":
+            raise self._error("expected a statement like 'C[i,j] = ...'")
+        self._next()
+        if self._peek()[1] != "[":
+            raise self._error(
+                f"left-hand side {name!r} needs an index list like "
+                f"'{name}[i,j]'"
+            )
+        indices = self._index_list()
+        kind, op, _pos = self._peek()
+        if op not in ("=", "+="):
+            raise self._error("expected '=' or '+=' after the left-hand side")
+        self._next()
+        rhs = self._expr()
+        return Statement(
+            lhs_name=name, lhs_indices=indices, op=op, rhs=rhs
+        )
+
+    def _index_list(self) -> Tuple[object, ...]:
+        self._expect("[")
+        indices = [self._expr()]
+        while self._peek()[1] == ",":
+            self._next()
+            indices.append(self._expr())
+        self._expect("]")
+        return tuple(indices)
+
+    # expressions, loosest binding first
+
+    def _expr(self):
+        return self._orex()
+
+    def _orex(self):
+        node = self._andex()
+        while self._peek()[1] == "|":
+            self._next()
+            node = Bin("|", node, self._andex())
+        return node
+
+    def _andex(self):
+        node = self._sum()
+        while self._peek()[1] == "&":
+            self._next()
+            node = Bin("&", node, self._sum())
+        return node
+
+    def _sum(self):
+        node = self._product()
+        while self._peek()[1] in ("+", "-"):
+            op = self._next()[1]
+            node = Bin(op, node, self._product())
+        return node
+
+    def _product(self):
+        node = self._unary()
+        while self._peek()[1] in ("*", "/"):
+            op = self._next()[1]
+            node = Bin(op, node, self._unary())
+        return node
+
+    def _unary(self):
+        if self._peek()[1] == "-":
+            self._next()
+            return Neg(self._unary())
+        return self._atom()
+
+    def _atom(self):
+        kind, value, _pos = self._peek()
+        if kind == "number":
+            self._next()
+            if re.search(r"[.eE]", value):
+                return Num(float(value))
+            return Num(int(value))
+        if kind == "name":
+            self._next()
+            if self._peek()[1] == "[":
+                return Ref(value, self._index_list())
+            return Name(value)
+        if value == "(":
+            self._next()
+            node = self._expr()
+            self._expect(")")
+            return node
+        raise self._error("expected a number, name, access or '('")
+
+
+def parse_spec(text: str) -> List[Statement]:
+    """Parse one spec string into its statements.
+
+    Raises :class:`~repro.util.ValidationError` (with position) on any
+    syntax violation; an empty spec is a violation too.
+    """
+    if not isinstance(text, str):
+        raise ValidationError(
+            f"spec must be a string, got {type(text).__name__}"
+        )
+    if not text.strip():
+        raise ValidationError("spec must not be empty")
+    return _Parser(text).parse()

@@ -1,0 +1,103 @@
+"""The consolidated optimizer-option surface: :class:`OptimizeOptions`.
+
+Every switch that can influence one optimization run lives here, in one
+frozen value object, instead of being spread across a half-dozen keyword
+arguments on :class:`repro.api.OptimizeRequest`:
+
+* the six **schedule-changing** switches (``use_nti``, ``parallelize``,
+  ``vectorize``, ``exhaustive``, ``use_emu``, ``order_step``) — exactly
+  the set the persistent :class:`repro.cache.ScheduleCache` and the
+  serve-layer coalescing keys fingerprint;
+* ``jobs`` — parallel candidate evaluation; bit-identical to serial, so
+  deliberately **excluded** from :meth:`cache_dict` (worker count must
+  never fragment caches; see :mod:`repro.core.parallel`);
+* ``tracer`` — observability; likewise excluded (tracing is
+  bit-for-bit neutral by contract, see :mod:`repro.obs`).
+
+:func:`repro.cache.fingerprint.optimize_options` delegates here, which
+makes this class the single source of truth for option fingerprints:
+the cache key, the serve coalesce key, and the fleet shard key all
+derive from :meth:`cache_dict` of the same value object.
+
+The legacy per-keyword spelling on ``OptimizeRequest`` keeps working
+through a deprecation shim (warns :class:`DeprecationWarning`; CI runs
+the suite with ``-W error::DeprecationWarning`` so no internal caller
+may use it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Union
+
+__all__ = ["OptimizeOptions"]
+
+#: The switches that can change the chosen schedule — the fingerprint set.
+CACHE_KEYS = (
+    "use_nti",
+    "parallelize",
+    "vectorize",
+    "exhaustive",
+    "use_emu",
+    "order_step",
+)
+
+
+@dataclass(frozen=True)
+class OptimizeOptions:
+    """One optimizer configuration, hashable down to its cache identity.
+
+    Attributes
+    ----------
+    use_nti / parallelize / vectorize / exhaustive / use_emu / order_step:
+        The uniform switch set of the legacy surfaces (paper ablations).
+    jobs:
+        Worker processes for the Algorithm-2/3 candidate searches
+        (0 or ``"auto"`` = resolve from ``os.cpu_count()``; 1 = serial);
+        results are bit-identical either way, so ``jobs`` is not part of
+        :meth:`cache_dict`.
+    tracer:
+        Optional :class:`repro.obs.Tracer` installed for the run;
+        bit-for-bit neutral, so likewise not part of the cache identity.
+    """
+
+    use_nti: bool = True
+    parallelize: bool = True
+    vectorize: bool = True
+    exhaustive: bool = False
+    use_emu: bool = True
+    order_step: bool = True
+    jobs: Union[int, str] = 1
+    tracer: object = None
+
+    def __post_init__(self) -> None:
+        # Delegate jobs validation (and the "auto" spelling) to the
+        # parallel-search layer so every surface rejects the same inputs.
+        from repro.core.parallel import resolve_jobs
+
+        resolve_jobs(self.jobs)
+
+    def cache_dict(self) -> Dict[str, bool]:
+        """The canonical options dict — exactly the switches that can
+        change the chosen schedule, nothing that cannot (``jobs``,
+        tracers, deadlines).  This is the options half of every cache,
+        coalescing and shard key."""
+        return {key: bool(getattr(self, key)) for key in CACHE_KEYS}
+
+    def fingerprint(self) -> str:
+        """SHA-256 of :meth:`cache_dict` (canonical JSON)."""
+        from repro.cache.fingerprint import options_fingerprint
+
+        return options_fingerprint(self.cache_dict())
+
+    def replace(self, **overrides) -> "OptimizeOptions":
+        """Copy with some fields replaced (runs validation again)."""
+        known = {f.name for f in fields(self)}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise TypeError(
+                f"unknown option(s) {unknown}; known: {sorted(known)}"
+            )
+        merged = {f.name: getattr(self, f.name) for f in fields(self)}
+        merged.update(overrides)
+        return OptimizeOptions(**merged)

@@ -131,16 +131,27 @@ class ServeClient:
 
     def optimize(
         self,
-        benchmark: str,
-        platform: str,
+        benchmark: Optional[str] = None,
+        platform: str = "",
         *,
         fast: bool = False,
         jobs: Union[int, str] = 1,
         deadline_ms: Optional[float] = None,
         hedge_after_s: Optional[float] = None,
+        spec: Optional[str] = None,
+        dims: Optional[Dict[str, int]] = None,
+        dtypes: Optional[Dict[str, str]] = None,
+        params: Optional[Dict[str, float]] = None,
         **options,
     ) -> Dict:
         """Submit one optimization request; block until its result.
+
+        The target is exactly one of ``benchmark`` (a named suite
+        kernel, a ``repro-serve-v1`` body on the wire) or ``spec`` +
+        ``dims`` (a kernel spec string, lowered server-side; the body is
+        ``repro-serve-v1.1`` and the response echoes ``schema_version``,
+        ``spec`` and ``dims``).  Spec submissions coalesce and cache-hit
+        with ir submissions of the same kernel.
 
         Returns the full result payload (``schedules`` carries one
         replayable ``repro-schedule-v1`` document per pipeline stage).
@@ -169,6 +180,10 @@ class ServeClient:
             fast=fast,
             jobs=jobs,
             deadline_ms=deadline_ms,
+            spec=spec,
+            dims=dims,
+            dtypes=dtypes,
+            params=params,
             **options,
         )
         deadline = (

@@ -8,6 +8,14 @@ that an invariant instead of a convention: the key is built from the
 content fingerprints of every pipeline stage, the platform fingerprint,
 and the canonical options fingerprint — exactly the inputs that
 determine the chosen schedules (see :mod:`repro.cache.fingerprint`).
+
+Spec targets (repro-serve-v1.1) are lowered here with
+:func:`repro.frontend.lower_spec` and fingerprinted from the *lowered*
+Funcs — a spec-submission and a benchmark/ir-submission of the same
+kernel therefore produce the same key, coalesce onto one in-flight
+computation, hit the same cache entries, and route to the same shard.
+A malformed spec raises :class:`~repro.util.ValidationError`, which the
+server maps to HTTP 400 with ``reason="invalid_spec"`` (never a 500).
 """
 
 from __future__ import annotations
@@ -23,26 +31,59 @@ from repro.util import ServeError
 __all__ = ["identify_request"]
 
 
+def _spec_case(request: ServeRequest):
+    """Lower a v1.1 spec target into a benchmark-shaped case.
+
+    ``ValidationError`` from the frontend propagates untouched — the
+    serve layers give it a 400 + ``invalid_spec`` mapping.
+    """
+    from repro.bench.suite import BenchmarkCase
+    from repro.frontend import lower_spec
+
+    lowered = lower_spec(
+        request.spec,
+        request.dims or {},
+        dtypes=request.dtypes,
+        params=request.params,
+    )
+    dims = lowered.dims
+    return BenchmarkCase(
+        name=request.label,
+        description="kernel spec",
+        pipeline=lowered.pipeline,
+        problem_size="x".join(str(v) for v in dims.values()),
+    )
+
+
 def identify_request(request: ServeRequest) -> Tuple[object, object, str]:
     """Build the benchmark case, platform, and identity key of a request.
 
     Returns ``(case, arch, key)``.  Raises
     :class:`~repro.util.ServeError` with an actionable message for an
-    unknown benchmark or platform — servers map these to 400 responses.
+    unknown benchmark or platform (a 400), and
+    :class:`~repro.util.ValidationError` for a spec that does not lower
+    (also a 400, tagged ``invalid_spec``).
     """
-    name = request.benchmark
-    try:
-        if name in SUITE:
-            case = make_benchmark(name, **size_for(name, small=request.fast))
-        elif name in EXTRAS:
-            case = make_extra(name)
-        else:
+    if request.spec is not None:
+        case = _spec_case(request)
+    else:
+        name = request.benchmark
+        try:
+            if name in SUITE:
+                case = make_benchmark(
+                    name, **size_for(name, small=request.fast)
+                )
+            elif name in EXTRAS:
+                case = make_extra(name)
+            else:
+                raise ServeError(
+                    f"unknown benchmark {name!r}; known: "
+                    f"{sorted(SUITE) + sorted(EXTRAS)}"
+                )
+        except (KeyError, ValueError) as exc:
             raise ServeError(
-                f"unknown benchmark {name!r}; known: "
-                f"{sorted(SUITE) + sorted(EXTRAS)}"
-            )
-    except (KeyError, ValueError) as exc:
-        raise ServeError(f"cannot build benchmark {name!r}: {exc}") from None
+                f"cannot build benchmark {name!r}: {exc}"
+            ) from None
     try:
         arch = platform_by_name(request.platform)
     except KeyError:

@@ -1,4 +1,5 @@
-"""The ``repro-serve-v1`` wire schema: requests, results, errors, metrics.
+"""The ``repro-serve-v1``/``v1.1`` wire schema: requests, results,
+errors, metrics.
 
 Everything the optimization service speaks is versioned JSON.  One
 request names a benchmark (the service builds the Funcs server-side from
@@ -9,6 +10,23 @@ schedule-cache key (:func:`repro.cache.optimize_options`)::
     {"format": "repro-serve-v1", "benchmark": "matmul", "fast": true,
      "platform": "i7-5930k", "options": {"use_nti": true, ...},
      "jobs": 1, "deadline_ms": 2000.0}
+
+``repro-serve-v1.1`` adds the kernel spec language as a first-class
+target: instead of ``benchmark``, a request may carry a ``spec`` string
+plus its ``dims`` (and optional ``dtypes``/``params``), lowered
+server-side by :mod:`repro.frontend`::
+
+    {"format": "repro-serve-v1.1", "spec": "C[i,j] += A[i,k] * B[k,j]",
+     "dims": {"i": 512, "j": 512, "k": 512}, "platform": "i7-5930k"}
+
+Exactly one of ``benchmark`` / ``spec`` is required in a v1.1 body
+(v1 bodies are unchanged byte-for-byte — same fields, same defaults,
+same rejections).  Responses to v1.1 requests echo
+``"schema_version": "1.1"`` plus the request's spec/dims; responses to
+v1 requests are bit-identical to what a v1-only server produced.
+Because :mod:`repro.serve.identify` fingerprints the *lowered* Func,
+spec- and benchmark-submissions of the same kernel coalesce, cache-hit
+and shard together.
 
 One result carries the serialized schedule of every pipeline stage
 (:func:`repro.ir.serialize.schedule_to_dict` — replayable on any machine
@@ -35,14 +53,21 @@ serve-smoke job holds the server to.
 from __future__ import annotations
 
 import hashlib
+import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.cache.fingerprint import optimize_options, options_fingerprint
 from repro.util import ServeError
 
 #: Request/response schema tag; bump on any incompatible layout change.
 SERVE_FORMAT = "repro-serve-v1"
+#: The v1.1 extension: spec-string targets; v1 bodies stay byte-valid.
+SERVE_FORMAT_V11 = "repro-serve-v1.1"
+#: Every format a server accepts, oldest first.
+SERVE_FORMATS = (SERVE_FORMAT, SERVE_FORMAT_V11)
+#: The ``schema_version`` echoed in responses to v1.1 requests.
+SCHEMA_VERSION_V11 = "1.1"
 #: Metrics snapshot schema tag, versioned independently of the wire.
 METRICS_FORMAT = "repro-serve-metrics-v1"
 
@@ -72,6 +97,10 @@ WORKER_SERVED_BY = (SERVED_BY_SEARCH, SERVED_BY_CACHE, SERVED_BY_COALESCED)
 #: forbids another retry.
 REASON_DEADLINE_EXPIRED = "deadline_expired"
 REASON_DEADLINE_EXHAUSTED = "deadline_exhausted"
+#: A 400 whose spec failed to lower (parse error, non-affine index,
+#: missing dims...) — :class:`~repro.util.ValidationError` territory,
+#: never a 500 from the worker.
+REASON_INVALID_SPEC = "invalid_spec"
 
 #: Option switches a request may set; exactly the schedule-cache key.
 OPTION_KEYS = tuple(optimize_options())
@@ -96,12 +125,16 @@ __all__ = [
     "OPTION_KEYS",
     "REASON_DEADLINE_EXHAUSTED",
     "REASON_DEADLINE_EXPIRED",
+    "REASON_INVALID_SPEC",
+    "SCHEMA_VERSION_V11",
     "SERVED_BY",
     "SERVED_BY_CACHE",
     "SERVED_BY_COALESCED",
     "SERVED_BY_FAILOVER",
     "SERVED_BY_SEARCH",
     "SERVE_FORMAT",
+    "SERVE_FORMATS",
+    "SERVE_FORMAT_V11",
     "WORKER_SERVED_BY",
     "ServeRequest",
     "build_request",
@@ -109,6 +142,7 @@ __all__ = [
     "error_payload",
     "healthz_payload",
     "parse_request",
+    "render_for",
     "result_payload",
     "validate_healthz",
     "validate_metrics",
@@ -122,36 +156,80 @@ class ServeRequest:
     ``options`` is always the complete canonical dict (request-supplied
     switches merged over :func:`repro.cache.optimize_options` defaults),
     so fingerprints computed from it match the persistent cache's.
+
+    The target is either a ``benchmark`` name (both formats) or, for
+    ``repro-serve-v1.1``, a kernel ``spec`` string with its ``dims``
+    (plus optional ``dtypes``/``params``) — exactly one of the two.
+    ``format`` records which wire format the request arrived in, so the
+    server can render the response in kind.
     """
 
-    benchmark: str
-    platform: str
+    benchmark: Optional[str] = None
+    platform: str = ""
     fast: bool = False
     options: Dict[str, bool] = field(default_factory=optimize_options)
     jobs: Union[int, str] = 1
     deadline_ms: Optional[float] = None
+    format: str = SERVE_FORMAT
+    spec: Optional[str] = None
+    dims: Optional[Mapping[str, int]] = None
+    dtypes: Optional[Mapping[str, str]] = None
+    params: Optional[Mapping[str, Union[int, float]]] = None
+
+    @property
+    def label(self) -> str:
+        """Attribution name: the benchmark, or ``spec:<output>`` for a
+        spec target (used in traces, metrics and error bodies)."""
+        if self.benchmark is not None:
+            return self.benchmark
+        match = re.match(r"\s*([A-Za-z_][A-Za-z0-9_]*)", self.spec or "")
+        return f"spec:{match.group(1) if match else '?'}"
 
     def to_dict(self) -> Dict:
-        payload = {
-            "format": SERVE_FORMAT,
-            "benchmark": self.benchmark,
-            "platform": self.platform,
-            "fast": self.fast,
-            "options": dict(self.options),
-            "jobs": self.jobs,
-        }
+        if self.format == SERVE_FORMAT:
+            payload = {
+                "format": SERVE_FORMAT,
+                "benchmark": self.benchmark,
+                "platform": self.platform,
+                "fast": self.fast,
+                "options": dict(self.options),
+                "jobs": self.jobs,
+            }
+            if self.deadline_ms is not None:
+                payload["deadline_ms"] = self.deadline_ms
+            return payload
+        payload = {"format": self.format}
+        if self.benchmark is not None:
+            payload["benchmark"] = self.benchmark
+        if self.spec is not None:
+            payload["spec"] = self.spec
+            payload["dims"] = dict(self.dims or {})
+            if self.dtypes:
+                payload["dtypes"] = dict(self.dtypes)
+            if self.params:
+                payload["params"] = dict(self.params)
+        payload.update(
+            platform=self.platform,
+            fast=self.fast,
+            options=dict(self.options),
+            jobs=self.jobs,
+        )
         if self.deadline_ms is not None:
             payload["deadline_ms"] = self.deadline_ms
         return payload
 
 
 def build_request(
-    benchmark: str,
-    platform: str,
+    benchmark: Optional[str] = None,
+    platform: str = "",
     *,
     fast: bool = False,
     jobs: Union[int, str] = 1,
     deadline_ms: Optional[float] = None,
+    spec: Optional[str] = None,
+    dims: Optional[Mapping[str, int]] = None,
+    dtypes: Optional[Mapping[str, str]] = None,
+    params: Optional[Mapping[str, Union[int, float]]] = None,
     **options,
 ) -> Dict:
     """Client-side sugar: a wire-ready request dict with defaults filled.
@@ -159,11 +237,31 @@ def build_request(
     ``options`` accepts exactly the :data:`OPTION_KEYS` switches
     (``use_nti=False`` and friends); anything else is rejected here,
     before a round-trip to the server can bounce it.
+
+    A ``benchmark`` target produces a ``repro-serve-v1`` body —
+    byte-identical to what pre-v1.1 clients sent; a ``spec`` target
+    (with ``dims``, optional ``dtypes``/``params``) produces a
+    ``repro-serve-v1.1`` body.  Exactly one of the two is required.
     """
     unknown = sorted(set(options) - set(OPTION_KEYS))
     if unknown:
         raise ServeError(
             f"unknown option(s) {unknown}; known: {list(OPTION_KEYS)}"
+        )
+    if (benchmark is None) == (spec is None):
+        raise ServeError(
+            "a request needs exactly one of benchmark= or spec="
+        )
+    if benchmark is not None and (
+        dims is not None or dtypes is not None or params is not None
+    ):
+        raise ServeError(
+            "dims=/dtypes=/params= are only meaningful with spec="
+        )
+    if spec is not None and dims is None:
+        raise ServeError(
+            "spec= needs dims= (loop extents, e.g. "
+            "{'i': 512, 'j': 512, 'k': 512})"
         )
     return ServeRequest(
         benchmark=benchmark,
@@ -172,6 +270,11 @@ def build_request(
         options=optimize_options(**options),
         jobs=jobs,
         deadline_ms=deadline_ms,
+        format=SERVE_FORMAT if spec is None else SERVE_FORMAT_V11,
+        spec=spec,
+        dims=dict(dims) if dims is not None else None,
+        dtypes=dict(dtypes) if dtypes is not None else None,
+        params=dict(params) if params is not None else None,
     ).to_dict()
 
 
@@ -190,15 +293,22 @@ def parse_request(payload) -> ServeRequest:
     Raises :class:`~repro.util.ServeError` with a friendly,
     actionable message on any violation — the server maps these
     straight to 400 responses.
+
+    Both :data:`SERVE_FORMATS` are accepted; a ``repro-serve-v1`` body
+    is validated exactly as a v1-only server validated it (same fields,
+    same defaults, same rejections — ``spec`` is an unknown field
+    there), and ``repro-serve-v1.1`` additionally accepts the
+    spec-target fields.
     """
     if not isinstance(payload, dict):
         raise ServeError(
             f"request body must be a JSON object, got "
             f"{type(payload).__name__}"
         )
-    if payload.get("format") != SERVE_FORMAT:
+    fmt = payload.get("format")
+    if fmt not in SERVE_FORMATS:
         raise ServeError(
-            f"unsupported request format {payload.get('format')!r} "
+            f"unsupported request format {fmt!r} "
             f"(this server speaks {SERVE_FORMAT!r})"
         )
     known = {
@@ -210,12 +320,64 @@ def parse_request(payload) -> ServeRequest:
         "jobs",
         "deadline_ms",
     }
+    if fmt == SERVE_FORMAT_V11:
+        known |= {"spec", "dims", "dtypes", "params"}
     unknown = sorted(set(payload) - known)
     if unknown:
         raise ServeError(
             f"unknown request field(s) {unknown}; known: {sorted(known)}"
         )
-    benchmark = _require(payload, "benchmark", str, "string")
+    spec = dims = dtypes = params = None
+    if fmt == SERVE_FORMAT_V11:
+        benchmark = payload.get("benchmark")
+        spec = payload.get("spec")
+        if (benchmark is None) == (spec is None):
+            raise ServeError(
+                f"a {SERVE_FORMAT_V11} request needs exactly one of "
+                f"'benchmark' or 'spec'"
+            )
+        if benchmark is not None:
+            benchmark = _require(payload, "benchmark", str, "string")
+            for key in ("dims", "dtypes", "params"):
+                if payload.get(key) is not None:
+                    raise ServeError(
+                        f"request field {key!r} is only meaningful "
+                        f"with 'spec'"
+                    )
+        else:
+            spec = _require(payload, "spec", str, "string")
+            dims = _require(payload, "dims", dict, "object")
+            for key, value in dims.items():
+                if (
+                    isinstance(value, bool)
+                    or not isinstance(value, int)
+                    or value <= 0
+                ):
+                    raise ServeError(
+                        f"dims[{key!r}] must be a positive integer, "
+                        f"got {value!r}"
+                    )
+            dtypes = payload.get("dtypes")
+            if dtypes is not None:
+                if not isinstance(dtypes, dict) or not all(
+                    isinstance(v, str) for v in dtypes.values()
+                ):
+                    raise ServeError(
+                        f"request field 'dtypes' must map names to "
+                        f"element-type strings, got {dtypes!r}"
+                    )
+            params = payload.get("params")
+            if params is not None:
+                if not isinstance(params, dict) or not all(
+                    isinstance(v, (int, float)) and not isinstance(v, bool)
+                    for v in params.values()
+                ):
+                    raise ServeError(
+                        f"request field 'params' must map names to "
+                        f"numbers, got {params!r}"
+                    )
+    else:
+        benchmark = _require(payload, "benchmark", str, "string")
     platform = _require(payload, "platform", str, "string")
     fast = payload.get("fast", False)
     if not isinstance(fast, bool):
@@ -260,6 +422,11 @@ def parse_request(payload) -> ServeRequest:
         options=optimize_options(**raw_options),
         jobs=jobs,
         deadline_ms=deadline_ms,
+        format=fmt,
+        spec=spec,
+        dims=dims,
+        dtypes=dtypes,
+        params=params,
     )
 
 
@@ -365,12 +532,18 @@ def result_payload(
     elapsed_ms: float,
     stage_sources: Optional[Sequence[str]] = None,
 ) -> Dict:
-    """Assemble one success response body (server-side)."""
+    """Assemble one success response body (server-side).
+
+    The body is always the canonical v1 layout — for a v1.1 request the
+    server re-stamps it per-request with :func:`render_for`, which is
+    what lets coalesced spec- and benchmark-submissions share one
+    computed payload.
+    """
     assert served_by in WORKER_SERVED_BY
     return {
         "format": SERVE_FORMAT,
         "kind": "result",
-        "benchmark": request.benchmark,
+        "benchmark": request.label,
         "platform": request.platform,
         "key": key,
         "served_by": served_by,
@@ -411,6 +584,28 @@ def error_payload(
     if reason is not None:
         payload["reason"] = str(reason)
     return payload
+
+
+def render_for(request: Optional[ServeRequest], payload: Dict) -> Dict:
+    """Re-stamp one canonical (v1-layout) response body for the wire
+    format ``request`` arrived in.
+
+    For a v1 request (or before a request could be parsed,
+    ``request=None``) this is the identity — v1 responses stay
+    bit-identical to a v1-only server's.  For a v1.1 request the copy
+    gains the v1.1 format tag, the explicit ``schema_version`` echo,
+    and (for spec targets) the request's ``spec``/``dims`` so a caller
+    can correlate responses without keeping request state.
+    """
+    if request is None or request.format == SERVE_FORMAT:
+        return payload
+    out = dict(payload)
+    out["format"] = SERVE_FORMAT_V11
+    out["schema_version"] = SCHEMA_VERSION_V11
+    if request.spec is not None:
+        out["spec"] = request.spec
+        out["dims"] = dict(request.dims or {})
+    return out
 
 
 # -- metrics snapshot contract -----------------------------------------

@@ -80,17 +80,26 @@ from repro.serve.http import (
 )
 from repro.serve.identify import identify_request
 from repro.serve.metrics import ServeMetrics
+from repro.options import OptimizeOptions
 from repro.serve.schema import (
     REASON_DEADLINE_EXPIRED,
+    REASON_INVALID_SPEC,
     SERVED_BY_CACHE,
     SERVED_BY_COALESCED,
     SERVED_BY_SEARCH,
     error_payload,
     healthz_payload,
     parse_request,
+    render_for,
     result_payload,
 )
-from repro.util import Deadline, DeadlineExceeded, ReproError, ServeError
+from repro.util import (
+    Deadline,
+    DeadlineExceeded,
+    ReproError,
+    ServeError,
+    ValidationError,
+)
 
 __all__ = ["OptimizeServer"]
 
@@ -386,13 +395,27 @@ class OptimizeServer:
                 ),
                 self._retry_header(),
             )
+        request = None
         try:
             request = parse_request(json.loads(body.decode("utf-8")))
             case, arch, key = identify_request(request)
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             return 400, error_payload(400, f"request is not JSON: {exc}"), None
         except ServeError as exc:
-            return 400, error_payload(400, str(exc)), None
+            return 400, render_for(request, error_payload(400, str(exc))), None
+        except ValidationError as exc:
+            # A spec that does not lower is the caller's bug, not ours:
+            # 400 with the machine-readable invalid_spec tag, never 500.
+            return (
+                400,
+                render_for(
+                    request,
+                    error_payload(
+                        400, str(exc), reason=REASON_INVALID_SPEC
+                    ),
+                ),
+                None,
+            )
 
         # The fleet router charges the end-to-end budget once at its own
         # admission and forwards only the *remainder* here; when the
@@ -422,11 +445,11 @@ class OptimizeServer:
                 "end-to-end deadline budget exhausted before admission",
                 reason=REASON_DEADLINE_EXPIRED,
             )
-            payload["benchmark"] = request.benchmark
+            payload["benchmark"] = request.label
             payload["platform"] = request.platform
             self.tracer.event(
                 EVENT_SERVE_REQUEST,
-                benchmark=request.benchmark,
+                benchmark=request.label,
                 platform=request.platform,
                 served_by="error",
                 status=504,
@@ -434,7 +457,7 @@ class OptimizeServer:
                     (time.perf_counter() - arrived) * 1000.0, 3
                 ),
             )
-            return 504, payload, None
+            return 504, render_for(request, payload), None
 
         job = self._table.lookup(key)
         coalesced = job is not None
@@ -480,40 +503,36 @@ class OptimizeServer:
         elapsed_ms = (time.perf_counter() - arrived) * 1000.0
         self.metrics.observe_latency(elapsed_ms)
         if outcome[0] == "ok":
-            payload = dict(outcome[1])
+            payload = render_for(request, dict(outcome[1]))
             if coalesced:
                 payload["served_by"] = SERVED_BY_COALESCED
             self.metrics.bump("responses_ok")
             self.tracer.event(
                 EVENT_SERVE_REQUEST,
-                benchmark=request.benchmark,
+                benchmark=request.label,
                 platform=request.platform,
                 served_by=payload["served_by"],
                 status=200,
                 elapsed_ms=round(elapsed_ms, 3),
             )
             return 200, payload, None
-        _tag, status, message = outcome
+        _tag, status, message, reason = outcome
         self.metrics.bump("responses_error")
         self.tracer.event(
             EVENT_SERVE_REQUEST,
-            benchmark=request.benchmark,
+            benchmark=request.label,
             platform=request.platform,
             served_by="error",
             status=status,
             elapsed_ms=round(elapsed_ms, 3),
         )
-        payload = error_payload(
-            status,
-            message,
-            reason=REASON_DEADLINE_EXPIRED if status == 504 else None,
-        )
+        payload = error_payload(status, message, reason=reason)
         if status == 504:
             # Deadline 504s keep their attribution: a timed-out caller
             # (or the chaos harness) still learns which request died.
-            payload["benchmark"] = request.benchmark
+            payload["benchmark"] = request.label
             payload["platform"] = request.platform
-        return status, payload, None
+        return status, render_for(request, payload), None
 
     # -- dispatch ------------------------------------------------------
 
@@ -551,11 +570,21 @@ class OptimizeServer:
             outcome = ("ok", payload)
         except DeadlineExceeded as exc:
             self.metrics.bump("deadline_expired")
-            outcome = ("error", 504, f"deadline exceeded: {exc}")
+            outcome = (
+                "error",
+                504,
+                f"deadline exceeded: {exc}",
+                REASON_DEADLINE_EXPIRED,
+            )
+        except ValidationError as exc:
+            # Safety net: malformed specs are normally rejected at
+            # admission, but if one slips into the worker it is still
+            # the caller's bug — a 400, never a 500.
+            outcome = ("error", 400, str(exc), REASON_INVALID_SPEC)
         except ReproError as exc:
-            outcome = ("error", 500, str(exc))
+            outcome = ("error", 500, str(exc), None)
         except Exception as exc:  # pragma: no cover - last-resort guard
-            outcome = ("error", 500, f"internal error: {exc}")
+            outcome = ("error", 500, f"internal error: {exc}", None)
         finally:
             self._in_flight -= 1
             self._slots.release()
@@ -607,9 +636,10 @@ class OptimizeServer:
                 api.OptimizeRequest(
                     func=stage,
                     arch=arch,
-                    jobs=request.jobs,
                     deadline_ms=remaining_ms,
-                    **request.options,
+                    options=OptimizeOptions(
+                        jobs=request.jobs, **request.options
+                    ),
                 )
             )
             if self.cache is not None:
@@ -620,7 +650,7 @@ class OptimizeServer:
                     result.schedule,
                     meta={
                         "origin": "serve",
-                        "benchmark": request.benchmark,
+                        "benchmark": request.label,
                         "platform": request.platform,
                     },
                 )

@@ -128,7 +128,10 @@ class TestJobsAuto:
     def test_api_accepts_auto_and_matches_serial(self, arch):
         serial = api.optimize(
             api.OptimizeRequest(
-                arch=arch, func=make_matmul(48)[0], mode=api.MODE_AUTO, jobs=1
+                arch=arch,
+                func=make_matmul(48)[0],
+                mode=api.MODE_AUTO,
+                options=api.OptimizeOptions(jobs=1),
             )
         )
         auto = api.optimize(
@@ -136,15 +139,18 @@ class TestJobsAuto:
                 arch=arch,
                 func=make_matmul(48)[0],
                 mode=api.MODE_AUTO,
-                jobs="auto",
+                options=api.OptimizeOptions(jobs="auto"),
             )
         )
         assert _serialize(serial) == _serialize(auto)
 
     def test_api_rejects_bad_jobs_spellings(self, arch):
         with pytest.raises(ValueError, match="jobs"):
-            api.OptimizeRequest(
-                arch=arch, func=make_matmul(48)[0], jobs="fast"
-            )
+            api.OptimizeOptions(jobs="fast")
         with pytest.raises(ValueError, match="jobs"):
-            api.OptimizeRequest(arch=arch, func=make_matmul(48)[0], jobs=-2)
+            api.OptimizeOptions(jobs=-2)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="jobs"):
+                api.OptimizeRequest(
+                    arch=arch, func=make_matmul(48)[0], jobs="fast"
+                )

@@ -10,6 +10,7 @@ from repro.api import (
     MODE_SAFE,
     MODE_SPATIAL,
     MODE_TEMPORAL,
+    OptimizeOptions,
     OptimizeRequest,
     OptimizeResult,
     optimize,
@@ -48,7 +49,11 @@ class TestRequestValidation:
 
     def test_negative_jobs(self, arch):
         with pytest.raises(ValueError, match="jobs"):
-            OptimizeRequest(arch=arch, func=make_matmul(64)[0], jobs=-2)
+            OptimizeRequest(
+                arch=arch,
+                func=make_matmul(64)[0],
+                options=OptimizeOptions(jobs=-2),
+            )
 
     def test_non_positive_deadline(self, arch):
         with pytest.raises(ValueError, match="deadline_ms"):
@@ -71,9 +76,22 @@ class TestRequestValidation:
 
     def test_with_overrides_revalidates(self, arch):
         request = OptimizeRequest(arch=arch, func=make_matmul(64)[0])
-        assert request.with_overrides(jobs=4).jobs == 4
+        bumped = request.with_overrides(options=OptimizeOptions(jobs=4))
+        assert bumped.options.jobs == 4
+        assert bumped.jobs == 4  # mirrored legacy read, warning-free
         with pytest.raises(ValueError):
             request.with_overrides(mode="turbo")
+
+    def test_with_overrides_legacy_kwargs_warn_but_work(self, arch):
+        request = OptimizeRequest(arch=arch, func=make_matmul(64)[0])
+        with pytest.warns(DeprecationWarning, match="with_overrides"):
+            bumped = request.with_overrides(jobs=4)
+        assert bumped.options.jobs == 4
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="not both"):
+                request.with_overrides(
+                    jobs=4, options=OptimizeOptions(jobs=2)
+                )
 
 
 class TestDispatch:
@@ -137,10 +155,18 @@ class TestDispatch:
 
     def test_jobs_do_not_change_the_result(self, arch):
         serial = optimize(
-            OptimizeRequest(arch=arch, func=make_matmul(128)[0], jobs=1)
+            OptimizeRequest(
+                arch=arch,
+                func=make_matmul(128)[0],
+                options=OptimizeOptions(jobs=1),
+            )
         )
         parallel = optimize(
-            OptimizeRequest(arch=arch, func=make_matmul(128)[0], jobs=4)
+            OptimizeRequest(
+                arch=arch,
+                func=make_matmul(128)[0],
+                options=OptimizeOptions(jobs=4),
+            )
         )
         assert schedule_to_dict(serial.schedule) == schedule_to_dict(
             parallel.schedule

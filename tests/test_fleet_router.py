@@ -77,6 +77,44 @@ class TestRoutingAndOperability:
             assert status == 400
             assert "benchmark" in body["error"]
 
+    def test_spec_and_ir_submissions_interoperate(self, tmp_path):
+        # A v1.1 spec submission and a v1 benchmark submission of the
+        # same kernel must compute the same identity: same shard, shared
+        # cache entry, bit-identical schedules.
+        spec = "C[i,j] += A[i,k] * B[k,j]"
+        dims = {"i": 256, "j": 256, "k": 256}  # == fast-size matmul
+        with make_fleet(tmp_path) as fleet:
+            client = ServeClient(port=fleet.port)
+            by_ir = client.optimize("matmul", "i7-5930k", fast=True)
+            by_spec = client.optimize(
+                spec=spec, dims=dims, platform="i7-5930k", fast=True
+            )
+            assert by_ir["served_by"] == "search"
+            assert by_spec["served_by"] == "cache"
+            assert by_spec["shard"] == by_ir["shard"]
+            assert by_spec["key"] == by_ir["key"]
+            assert serialized(by_spec) == serialized(by_ir)
+            assert by_spec["schema_version"] == "1.1"
+            assert "schema_version" not in by_ir
+
+            # A malformed spec dies at the router: 400 + invalid_spec,
+            # no forward leg, never a 500.
+            status, body = client.post(
+                "/v1/optimize",
+                {
+                    "format": "repro-serve-v1.1",
+                    "spec": "C[i,j] += A[i*i,j]",
+                    "dims": {"i": 8, "j": 8},
+                    "platform": "i7-5930k",
+                    "fast": True,
+                    "options": {},
+                    "jobs": 1,
+                },
+            )
+            assert status == 400
+            assert body["reason"] == "invalid_spec"
+            assert "affine" in body["error"]
+
     def test_per_shard_caches_do_not_collide(self, tmp_path):
         # Distinct identities spread over shards; each shard's cache file
         # carries only its own keyspace.

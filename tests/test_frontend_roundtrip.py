@@ -1,0 +1,89 @@
+"""Round-trip guarantees of the spec frontend.
+
+Two properties carry the whole serve/cache interop story:
+
+1. **Spec == hand-written IR.**  A spec lowered at the same sizes as a
+   hand-written benchmark Func produces the *same content fingerprint*
+   — so spec submissions coalesce, cache-hit, and shard exactly like ir
+   submissions.
+2. **The corpus is pinned.**  Every corpus kernel lowers, classifies,
+   and fingerprints exactly as the committed golden manifest says; any
+   drift is an API break for deployed caches and shard rings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.polybench import make_jacobi2d
+from repro.cache.fingerprint import func_fingerprint
+from repro.frontend import lower_spec
+from repro.frontend.corpus import CORPUS, corpus_manifest
+
+from tests.helpers import make_matmul
+
+GOLDEN = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "corpus_manifest.json"
+)
+
+
+class TestSpecMatchesHandWrittenIR:
+    def test_matmul_fingerprint_equality(self):
+        n = 64
+        lowered = lower_spec(
+            "C[i,j] += A[i,k] * B[k,j]", {"i": n, "j": n, "k": n}
+        )
+        hand, _, _ = make_matmul(n)
+        assert lowered.fingerprints[0] == func_fingerprint(hand)
+
+    def test_jacobi2d_fingerprint_equality(self):
+        n = 96
+        lowered = lower_spec(
+            "Jac[y,x] = 0.2 * (Ain[y,x] + Ain[y,x-1] + Ain[y,x+1] "
+            "+ Ain[y-1,x] + Ain[y+1,x])",
+            {"y": n, "x": n},
+        )
+        hand = list(make_jacobi2d(n=n).pipeline)[0]
+        assert lowered.fingerprints[0] == func_fingerprint(hand)
+
+
+class TestCorpus:
+    def test_every_kernel_lowers(self):
+        for kernel in CORPUS:
+            lowered = kernel.lower()
+            assert lowered.funcs, kernel.name
+            fast = kernel.lower(fast=True)
+            assert len(fast.funcs) == len(lowered.funcs), kernel.name
+
+    def test_lowering_twice_is_identical(self):
+        for kernel in CORPUS:
+            assert (
+                kernel.lower().fingerprints == kernel.lower().fingerprints
+            ), kernel.name
+
+    def test_corpus_is_large_and_diverse(self):
+        assert len(CORPUS) >= 30
+        families = {kernel.family for kernel in CORPUS}
+        assert {"polybench", "dl", "micro"} <= families
+
+    def test_manifest_matches_committed_golden(self):
+        with open(GOLDEN) as handle:
+            golden = json.load(handle)
+        regenerated = corpus_manifest()
+        assert regenerated == golden, (
+            "corpus manifest drift — lowering, fingerprints, or "
+            "classification changed; regenerate with `python -m "
+            "repro.frontend manifest > benchmarks/corpus_manifest.json` "
+            "if intentional"
+        )
+
+    @pytest.mark.parametrize(
+        "kernel", CORPUS, ids=[kernel.name for kernel in CORPUS]
+    )
+    def test_case_metadata(self, kernel):
+        case = kernel.case(fast=True)
+        assert case.name == kernel.name
+        assert case.pipeline.output is not None

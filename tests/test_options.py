@@ -1,0 +1,122 @@
+"""Tests for :class:`repro.options.OptimizeOptions` and the shim.
+
+The suite (and CI) runs these under ``-W error::DeprecationWarning``:
+every legacy spelling must be *caught* by ``pytest.warns`` here, and
+every canonical spelling must be warning-free.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import OptimizeOptions
+from repro.api import OptimizeRequest
+from repro.cache.fingerprint import optimize_options, options_fingerprint
+
+from tests.helpers import make_matmul
+
+
+class TestOptimizeOptions:
+    def test_defaults_match_legacy_surface(self):
+        options = OptimizeOptions()
+        assert options.cache_dict() == {
+            "use_nti": True,
+            "parallelize": True,
+            "vectorize": True,
+            "exhaustive": False,
+            "use_emu": True,
+            "order_step": True,
+        }
+        assert options.jobs == 1
+        assert options.tracer is None
+
+    def test_jobs_and_tracer_do_not_change_the_fingerprint(self):
+        base = OptimizeOptions()
+        assert base.fingerprint() == OptimizeOptions(jobs=8).fingerprint()
+        assert (
+            base.fingerprint()
+            == OptimizeOptions(tracer=object()).fingerprint()
+        )
+        assert (
+            base.fingerprint()
+            != OptimizeOptions(use_nti=False).fingerprint()
+        )
+
+    def test_is_the_single_fingerprint_source(self):
+        # cache/fingerprint.optimize_options delegates here, so the
+        # cache key, coalesce key and shard key all agree by identity.
+        assert optimize_options(use_nti=False) == OptimizeOptions(
+            use_nti=False
+        ).cache_dict()
+        assert OptimizeOptions().fingerprint() == options_fingerprint(
+            optimize_options()
+        )
+
+    def test_replace_validates(self):
+        assert OptimizeOptions().replace(jobs=4).jobs == 4
+        with pytest.raises(TypeError, match="unknown option"):
+            OptimizeOptions().replace(speed="ludicrous")
+        with pytest.raises(ValueError, match="jobs"):
+            OptimizeOptions().replace(jobs=-1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            OptimizeOptions().jobs = 9
+
+
+class TestDeprecationShim:
+    def test_canonical_spelling_is_warning_free(self, arch):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            request = OptimizeRequest(
+                arch=arch,
+                func=make_matmul(48)[0],
+                options=OptimizeOptions(use_nti=False, jobs=2),
+            )
+            assert request.options.use_nti is False
+            # mirrored legacy reads stay warning-free too
+            assert request.use_nti is False
+            assert request.jobs == 2
+
+    @pytest.mark.parametrize(
+        "legacy",
+        [
+            {"use_nti": False},
+            {"use_emu": False},
+            {"order_step": False},
+            {"jobs": 2},
+            {"parallelize": False},
+            {"vectorize": False},
+            {"exhaustive": True},
+        ],
+    )
+    def test_legacy_kwargs_warn_and_resolve(self, arch, legacy):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            request = OptimizeRequest(
+                arch=arch, func=make_matmul(48)[0], **legacy
+            )
+        for name, value in legacy.items():
+            assert getattr(request.options, name) == value
+            assert getattr(request, name) == value
+
+    def test_both_spellings_rejected(self, arch):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="not both"):
+                OptimizeRequest(
+                    arch=arch,
+                    func=make_matmul(48)[0],
+                    use_nti=False,
+                    options=OptimizeOptions(),
+                )
+
+    def test_options_survive_with_overrides(self, arch):
+        request = OptimizeRequest(
+            arch=arch,
+            func=make_matmul(48)[0],
+            options=OptimizeOptions(use_nti=False),
+        )
+        copied = request.with_overrides(deadline_ms=100.0)
+        assert copied.options.use_nti is False
+        assert copied.deadline_ms == 100.0
