@@ -75,15 +75,17 @@ from repro.obs import (
     render_summary,
     validate_trace,
 )
+from repro.core.exitcodes import (
+    EXIT_BIND,
+    EXIT_FALLBACK,
+    EXIT_HARD,
+    EXIT_OK,
+    EXIT_UNAVAILABLE,
+    EXIT_USAGE,
+)
 from repro.robust import FallbackPolicy, safe_optimize
 from repro.sim import Machine
 from repro.util import ReproError
-
-EXIT_OK = 0
-EXIT_FALLBACK = 3
-EXIT_HARD = 4
-EXIT_UNAVAILABLE = 5
-EXIT_BIND = 6
 
 
 def _report_bind_error(host: str, port: int, exc: OSError, *, what: str) -> int:
@@ -586,7 +588,7 @@ def cmd_chaos(args) -> int:
             "error: chaos run needs --scenario (see `repro chaos list`)",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
 
     def one_run():
         return run_scenario(
@@ -600,7 +602,7 @@ def cmd_chaos(args) -> int:
         result = one_run()
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     mismatch = False
     if args.check:
@@ -666,6 +668,7 @@ def cmd_loadgen(args) -> int:
         seed=args.seed,
         platform=args.platform,
         timeout_s=args.timeout_s,
+        corpus_family=args.corpus_family,
     )
     try:
         if args.fleet:
@@ -743,6 +746,196 @@ def cmd_loadgen(args) -> int:
             return EXIT_HARD
         print(f"  check vs {args.baseline}: OK (±{args.tolerance:.0%})")
     return EXIT_OK
+
+
+def cmd_tune(args) -> int:
+    """Fleet-scale autotuning: plan a grid, fan it out, stream results."""
+    import json as _json
+
+    from repro.options import CACHE_KEYS
+    from repro.tune import (
+        TUNE_REPORT_FORMAT,
+        build_tune_request,
+        validate_tune_report,
+    )
+
+    kernels = None
+    if args.kernels:
+        kernels = [k.strip() for k in args.kernels.split(",") if k.strip()]
+    families = args.families or None
+    grid = [{}]
+    for name in args.vary or []:
+        if name not in CACHE_KEYS:
+            raise SystemExit(
+                f"--vary {name!r}: not an option switch; known: "
+                f"{', '.join(CACHE_KEYS)}"
+            )
+        if any(name in overlay for overlay in grid):
+            continue  # --vary use_nti --vary use_nti
+        grid = [
+            dict(overlay, **{name: value})
+            for overlay in grid
+            for value in (False, True)
+        ]
+    try:
+        request = build_tune_request(
+            kernels=kernels,
+            families=families,
+            platforms=args.platforms or ["i7-5930k"],
+            grid=grid,
+            fast=args.fast,
+            deadline_ms=args.deadline_ms,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid tune request: {exc}") from None
+
+    def show(record) -> None:
+        if args.json:
+            return
+        ms = record.get("ms")
+        if ms:
+            print(
+                f"  {record['key']}: {record['status']} "
+                f"{ms:.3f} ms (x{record['speedup']:.2f})"
+            )
+        else:
+            print(
+                f"  {record['key']}: {record['status']}"
+                + (f" — {record['error']}" if record.get("error") else "")
+            )
+
+    def stream_once(host, port):
+        """POST /v1/tune and consume the NDJSON stream."""
+        from repro.serve.client import ServeClient
+
+        client = ServeClient(host, port, timeout_s=args.timeout_s, retries=0)
+        report_doc = None
+        for record in client.tune(request):
+            if record.get("format") == TUNE_REPORT_FORMAT:
+                report_doc = record
+            elif record.get("kind") == "error":
+                raise ReproError(f"tune job failed: {record.get('error')}")
+            else:
+                show(record)
+        if report_doc is None:
+            raise ConnectionError("tune stream ended without a report")
+        return report_doc
+
+    def run_local(host, port):
+        """Client-side runner mode: journal here, submit cells there."""
+        from repro.sweep import Journal
+        from repro.tune import TuneRunner, plan_tune_cells, tune_id
+
+        cells = plan_tune_cells(request)
+        runner = TuneRunner(
+            Journal(args.journal),
+            host=host,
+            port=port,
+            jobs=args.jobs,
+            timeout_s=args.timeout_s,
+            deadline_ms=args.deadline_ms,
+        )
+        report = runner.run(
+            cells, tune_id=tune_id(request), on_record=show
+        )
+        if args.schedule_cache:
+            from repro.cache import ScheduleCache
+
+            stores = report.install_winners(
+                ScheduleCache(args.schedule_cache)
+            )
+            if not args.json:
+                print(
+                    f"  installed {stores} winning schedule(s) into "
+                    f"{args.schedule_cache}"
+                )
+        return report.document()
+
+    def run_once(host, port):
+        return run_local(host, port) if args.journal else stream_once(
+            host, port
+        )
+
+    repeat = None
+    try:
+        if args.fleet:
+            # Self-hosted mode: boot a whole fleet, tune it, tear it
+            # down — what the CI tune-smoke job runs as one command.
+            import os
+            import tempfile
+
+            from repro.fleet.testing import FleetThread
+
+            # The shard caches — and therefore the server-side tune
+            # journal, which defaults to the cache's directory — live
+            # in the tempdir, so --check's second POST resumes from it.
+            with tempfile.TemporaryDirectory() as tmp:
+                with FleetThread(
+                    workers=args.fleet,
+                    cache_path=os.path.join(tmp, "cache.jsonl"),
+                    queue_limit=32,
+                ) as fleet:
+                    document = run_once("127.0.0.1", fleet.port)
+                    if args.check:
+                        repeat = run_once("127.0.0.1", fleet.port)
+        else:
+            document = run_once(args.host, args.port)
+            if args.check:
+                repeat = run_once(args.host, args.port)
+    except ValueError as exc:
+        raise SystemExit(f"invalid options: {exc}") from None
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            f"hint: start a fleet with `python -m repro fleet --port "
+            f"{args.port}`, or pass --fleet N to self-host one",
+            file=sys.stderr,
+        )
+        return EXIT_UNAVAILABLE
+
+    problems = validate_tune_report(document)
+    if problems:
+        for problem in problems:
+            print(f"invalid report: {problem}", file=sys.stderr)
+        return EXIT_HARD
+    mismatch = args.check and _json.dumps(
+        document, sort_keys=True
+    ) != _json.dumps(repeat, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            _json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(_json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(
+            f"tune {document['tune_id']}: {document['cells']} cells: "
+            f"{document['ok']} ok, {document['quarantined']} quarantined"
+        )
+        for slot in sorted(document["winners"]):
+            entry = document["winners"][slot]
+            enabled = ", ".join(
+                sorted(k for k, v in entry["options"].items() if v)
+            )
+            print(
+                f"  {slot}: {entry['ms']:.3f} ms (x{entry['speedup']:.2f})"
+                f" [{enabled or 'all switches off'}]"
+            )
+        if args.out:
+            print(f"  wrote {args.out}")
+        if args.check:
+            print(
+                "  resume check: reports "
+                + ("DIVERGED across runs" if mismatch
+                   else "bit-identical across runs")
+            )
+    if mismatch:
+        print(
+            "error: the resumed tune produced a different report",
+            file=sys.stderr,
+        )
+        return EXIT_HARD
+    return EXIT_UNAVAILABLE if document["quarantined"] else EXIT_OK
 
 
 def cmd_codegen(args) -> int:
@@ -989,6 +1182,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="arrival/mix/backoff seed (default: 0)")
     p_load.add_argument("--platform", default="i7-5930k",
                         help="platform every request targets")
+    p_load.add_argument("--corpus-family", default=None, metavar="NAME",
+                        dest="corpus_family",
+                        help="draw the hot/cold identity mix from this "
+                             "spec-corpus family (polybench | dl | micro) "
+                             "instead of the built-in benchmark pool")
     p_load.add_argument("--timeout-s", type=float, default=120.0,
                         dest="timeout_s", metavar="S",
                         help="per-request socket timeout")
@@ -1003,6 +1201,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--tolerance", type=float, default=0.2,
                         metavar="FRAC",
                         help="allowed one-sided regression for --check")
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="fleet-scale autotuning: corpus kernels x platforms x an "
+             "options grid, journaled and resumable (POST /v1/tune)",
+    )
+    p_tune.add_argument("--kernels", default=None, metavar="A,B",
+                        help="comma-separated corpus kernel names, e.g. "
+                             "matmul,mxv (see docs/API.md, \"Corpus\")")
+    p_tune.add_argument("--family", action="append", default=None,
+                        dest="families", metavar="NAME",
+                        help="select a whole corpus family instead "
+                             "(repeatable): polybench | dl | micro")
+    p_tune.add_argument("--platform", action="append", default=None,
+                        dest="platforms", metavar="NAME",
+                        help="target platform (repeatable; default: "
+                             "i7-5930k)")
+    p_tune.add_argument("--vary", action="append", default=None,
+                        metavar="OPT",
+                        help="cross both values of an option switch into "
+                             "the grid (repeatable), e.g. --vary use_nti")
+    p_tune.add_argument("--fast", action="store_true",
+                        help="scaled-down problem sizes")
+    p_tune.add_argument("--deadline-ms", type=float, default=None,
+                        metavar="MS", dest="deadline_ms",
+                        help="per-cell server-side budget")
+    p_tune.add_argument("--fleet", type=int, default=0, metavar="N",
+                        help="self-host: boot an N-worker fleet, tune it, "
+                             "tear it down (ignores --host/--port)")
+    p_tune.add_argument("--host", default="127.0.0.1",
+                        help="fleet router address (external mode)")
+    p_tune.add_argument("--port", type=int, default=8378,
+                        help="fleet router port (default: 8378)")
+    p_tune.add_argument("--journal", default=None, metavar="PATH",
+                        help="run the job client-side against --host/"
+                             "--port, journaling to PATH (instead of "
+                             "POSTing /v1/tune)")
+    p_tune.add_argument("--jobs", type=int, default=2, metavar="N",
+                        help="concurrent in-flight cells (client-side "
+                             "mode; default: 2)")
+    p_tune.add_argument("--schedule-cache", default=None, metavar="PATH",
+                        dest="schedule_cache",
+                        help="also install the winning schedules into "
+                             "this cache (client-side mode)")
+    p_tune.add_argument("--timeout-s", type=float, default=120.0,
+                        dest="timeout_s", metavar="S",
+                        help="socket timeout between stream records")
+    p_tune.add_argument("--check", action="store_true",
+                        help="run the tune twice (the second run resumes "
+                             "from the journal) and require bit-identical "
+                             "reports; exit 4 on divergence")
+    p_tune.add_argument("--out", default=None, metavar="PATH",
+                        help="write the final report JSON to PATH")
+    p_tune.add_argument("--json", action="store_true",
+                        help="print the final report as JSON")
 
     p_sub = sub.add_parser(
         "submit",
@@ -1052,6 +1305,7 @@ def main(argv=None) -> int:
         "fleet": cmd_fleet,
         "chaos": cmd_chaos,
         "loadgen": cmd_loadgen,
+        "tune": cmd_tune,
     }[args.command]
     try:
         with contextlib.ExitStack() as stack:

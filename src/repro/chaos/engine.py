@@ -258,6 +258,9 @@ def run_scenario(
         work_dir = tempfile.mkdtemp(prefix=f"repro-chaos-{name}-")
     os.makedirs(work_dir, exist_ok=True)
 
+    if scenario.tune is not None:
+        return _run_tune_scenario(plan, work_dir, tracer)
+
     reference = _reference_answers(plan, work_dir)
 
     cache_path = (
@@ -336,6 +339,171 @@ def run_scenario(
         plan=plan,
         ok=report["ok"],
         report=report,
+        invariants=invariants,
+        observations=observations,
+    )
+
+
+def _run_tune_scenario(plan: ChaosPlan, work_dir: str, tracer) -> ChaosResult:
+    """A scenario whose load is one journaled tune grid, not a request
+    mix: faults fire on settled-cell counts, and after the faulted run
+    a second pass resumes from the same journal — the report must fold
+    to the same bytes (the tune layer's crash contract, under real
+    SIGKILLs instead of a clean restart)."""
+    from repro.cache import check_shard_caches
+    from repro.fleet.testing import FleetThread
+    from repro.sweep import Journal
+    from repro.tune import (
+        CELL_QUARANTINED,
+        CELL_RESUMED,
+        build_tune_request,
+        plan_tune_cells,
+    )
+    from repro.tune import tune_id as tune_identity
+    from repro.tune.runner import TuneRunner
+
+    scenario = plan.scenario
+    spec = dict(scenario.tune)
+    request = build_tune_request(
+        kernels=spec.get("kernels"),
+        families=spec.get("families"),
+        platforms=spec.get("platforms", ("i7-5930k",)),
+        grid=spec.get("grid"),
+        fast=spec.get("fast", True),
+    )
+    cells = plan_tune_cells(request)
+    job_id = tune_identity(request)
+    journal = Journal(os.path.join(work_dir, "tune-journal.jsonl"))
+    cache_path = (
+        os.path.join(work_dir, "fleet-cache.jsonl") if scenario.use_cache
+        else None
+    )
+    fleet = FleetThread(
+        workers=scenario.workers,
+        cache_path=cache_path,
+        queue_limit=scenario.queue_limit,
+        probe_interval_s=0.15,
+        probe_timeout_s=1.0,
+        down_after=2,
+        restart_backoff_base_s=0.05,
+        restart_backoff_cap_s=0.5,
+        flap_threshold=100,
+        worker_env=plan.worker_env,
+        tracer=tracer,
+        router_kwargs={
+            "forward_timeout_s": 60.0,
+            "breaker_open_for_s": 0.5,
+            "tracer": tracer,
+        },
+    )
+    controller = _Controller(plan, fleet.supervisor, cache_path, tracer)
+    with fleet:
+        controller.start()
+        try:
+            runner = TuneRunner(
+                journal,
+                port=fleet.port,
+                jobs=2,
+                timeout_s=60.0,
+                client_retries=scenario.client_retries,
+                tracer=tracer,
+            )
+            report = runner.run(
+                cells,
+                tune_id=job_id,
+                on_record=lambda _record: controller.note_completed(),
+            )
+            resumed = TuneRunner(
+                journal, port=fleet.port, jobs=1, timeout_s=60.0,
+                tracer=tracer,
+            ).run(cells, tune_id=job_id)
+        finally:
+            controller.finish()
+        admin = ServeClient(port=fleet.port, timeout_s=30.0, retries=2)
+        counters = admin.metrics().get("counters", {})
+        status_code, status = admin.get("/fleet/status")
+        if status_code != 200:
+            status = None
+
+    document = report.document()
+    resumed_document = resumed.document()
+    invariants = []
+
+    quarantined = sorted(o.cell.key() for o in report.quarantined)
+    invariants.append(Invariant(
+        "tune_all_cells_ok",
+        not quarantined,
+        "every tune cell settled ok despite the faults" if not quarantined
+        else f"quarantined cells: {quarantined}",
+    ))
+    invariants.append(Invariant(
+        "tune_cells_complete",
+        len(report.outcomes) == len(cells),
+        "every planned cell produced exactly one outcome"
+        if len(report.outcomes) == len(cells)
+        else f"{len(report.outcomes)} outcomes for {len(cells)} cells",
+    ))
+    not_resumed = sorted(
+        o.cell.key() for o in resumed.outcomes
+        if o.status not in (CELL_RESUMED, CELL_QUARANTINED)
+    )
+    identical = json.dumps(document, sort_keys=True) == json.dumps(
+        resumed_document, sort_keys=True
+    )
+    invariants.append(Invariant(
+        "tune_resume_identical",
+        identical and not not_resumed,
+        "the journal resume replayed every cell and reproduced the "
+        "report bit-for-bit"
+        if identical and not not_resumed
+        else (
+            f"cells re-run instead of resumed: {not_resumed}; "
+            f"reports identical: {identical}"
+        ),
+    ))
+    if cache_path is not None:
+        cache_report = check_shard_caches(
+            cache_path, list(range(scenario.workers))
+        )
+        corrupt = sum(
+            shard.get("corrupt_lines", 0)
+            for shard in cache_report.get("shards", {}).values()
+        )
+        cache_ok = bool(cache_report.get("consistent")) and corrupt == 0
+        invariants.append(Invariant(
+            "tune_cache_consistent",
+            cache_ok,
+            "shard schedule caches are mutually consistent and clean"
+            if cache_ok
+            else (
+                f"mismatched keys: {cache_report.get('mismatched_keys')}; "
+                f"corrupt lines: {corrupt}"
+            ),
+        ))
+
+    chaos_report = build_report(plan, invariants)
+    chaos_report["tune"] = {"tune_id": job_id, "cells": len(cells)}
+    observations = {
+        "work_dir": work_dir,
+        "counters": counters,
+        "outcomes": {
+            "ok": sum(
+                1 for o in report.outcomes if o.status != CELL_QUARANTINED
+            ),
+            "failed": len(report.quarantined),
+        },
+        "failover_served": counters.get("failover", 0),
+        "faults_fired": controller.fired,
+        "tune_report": document,
+        "workers": [
+            {k: w.get(k) for k in ("shard", "state", "restarts", "breaker")}
+            for w in (status or {}).get("workers", [])
+        ],
+    }
+    return ChaosResult(
+        plan=plan,
+        ok=chaos_report["ok"],
+        report=chaos_report,
         invariants=invariants,
         observations=observations,
     )

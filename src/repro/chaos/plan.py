@@ -116,6 +116,11 @@ class ChaosScenario:
     actions: Tuple[ChaosAction, ...] = ()
     #: Optional per-shard worker fault: ``(shard_spec, REPRO_SERVE_FAULT)``.
     worker_fault: Optional[Tuple[str, str]] = None
+    #: Optional tune-job shape (kernels/families/grid/fast — the
+    #: :func:`repro.tune.build_tune_request` keywords).  When set the
+    #: engine drives a journaled ``repro tune`` grid instead of the
+    #: request mix, and ``after_responses`` counts settled tune cells.
+    tune: Optional[Dict] = None
 
 
 @dataclass(frozen=True)
@@ -307,6 +312,27 @@ SCENARIOS: Dict[str, ChaosScenario] = {
                 ChaosAction(kind=ACTION_CORRUPT_CACHE, after_responses=6),
                 ChaosAction(kind=ACTION_ROLL, after_responses=8),
             ),
+        ),
+        ChaosScenario(
+            name="tune-under-fire",
+            description=(
+                "SIGKILL a worker while a journaled tune grid is in "
+                "flight; every cell must still settle ok (failover + "
+                "retries) and a resume from the journal must reproduce "
+                "the report bit-for-bit"
+            ),
+            workers=2,
+            requests=4,  # informational: the grid below has 4 cells
+            distinct_identities=2,
+            client_retries=8,
+            actions=(
+                ChaosAction(kind=ACTION_KILL, after_responses=1),
+            ),
+            tune={
+                "kernels": ["matmul", "mxv"],
+                "grid": [{}, {"use_nti": False}],
+                "fast": True,
+            },
         ),
         ChaosScenario(
             name="429-storm",

@@ -39,6 +39,7 @@ import os
 import sys
 import time
 
+from repro.core.exitcodes import EXIT_OK
 from repro.obs import NULL_TRACER, JsonlTracer, activate_tracer
 from repro.experiments import ExperimentConfig
 from repro.experiments import (  # noqa: F401  (imported for registry order)
@@ -150,7 +151,7 @@ def main(argv=None) -> int:
         if args.no_sweep:
             with tracer.span("render"):
                 _render_all(config)
-            return 0
+            return EXIT_OK
 
         from repro.sweep import Journal, SweepRunner, plan_cells
 

@@ -110,6 +110,7 @@ def schedules_for(
     autotune_evals: Optional[int] = None,
     cache=None,
     jobs: int = 1,
+    options=None,
 ) -> Dict[Func, Schedule]:
     """Produce one schedule per pipeline stage under a technique.
 
@@ -118,28 +119,37 @@ def schedules_for(
     schedules come from the expensive Algorithm-2/3 search); hits skip
     the search, misses search and store.  ``jobs`` parallelizes the
     search itself (bit-identical results; see :mod:`repro.core.parallel`).
+
+    ``options`` is an optional :class:`repro.options.OptimizeOptions`
+    overriding the full switch set for the ``proposed``/``proposed_nti``
+    techniques (tune cells carry one); ``None`` keeps the historical
+    behaviour where the technique name alone decides ``use_nti``.
     """
     config = config or ExperimentConfig()
     out: Dict[Func, Schedule] = {}
     for stage in case.pipeline:
         if technique in ("proposed", "proposed_nti"):
-            use_nti = technique == "proposed_nti"
-            schedule = None
-            options = None
-            if cache is not None:
-                from repro.cache import optimize_options
+            from repro.options import CACHE_KEYS, OptimizeOptions
 
-                options = optimize_options(use_nti=use_nti)
-                schedule = cache.get(stage, arch, options)
+            if options is None:
+                opts = OptimizeOptions(
+                    use_nti=technique == "proposed_nti"
+                )
+            else:
+                opts = options
+            schedule = None
+            if cache is not None:
+                schedule = cache.get(stage, arch, opts.cache_dict())
             if schedule is None:
-                schedule = optimize(
-                    stage, arch, use_nti=use_nti, jobs=jobs
-                ).schedule
+                switches = {
+                    key: bool(getattr(opts, key)) for key in CACHE_KEYS
+                }
+                schedule = optimize(stage, arch, jobs=jobs, **switches).schedule
                 if cache is not None:
                     cache.put(
                         stage,
                         arch,
-                        options,
+                        opts.cache_dict(),
                         schedule,
                         meta={
                             "technique": technique,

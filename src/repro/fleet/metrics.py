@@ -48,6 +48,8 @@ FLEET_METRIC_COUNTERS = (
     "breaker_opened",      # per-shard circuit breakers tripped open
     "breaker_probes",      # half-open probe requests admitted
     "deadline_expired",    # 504s because the end-to-end budget ran out
+    "tune_requests",       # POST /v1/tune jobs admitted
+    "tune_cells",          # tune cells streamed (settled, any status)
 )
 
 

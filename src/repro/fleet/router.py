@@ -25,10 +25,20 @@ permanent cache pollution.
 Routes::
 
     POST /v1/optimize   proxy with failover (the repro-serve-v1 schema)
+    POST /v1/tune       fleet autotuning job (repro-tune-v1, chunked
+                        NDJSON stream; see :mod:`repro.tune`)
     GET  /healthz       router liveness + fleet degradation summary
     GET  /metrics       repro-fleet-metrics-v1 snapshot
     GET  /fleet/status  shards, states, ring topology
     POST /fleet/restart rolling drain/restart of every shard
+
+``/v1/tune`` is the one streaming route: cells are planned router-side,
+executed as ordinary ``/v1/optimize`` calls *through this router's own
+front door* (coalescing, breakers, deadline budgets and failover apply
+to tune traffic unchanged), journaled per cell in a resumable
+``repro-sweep-v1`` journal keyed by the request's deterministic
+``tune_id``, and streamed back as one NDJSON record per settled cell
+with the final ``repro-tune-report-v1`` document as the last line.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import os
 import signal
 import sys
 import time
@@ -54,9 +65,14 @@ from repro.serve.http import (
     IO_TIMEOUT_S,
     forward,
     read_request,
+    write_chunk,
+    write_chunked_end,
+    write_chunked_head,
     write_response,
 )
 from repro.serve.identify import identify_request
+from repro.sweep import Journal
+from repro.tune import TUNE_FORMAT, TuneRunner, plan_tune_cells, tune_id
 from repro.serve.schema import (
     REASON_DEADLINE_EXPIRED,
     REASON_INVALID_SPEC,
@@ -97,6 +113,8 @@ class FleetRouter:
         breaker_failure_threshold: int = 3,
         breaker_open_for_s: float = 5.0,
         breaker_clock=None,
+        tune_dir: Optional[str] = None,
+        tune_jobs: int = 2,
     ) -> None:
         if retry_after_s <= 0:
             raise ValueError(
@@ -109,6 +127,10 @@ class FleetRouter:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.forward_timeout_s = float(forward_timeout_s)
         self.retry_after_s = float(retry_after_s)
+        self.tune_dir = tune_dir
+        self.tune_jobs = int(tune_jobs)
+        if self.tune_jobs < 1:
+            raise ValueError(f"tune_jobs must be >= 1, got {tune_jobs}")
         self.ring = HashRing(supervisor.shards)
         self.breaker = CircuitBreaker(
             supervisor.shards,
@@ -185,7 +207,9 @@ class FleetRouter:
         asyncio.run(_main())
         self.supervisor.stop()
         print("repro fleet: drained, bye", file=sys.stderr, flush=True)
-        return 0
+        from repro.core.exitcodes import EXIT_OK
+
+        return EXIT_OK
 
     # -- HTTP plumbing (same shape as the worker's) --------------------
 
@@ -207,6 +231,16 @@ class FleetRouter:
                 ConnectionError,
                 ValueError,
             ):
+                return
+            if path == "/v1/tune":
+                # The one streaming route: records go out as they settle,
+                # so it cannot fit _route's (status, payload) shape.
+                if method != "POST":
+                    await write_response(
+                        writer, 405, error_payload(405, "tune is POST-only")
+                    )
+                else:
+                    await self._handle_tune(writer, body)
                 return
             status, payload, extra = await self._route(method, path, body)
             await write_response(writer, status, payload, extra)
@@ -508,3 +542,109 @@ class FleetRouter:
             ),
             self._retry_header(),
         )
+
+    # -- the tune job --------------------------------------------------
+
+    def _tune_journal_path(self, job_id: str) -> str:
+        """Where one tune job's resumable journal lives.
+
+        Deterministic from the ``tune_id``, so re-POSTing the same
+        request body — after a router SIGKILL, say — finds its own
+        half-finished journal and resumes instead of recomputing.
+        """
+        if self.tune_dir:
+            base = self.tune_dir
+        elif self.supervisor.cache_path:
+            base = os.path.dirname(
+                os.path.abspath(self.supervisor.cache_path)
+            )
+        else:
+            base = os.getcwd()
+        return os.path.join(base, f"tune-{job_id}.jsonl")
+
+    async def _handle_tune(self, writer, body: bytes) -> None:
+        """``POST /v1/tune``: plan, fan out, stream settled cells.
+
+        The job itself runs on an executor thread (it drives blocking
+        :class:`~repro.serve.ServeClient` round-trips back through this
+        router's own listening socket); settled-cell records cross back
+        onto the loop via ``call_soon_threadsafe`` and go out as NDJSON
+        chunks the moment they land, with the final
+        ``repro-tune-report-v1`` document as the stream's last record.
+        """
+        self.metrics.bump("tune_requests")
+        if self._draining:
+            await write_response(
+                writer,
+                503,
+                error_payload(
+                    503,
+                    "fleet router is draining; retry shortly",
+                    retry_after_s=self.retry_after_s,
+                ),
+                self._retry_header(),
+            )
+            return
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            await write_response(
+                writer, 400, error_payload(400, f"request is not JSON: {exc}")
+            )
+            return
+        try:
+            # Planning lowers corpus specs to fingerprint cells — CPU
+            # work, so keep it off the event loop.
+            cells = await self._loop.run_in_executor(
+                None, plan_tune_cells, payload
+            )
+        except (KeyError, ValueError) as exc:
+            await write_response(writer, 400, error_payload(400, str(exc)))
+            return
+        job_id = tune_id(payload)
+        journal = Journal(self._tune_journal_path(job_id))
+        loop = self._loop
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def on_record(record: Dict) -> None:
+            loop.call_soon_threadsafe(queue.put_nowait, record)
+
+        def run_job():
+            runner = TuneRunner(
+                journal,
+                host=self.host,
+                port=self.port,
+                jobs=self.tune_jobs,
+                timeout_s=self.forward_timeout_s,
+                deadline_ms=payload.get("deadline_ms"),
+                tracer=self.tracer,
+            )
+            return runner.run(cells, tune_id=job_id, on_record=on_record)
+
+        await write_chunked_head(
+            writer, 200, {"x-repro-tune-id": job_id}
+        )
+        future = loop.run_in_executor(None, run_job)
+        try:
+            while True:
+                get = asyncio.ensure_future(queue.get())
+                await asyncio.wait(
+                    {get, future}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if get.done():
+                    self.metrics.bump("tune_cells")
+                    await write_chunk(writer, get.result())
+                    continue
+                get.cancel()
+                break
+            report = await future
+            while not queue.empty():
+                self.metrics.bump("tune_cells")
+                await write_chunk(writer, queue.get_nowait())
+            await write_chunk(writer, report.document())
+        except Exception as exc:  # noqa: BLE001 — stream the failure
+            await write_chunk(
+                writer,
+                {"format": TUNE_FORMAT, "kind": "error", "error": str(exc)},
+            )
+        await write_chunked_end(writer)

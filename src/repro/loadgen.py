@@ -14,7 +14,12 @@ The key mix is hot/cold: a ``hot_fraction`` of requests re-ask one fixed
 identity (exercising coalescing and the schedule cache — these must come
 back warm), the rest walk a deterministic pool of distinct
 benchmark/option combinations (exercising cold searches and shard
-spread).  Latency percentiles are derived from the same log-spaced
+spread).  ``corpus_family`` swaps the built-in identity pool for one
+drawn from the kernel-spec corpus (:data:`repro.frontend.corpus.CORPUS`):
+the family's first kernel becomes the hot identity and the remaining
+kernels the cold pool, every request travelling as a ``spec`` payload —
+the mix ``repro tune`` warms, so a post-tune loadgen run measures a warm
+fleet.  Latency percentiles are derived from the same log-spaced
 histogram the servers export (:class:`repro.serve.LatencyHistogram`), so
 loadgen-side and server-side distributions are directly comparable.
 
@@ -103,22 +108,53 @@ def percentiles_from_histogram(
     return out
 
 
+def _identity_pool(corpus_family: Optional[str]):
+    """The (hot, cold-pool) identity mix one run walks.
+
+    Default: the built-in named-benchmark mix.  With ``corpus_family``:
+    the family's kernels from the spec corpus, hot = the first one.
+    """
+    if corpus_family is None:
+        return HOT_SPEC, COLD_SPECS
+    from repro.frontend.corpus import CORPUS
+
+    kernels = [k for k in CORPUS if k.family == corpus_family]
+    if not kernels:
+        known = sorted({k.family for k in CORPUS})
+        raise ValueError(
+            f"unknown corpus family {corpus_family!r}; known: {known}"
+        )
+    hot = (kernels[0], ())
+    cold = tuple((kernel, ()) for kernel in kernels[1:]) or (hot,)
+    return hot, cold
+
+
 def _build_plan(
-    requests: int, rate_rps: float, hot_fraction: float, seed: int
-) -> List[Tuple[float, str, Dict[str, bool]]]:
-    """The deterministic arrival schedule: (at_s, benchmark, options)."""
+    requests: int,
+    rate_rps: float,
+    hot_fraction: float,
+    seed: int,
+    corpus_family: Optional[str] = None,
+) -> List[Tuple[float, object, Dict[str, bool]]]:
+    """The deterministic arrival schedule: (at_s, identity, options).
+
+    An identity is a benchmark name or a
+    :class:`~repro.frontend.corpus.CorpusKernel` (``corpus_family``
+    mode).
+    """
     rng = random.Random(f"repro-loadgen#{seed}")
+    hot_spec, cold_specs = _identity_pool(corpus_family)
     plan = []
     at = 0.0
     cold_index = 0
     for _ in range(requests):
         at += rng.expovariate(rate_rps)
         if rng.random() < hot_fraction:
-            benchmark, options = HOT_SPEC
+            identity, options = hot_spec
         else:
-            benchmark, options = COLD_SPECS[cold_index % len(COLD_SPECS)]
+            identity, options = cold_specs[cold_index % len(cold_specs)]
             cold_index += 1
-        plan.append((at, benchmark, dict(options)))
+        plan.append((at, identity, dict(options)))
     return plan
 
 
@@ -138,6 +174,7 @@ def run_loadgen(
     fast: bool = True,
     timeout_s: float = 120.0,
     retries: int = 4,
+    corpus_family: Optional[str] = None,
 ) -> Dict:
     """Run one measured open-loop load against a serve/fleet endpoint.
 
@@ -154,7 +191,7 @@ def run_loadgen(
         raise ValueError(
             f"hot_fraction must be in [0, 1], got {hot_fraction}"
         )
-    plan = _build_plan(requests, rate_rps, hot_fraction, seed)
+    plan = _build_plan(requests, rate_rps, hot_fraction, seed, corpus_family)
     histogram = LatencyHistogram()
     lock = threading.Lock()
     served_by_counts: Dict[str, int] = {name: 0 for name in SERVED_BY}
@@ -166,7 +203,7 @@ def run_loadgen(
 
     epoch = time.perf_counter()
 
-    def fire(index: int, at_s: float, benchmark: str, options) -> None:
+    def fire(index: int, at_s: float, identity, options) -> None:
         nonlocal duplicates, warm_duplicates
         delay = epoch + at_s - time.perf_counter()
         if delay > 0:
@@ -178,11 +215,28 @@ def run_loadgen(
             retries=retries,
             backoff_seed=seed * 10_000 + index,
         )
-        key = _spec_key(benchmark, options)
+        name = identity if isinstance(identity, str) else identity.name
+        key = _spec_key(name, options)
         try:
-            result = client.optimize(
-                benchmark, platform, fast=fast, **options
-            )
+            if isinstance(identity, str):
+                result = client.optimize(
+                    identity, platform, fast=fast, **options
+                )
+            else:
+                kernel = identity
+                result = client.optimize(
+                    platform=platform,
+                    fast=fast,
+                    spec=kernel.spec,
+                    dims=dict(kernel.fast_dims if fast else kernel.dims),
+                    dtypes=(
+                        None if kernel.dtypes is None else dict(kernel.dtypes)
+                    ),
+                    params=(
+                        None if kernel.params is None else dict(kernel.params)
+                    ),
+                    **options,
+                )
         except Exception as exc:
             with lock:
                 # Latency of a failed request still counts — dropping it
@@ -190,7 +244,7 @@ def run_loadgen(
                 histogram.observe(
                     (time.perf_counter() - epoch - at_s) * 1000.0
                 )
-                errors.append(f"request {index} ({benchmark}): {exc}")
+                errors.append(f"request {index} ({name}): {exc}")
                 if occurrences.get(key, 0) > 0:
                     duplicates += 1
                 occurrences[key] = occurrences.get(key, 0) + 1
@@ -234,6 +288,7 @@ def run_loadgen(
         "hot_fraction": hot_fraction,
         "platform": platform,
         "fast": fast,
+        "corpus_family": corpus_family,
         "wall_ms": round(wall_ms, 3),
         "latency_ms": {
             **snapshot,

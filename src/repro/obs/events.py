@@ -88,6 +88,14 @@ EVENT_CACHE_CORRUPT = "cache.corrupt"
 #: executed against the live fleet (attrs: ``scenario``, ``action``,
 #: ``after_responses``, plus action-specific fields).
 EVENT_CHAOS_FAULT = "chaos.fault"
+#: Fleet-tune lifecycle (see :mod:`repro.tune`): job admission (attrs:
+#: ``tune_id``, ``cells``, ``platforms``), per-cell settlement, and the
+#: final report fold.
+EVENT_TUNE_START = "tune.start"
+EVENT_TUNE_CELL_OK = "tune.cell.ok"
+EVENT_TUNE_CELL_QUARANTINED = "tune.cell.quarantined"
+EVENT_TUNE_CELL_RESUMED = "tune.cell.resumed"
+EVENT_TUNE_REPORT = "tune.report"
 
 # -- machine-readable pruning reasons ----------------------------------
 

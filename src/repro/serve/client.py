@@ -38,7 +38,12 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Dict, Optional, Tuple, Union
 
-from repro.serve.http import format_request, parse_response
+from repro.serve.http import (
+    ChunkDecoder,
+    format_request,
+    parse_response,
+    parse_response_head,
+)
 from repro.serve.schema import REASON_DEADLINE_EXHAUSTED, build_request
 from repro.util import Deadline, ServeError, ServeOverloaded
 
@@ -128,6 +133,106 @@ class ServeClient:
         """One ``POST`` to any path (the fleet's ``/fleet/restart``)."""
         status, _headers, body = self._roundtrip("POST", path, payload or {})
         return status, body
+
+    def tune(self, payload: Dict):
+        """``POST /v1/tune``: stream a fleet tune job's progress.
+
+        Yields each NDJSON record of the chunked response as a dict —
+        one ``repro-tune-v1`` cell record per settled cell, then the
+        final ``repro-tune-report-v1`` document as the last item.  The
+        connection stays open for the whole job, so ``timeout_s``
+        bounds the gap *between* records, not the job.
+
+        Raises :class:`ConnectionError` for socket-level failures or a
+        stream torn before its terminating chunk (resume by re-POSTing
+        the same request — the server journals per-cell progress), and
+        :class:`~repro.util.ServeError` when the server answers with a
+        plain JSON error document instead of a stream.
+        """
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = format_request(
+            "POST", "/v1/tune", self.host, self.port, body
+        )
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+        except OSError as exc:
+            raise ConnectionError(
+                f"cannot reach server at {self.host}:{self.port}: {exc}"
+            ) from exc
+        try:
+            try:
+                sock.sendall(head + body)
+                buffer = b""
+                while b"\r\n\r\n" not in buffer:
+                    data = sock.recv(65536)
+                    if not data:
+                        raise ConnectionError(
+                            "server closed the connection before answering"
+                        )
+                    buffer += data
+            except socket.timeout as exc:
+                raise ConnectionError(
+                    f"tune request to {self.host}:{self.port} timed out "
+                    f"after {self.timeout_s:g}s"
+                ) from exc
+            except OSError as exc:
+                raise ConnectionError(
+                    f"connection to {self.host}:{self.port} died "
+                    f"mid-request: {exc}"
+                ) from exc
+            head_bytes, _, rest = buffer.partition(b"\r\n\r\n")
+            status, headers = parse_response_head(head_bytes)
+            if headers.get("transfer-encoding", "").lower() != "chunked":
+                # A plain JSON document: the server refused the job.
+                raw = buffer + _read_all(sock)
+                status, _headers, doc = parse_response(raw)
+                raise ServeError(
+                    f"tune failed (HTTP {status}): "
+                    f"{doc.get('error', doc)}"
+                )
+            decoder = ChunkDecoder()
+            pending = decoder.feed(rest)
+            line_buffer = b""
+            while True:
+                for piece in pending:
+                    line_buffer += piece
+                    while b"\n" in line_buffer:
+                        line, _, line_buffer = line_buffer.partition(b"\n")
+                        if line.strip():
+                            try:
+                                record = json.loads(line.decode("utf-8"))
+                            except (json.JSONDecodeError,
+                                    UnicodeDecodeError):
+                                raise ServeError(
+                                    "tune stream carried a non-JSON line"
+                                ) from None
+                            yield record
+                if decoder.done:
+                    break
+                try:
+                    data = sock.recv(65536)
+                except socket.timeout as exc:
+                    raise ConnectionError(
+                        f"tune stream from {self.host}:{self.port} "
+                        f"stalled over {self.timeout_s:g}s"
+                    ) from exc
+                except OSError as exc:
+                    raise ConnectionError(
+                        f"tune stream from {self.host}:{self.port} died: "
+                        f"{exc}"
+                    ) from exc
+                if not data:
+                    raise ConnectionError(
+                        "tune stream ended before its terminating chunk"
+                    )
+                pending = decoder.feed(data)
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     def optimize(
         self,

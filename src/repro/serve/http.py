@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 from repro.util import ServeError
 
 __all__ = [
+    "ChunkDecoder",
     "DEADLINE_HEADER",
     "HttpViolation",
     "IO_TIMEOUT_S",
@@ -32,7 +33,11 @@ __all__ = [
     "forward",
     "format_request",
     "parse_response",
+    "parse_response_head",
     "read_request",
+    "write_chunk",
+    "write_chunked_end",
+    "write_chunked_head",
     "write_response",
 ]
 
@@ -133,6 +138,98 @@ async def write_response(
     head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
     writer.write(head + body)
     await writer.drain()
+
+
+async def write_chunked_head(
+    writer,
+    status: int = 200,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    """Start a chunked NDJSON response (the tune stream).
+
+    Unlike :func:`write_response` there is no Content-Length — records
+    are written as they settle via :func:`write_chunk` and the stream is
+    terminated by :func:`write_chunked_end`.  Still one response per
+    connection (``Connection: close``).
+    """
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/x-ndjson",
+        "Transfer-Encoding: chunked",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+    await writer.drain()
+
+
+async def write_chunk(writer, payload: Dict) -> None:
+    """Write one NDJSON record as one HTTP chunk (flushes immediately)."""
+    line = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    writer.write(f"{len(line):x}\r\n".encode("latin-1") + line + b"\r\n")
+    await writer.drain()
+
+
+async def write_chunked_end(writer) -> None:
+    """Terminate a chunked response (the zero-length chunk)."""
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+def parse_response_head(head: bytes) -> Tuple[int, Dict[str, str]]:
+    """Parse a response's status line + headers (no body)."""
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        status = int(lines[0].split(" ", 2)[1])
+    except (IndexError, ValueError):
+        raise ServeError(f"malformed status line {lines[0]!r}") from None
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+class ChunkDecoder:
+    """Incremental ``Transfer-Encoding: chunked`` body decoder.
+
+    Feed raw socket bytes in as they arrive; complete chunk payloads
+    come back out, in order.  The shared grammar for the blocking
+    client's tune-stream reader — kept here beside the server-side
+    writers so both halves of the protocol live in one module.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = b""
+        self.done = False
+
+    def feed(self, data: bytes) -> list:
+        """Consume bytes; return the list of completed chunk payloads."""
+        self._buffer += data
+        out = []
+        while not self.done:
+            head, sep, rest = self._buffer.partition(b"\r\n")
+            if not sep:
+                break
+            try:
+                size = int(head.split(b";", 1)[0].strip() or b"0", 16)
+            except ValueError:
+                raise ServeError(
+                    f"malformed chunk size {head!r}"
+                ) from None
+            if size == 0:
+                self.done = True
+                self._buffer = b""
+                break
+            if len(rest) < size + 2:
+                break  # whole chunk not here yet
+            out.append(rest[:size])
+            self._buffer = rest[size + 2:]
+        return out
 
 
 def format_request(

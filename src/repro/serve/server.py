@@ -285,7 +285,9 @@ class OptimizeServer:
 
         asyncio.run(_main())
         print("repro serve: drained, bye", file=sys.stderr, flush=True)
-        return 0
+        from repro.core.exitcodes import EXIT_OK
+
+        return EXIT_OK
 
     # -- HTTP plumbing -------------------------------------------------
 

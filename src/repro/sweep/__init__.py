@@ -20,7 +20,12 @@ the whole thing; see ``docs/API.md`` for the journal format, resume
 semantics, and the quarantine policy.
 """
 
-from repro.sweep.cell import SweepCell
+from repro.sweep.cell import (
+    KIND_MEASURE,
+    KIND_OPTIMIZE_RUNTIME,
+    KIND_TUNE,
+    SweepCell,
+)
 from repro.sweep.journal import (
     JOURNAL_FORMAT,
     Journal,
@@ -43,6 +48,9 @@ __all__ = [
     "JOURNAL_FORMAT",
     "Journal",
     "JournalRecord",
+    "KIND_MEASURE",
+    "KIND_OPTIMIZE_RUNTIME",
+    "KIND_TUNE",
     "RetryPolicy",
     "STATUS_OK",
     "STATUS_QUARANTINED",

@@ -8,10 +8,19 @@ are value objects: two cells with equal fields denote the same
 measurement, have the same :meth:`key`, and map to the same record in
 the on-disk journal and the same entry in the in-process memo
 (:func:`~repro.experiments.harness.measure_key`).
+
+Optimizer switches travel as one frozen
+:class:`~repro.options.OptimizeOptions` value in the ``options`` field
+(``None`` = let the technique decide, the historical behaviour).  The
+loose per-keyword spellings (``use_nti=...`` etc.) that predate the
+consolidated option object keep constructing but raise
+:class:`DeprecationWarning`; the suite runs with
+``-W error::DeprecationWarning`` so no internal caller may use them.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -20,13 +29,31 @@ from repro.experiments.harness import (
     measure_key,
     optimize_runtime_key,
 )
+from repro.options import CACHE_KEYS, OptimizeOptions
 
 #: A ``measure_case`` cell (simulated milliseconds for one technique).
 KIND_MEASURE = "measure"
 #: A Table-5 cell: wall-clock seconds of the proposed optimizer.
 KIND_OPTIMIZE_RUNTIME = "optimize_runtime"
+#: A fleet-tune cell: one (kernel, platform, options) point of a tune
+#: grid, executed as an ordinary ``/v1/optimize`` through the router
+#: (see :mod:`repro.tune`) rather than in a local worker subprocess.
+KIND_TUNE = "tune"
 
-_KINDS = (KIND_MEASURE, KIND_OPTIMIZE_RUNTIME)
+_KINDS = (KIND_MEASURE, KIND_OPTIMIZE_RUNTIME, KIND_TUNE)
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from any real value."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+#: Legacy loose option keywords, now folded into ``options=``.
+_LEGACY_OPTION_FIELDS = CACHE_KEYS
 
 
 @dataclass(frozen=True)
@@ -38,6 +65,8 @@ class SweepCell:
     techniques exactly as the harness memo does.  ``optimize_runtime``
     cells (Table 5) only use benchmark/platform/fast; their value is
     seconds of optimizer wall-clock rather than simulated milliseconds.
+    ``tune`` cells identify one point of a tune grid by (benchmark,
+    platform, options, fast); ``options`` must be set for them.
     """
 
     benchmark: str
@@ -49,12 +78,24 @@ class SweepCell:
     seed: int = 0
     size_overrides: Tuple[Tuple[str, int], ...] = field(default=())
     kind: str = KIND_MEASURE
+    options: Optional[OptimizeOptions] = None
+    # Deprecated loose spellings; excluded from equality/hash — the
+    # consolidated ``options`` value *is* the identity.
+    use_nti: object = field(default=_UNSET, repr=False, compare=False)
+    parallelize: object = field(default=_UNSET, repr=False, compare=False)
+    vectorize: object = field(default=_UNSET, repr=False, compare=False)
+    exhaustive: object = field(default=_UNSET, repr=False, compare=False)
+    use_emu: object = field(default=_UNSET, repr=False, compare=False)
+    order_step: object = field(default=_UNSET, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        self._resolve_options()
         if self.kind not in _KINDS:
             raise ValueError(
                 f"unknown cell kind {self.kind!r}; known: {_KINDS}"
             )
+        if self.kind == KIND_TUNE and self.options is None:
+            raise ValueError("tune cells require options=OptimizeOptions(...)")
         # Normalize dict-valued overrides into the canonical sorted tuple
         # so equal cells always hash (and serialize) identically.
         if isinstance(self.size_overrides, dict):
@@ -64,13 +105,58 @@ class SweepCell:
                 tuple(sorted(self.size_overrides.items())),
             )
 
+    def _resolve_options(self) -> None:
+        """Fold deprecated loose option keywords into ``options`` and
+        mirror the resolved switches back onto the loose names, so both
+        spellings *read* identically after construction."""
+        legacy = {
+            name: getattr(self, name)
+            for name in _LEGACY_OPTION_FIELDS
+            if getattr(self, name) is not _UNSET
+        }
+        if legacy:
+            warnings.warn(
+                f"passing {sorted(legacy)} to SweepCell is deprecated; "
+                f"use options=OptimizeOptions(...) (see docs/API.md, "
+                f"'Migration notes')",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if self.options is not None:
+                raise ValueError(
+                    f"pass options= or the legacy keyword(s) "
+                    f"{sorted(legacy)}, not both"
+                )
+            object.__setattr__(
+                self, "options", OptimizeOptions().replace(**legacy)
+            )
+        resolved = self.options
+        for name in _LEGACY_OPTION_FIELDS:
+            object.__setattr__(
+                self,
+                name,
+                None if resolved is None else getattr(resolved, name),
+            )
+
     # -- identity ------------------------------------------------------
+
+    def options_dict(self) -> Optional[Dict[str, bool]]:
+        """The canonical cache/coalesce options dict, or ``None``."""
+        return None if self.options is None else self.options.cache_dict()
 
     def memo_key(self) -> Tuple:
         """The harness memo key this cell fills when it completes."""
         if self.kind == KIND_OPTIMIZE_RUNTIME:
             return optimize_runtime_key(
                 self.benchmark, self.platform, self.fast
+            )
+        if self.kind == KIND_TUNE:
+            return (
+                "tune",
+                self.benchmark,
+                self.platform,
+                self.options.fingerprint(),
+                self.fast,
             )
         return measure_key(
             self.benchmark,
@@ -90,6 +176,16 @@ class SweepCell:
             if self.fast:
                 parts.append("fast")
             return ":".join(parts)
+        if self.kind == KIND_TUNE:
+            parts = [
+                self.kind,
+                self.benchmark,
+                self.platform,
+                f"opt{self.options.fingerprint()[:12]}",
+            ]
+            if self.fast:
+                parts.append("fast")
+            return ":".join(parts)
         parts = [
             self.benchmark,
             self.technique,
@@ -101,6 +197,8 @@ class SweepCell:
             parts.append(f"seed{self.seed}")
         if self.fast:
             parts.append("fast")
+        if self.options is not None:
+            parts.append(f"opt{self.options.fingerprint()[:12]}")
         parts.extend(f"{k}={v}" for k, v in self.size_overrides)
         return ":".join(parts)
 
@@ -117,10 +215,12 @@ class SweepCell:
             "fast": self.fast,
             "seed": self.seed,
             "size_overrides": dict(self.size_overrides),
+            "options": self.options_dict(),
         }
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "SweepCell":
+        options = payload.get("options")
         return cls(
             kind=payload.get("kind", KIND_MEASURE),
             benchmark=payload["benchmark"],
@@ -139,6 +239,11 @@ class SweepCell:
                     (k, int(v))
                     for k, v in (payload.get("size_overrides") or {}).items()
                 )
+            ),
+            options=(
+                None
+                if options is None
+                else OptimizeOptions(**{k: bool(v) for k, v in options.items()})
             ),
         )
 

@@ -57,9 +57,10 @@ from repro.sweep.journal import (
     JournalRecord,
 )
 
-#: Exit code for "sweep completed but some cells are quarantined" —
-#: distinct from the CLI's 3 (degraded) and 4 (hard failure).
-EXIT_QUARANTINED = 5
+# "Sweep completed but some cells are quarantined" — distinct from the
+# CLI's 3 (degraded) and 4 (hard failure).  Defined centrally with the
+# rest of the exit-code protocol; re-exported here for compatibility.
+from repro.core.exitcodes import EXIT_QUARANTINED  # noqa: E402,F401
 
 
 @dataclass(frozen=True)

@@ -102,6 +102,7 @@ def run_cell(payload: dict) -> dict:
                     config=config,
                     autotune_evals=cell.autotune_evals,
                     cache=schedule_cache,
+                    options=cell.options,
                 )
                 machine = config.machine(arch)
                 value = machine.time_pipeline(case.pipeline, schedules)

@@ -1,0 +1,456 @@
+"""The tune job executor: fan cells across the fleet, journal progress.
+
+:class:`TuneRunner` drives one planned tune grid to completion.  Every
+cell is executed as an **ordinary** ``/v1/optimize`` against the fleet
+router — so request coalescing, deadline budgets, circuit breakers and
+health-gated failover all apply to tune traffic unchanged, and every
+schedule a cell searches lands in the home shard's
+:class:`~repro.cache.ScheduleCache` as a side effect (the fleet is warm
+for subsequent ``/v1/optimize`` calls by construction).
+
+Crash safety mirrors :class:`repro.sweep.SweepRunner`: per-cell retries
+on the deterministic :class:`~repro.sweep.runner.RetryPolicy` backoff,
+quarantine after repeated failures, and every settled cell appended to
+the checksummed ``repro-sweep-v1`` :class:`~repro.sweep.Journal`.  A
+SIGKILLed tune re-run on the same journal resumes: completed cells are
+replayed from their journaled values, and because a cell's milliseconds
+come from a **deterministic simulator replay** of the returned
+schedules (never wall-clock), the final ``repro-tune-report-v1`` is
+bit-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.exitcodes import EXIT_OK, EXIT_QUARANTINED
+from repro.obs.events import (
+    EVENT_TUNE_CELL_OK,
+    EVENT_TUNE_CELL_QUARANTINED,
+    EVENT_TUNE_CELL_RESUMED,
+    EVENT_TUNE_REPORT,
+    EVENT_TUNE_START,
+)
+from repro.obs.tracer import NULL_TRACER
+from repro.sweep import (
+    Journal,
+    JournalRecord,
+    STATUS_OK,
+    STATUS_QUARANTINED,
+    SweepCell,
+)
+from repro.sweep.runner import RetryPolicy
+from repro.tune.schema import (
+    CELL_OK,
+    CELL_QUARANTINED,
+    CELL_RESUMED,
+    cell_record,
+    tune_report,
+)
+from repro.util import ServeError, ServeOverloaded
+
+
+def _stable_seed(text: str) -> int:
+    """A deterministic 32-bit seed from a cell key (for client backoff)."""
+    return int(hashlib.sha256(text.encode("utf-8")).hexdigest()[:8], 16)
+
+
+def _machine_for(cell: SweepCell):
+    """The simulator used for deterministic cell replay."""
+    from repro.arch import platform_by_name
+    from repro.experiments.harness import ExperimentConfig
+
+    arch = platform_by_name(cell.platform)
+    return arch, ExperimentConfig(fast=cell.fast).machine(arch)
+
+
+def replay_ms(cell: SweepCell, schedules_payload: Sequence[Dict]) -> float:
+    """Simulated milliseconds of a cell's returned schedules.
+
+    The serve worker already timed the schedules, but wall-clock numbers
+    are not reproducible across runs or shards — so the tune layer
+    re-times them on the deterministic simulator, making journaled
+    values (and therefore resumed reports) bit-stable.
+    """
+    from repro.frontend.corpus import corpus_kernel
+    from repro.ir.serialize import schedule_from_dict
+
+    kernel = corpus_kernel(cell.benchmark)
+    case = kernel.case(fast=cell.fast)
+    arch, machine = _machine_for(cell)
+    by_stage = {
+        entry["stage"]: entry["schedule"] for entry in schedules_payload
+    }
+    schedules = {}
+    for stage in case.pipeline:
+        if stage.name not in by_stage:
+            raise ServeError(
+                f"result for {cell.key()} is missing stage {stage.name!r}"
+            )
+        schedules[stage] = schedule_from_dict(stage, by_stage[stage.name])
+    return machine.time_pipeline(case.pipeline, schedules)
+
+
+def baseline_ms_for(cell: SweepCell) -> float:
+    """Deterministic baseline milliseconds for a cell's kernel."""
+    from repro.baselines import baseline_schedule
+    from repro.frontend.corpus import corpus_kernel
+
+    kernel = corpus_kernel(cell.benchmark)
+    case = kernel.case(fast=cell.fast)
+    arch, machine = _machine_for(cell)
+    return machine.time_pipeline(
+        case.pipeline,
+        {stage: baseline_schedule(stage, arch) for stage in case.pipeline},
+    )
+
+
+@dataclass
+class TuneOutcome:
+    """One settled cell: its record-shaped view plus raw schedules."""
+
+    cell: SweepCell
+    status: str  # CELL_OK | CELL_QUARANTINED | CELL_RESUMED
+    ms: Optional[float] = None
+    attempts: int = 1
+    error: Optional[str] = None
+    schedules: Optional[List[Dict]] = None
+
+    def record(self) -> Dict:
+        """The repro-tune-v1 stream record for this outcome."""
+        return cell_record(
+            key=self.cell.key(),
+            status=self.status,
+            kernel=self.cell.benchmark,
+            platform=self.cell.platform,
+            options=self.cell.options.cache_dict(),
+            ms=self.ms,
+            baseline_ms=(
+                baseline_ms_for(self.cell) if self.ms is not None else None
+            ),
+            error=self.error,
+        )
+
+
+@dataclass
+class TuneReport:
+    """Everything one finished tune produced."""
+
+    tune_id: str
+    platforms: List[str]
+    outcomes: List[TuneOutcome] = field(default_factory=list)
+
+    @property
+    def quarantined(self) -> List[TuneOutcome]:
+        return [o for o in self.outcomes if o.status == CELL_QUARANTINED]
+
+    def document(self) -> Dict:
+        """The final ``repro-tune-report-v1`` document (bit-stable)."""
+        return tune_report(
+            tune_id_value=self.tune_id,
+            platforms=self.platforms,
+            outcomes=[o.record() for o in self.outcomes],
+        )
+
+    def exit_code(self) -> int:
+        return EXIT_QUARANTINED if self.quarantined else EXIT_OK
+
+    def summary(self) -> str:
+        ok = sum(
+            1 for o in self.outcomes if o.status in (CELL_OK, CELL_RESUMED)
+        )
+        resumed = sum(1 for o in self.outcomes if o.status == CELL_RESUMED)
+        parts = [
+            f"tune {self.tune_id}: {len(self.outcomes)} cells: {ok} ok"
+        ]
+        if resumed:
+            parts.append(f"{resumed} resumed from journal")
+        if self.quarantined:
+            parts.append(f"{len(self.quarantined)} quarantined")
+        return ", ".join(parts)
+
+    def install_winners(self, cache) -> int:
+        """Write each (kernel, platform) winner's schedules into a
+        :class:`~repro.cache.ScheduleCache`; returns stores made.
+
+        The fleet's shard caches are warm already (each cell ran as a
+        real ``/v1/optimize`` on its home shard); this explicitly warms
+        an *additional* cache — e.g. a standalone server's, or a local
+        file handed to ``repro tune --schedule-cache``.
+        """
+        from repro.frontend.corpus import corpus_kernel
+        from repro.ir.serialize import schedule_from_dict
+
+        winners: Dict[str, TuneOutcome] = {}
+        for outcome in self.outcomes:
+            if outcome.ms is None or not outcome.schedules:
+                continue
+            slot = f"{outcome.cell.benchmark}@{outcome.cell.platform}"
+            best = winners.get(slot)
+            if best is None or outcome.ms < best.ms:
+                winners[slot] = outcome
+        stores = 0
+        for outcome in winners.values():
+            cell = outcome.cell
+            kernel = corpus_kernel(cell.benchmark)
+            case = kernel.case(fast=cell.fast)
+            arch, _machine = _machine_for(cell)
+            by_stage = {
+                entry["stage"]: entry["schedule"]
+                for entry in outcome.schedules
+            }
+            for stage in case.pipeline:
+                payload = by_stage.get(stage.name)
+                if payload is None:
+                    continue
+                cache.put(
+                    stage,
+                    arch,
+                    cell.options.cache_dict(),
+                    schedule_from_dict(stage, payload),
+                    meta={
+                        "origin": "tune",
+                        "kernel": cell.benchmark,
+                        "arch": arch.name,
+                    },
+                )
+                stores += 1
+        return stores
+
+
+class TuneRunner:
+    """Run tune cells against a fleet router, crash-safely.
+
+    Parameters
+    ----------
+    journal:
+        The resumable :class:`~repro.sweep.Journal` holding per-cell
+        progress; pass the same path to resume an interrupted tune.
+    host / port:
+        The fleet router (or a single serve worker — the protocol is
+        identical) every cell is submitted to.
+    jobs:
+        Concurrent in-flight cells (each on its own thread + client).
+    timeout_s:
+        Socket timeout for one cell round-trip.
+    deadline_ms:
+        Optional per-cell server-side budget, forwarded on the request.
+    retry:
+        A :class:`~repro.sweep.runner.RetryPolicy`; quarantine after its
+        ``max_attempts``.
+    client_retries:
+        Shed-response (429/503) re-submissions *within* one attempt,
+        delegated to :class:`~repro.serve.client.ServeClient`.
+    """
+
+    def __init__(
+        self,
+        journal: Journal,
+        *,
+        host: str = "127.0.0.1",
+        port: int,
+        jobs: int = 1,
+        timeout_s: float = 120.0,
+        deadline_ms: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        client_retries: int = 8,
+        progress=None,
+        tracer=None,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.journal = journal
+        self.host = host
+        self.port = port
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+        self.deadline_ms = deadline_ms
+        self.retry = retry or RetryPolicy()
+        self.client_retries = client_retries
+        self.progress = progress
+        self.tracer = tracer or NULL_TRACER
+        self.sleeper = sleeper
+        self._lock = threading.Lock()
+
+    # -- driving -------------------------------------------------------
+
+    def run(
+        self,
+        cells: Sequence[SweepCell],
+        *,
+        tune_id: str = "",
+        on_record: Optional[Callable[[Dict], None]] = None,
+    ) -> TuneReport:
+        """Execute every cell (resuming from the journal); returns the
+        report.  ``on_record`` is invoked once per settled cell with its
+        stream record — resumed cells first, then live ones as they
+        finish (serialized under a lock for ``jobs > 1``)."""
+        unique: List[SweepCell] = []
+        seen = set()
+        for cell in cells:
+            if cell.key() not in seen:
+                seen.add(cell.key())
+                unique.append(cell)
+        platforms = sorted({cell.platform for cell in unique})
+        self.tracer.event(
+            EVENT_TUNE_START,
+            tune_id=tune_id,
+            cells=len(unique),
+            platforms=platforms,
+        )
+        report = TuneReport(tune_id=tune_id, platforms=platforms)
+        journaled = self.journal.load()
+        pending: List[SweepCell] = []
+        for cell in unique:
+            record = journaled.get(cell.key())
+            if record is not None and record.status == STATUS_OK:
+                outcome = TuneOutcome(
+                    cell=cell,
+                    status=CELL_RESUMED,
+                    ms=record.ms,
+                    attempts=record.attempts,
+                    schedules=record.schedules,
+                )
+                self.tracer.event(EVENT_TUNE_CELL_RESUMED, key=cell.key())
+                self.tracer.count("tune.cells.resumed")
+                self._settle(report, outcome, on_record)
+            elif record is not None and record.status == STATUS_QUARANTINED:
+                outcome = TuneOutcome(
+                    cell=cell,
+                    status=CELL_QUARANTINED,
+                    attempts=record.attempts,
+                    error=record.error,
+                )
+                self._settle(report, outcome, on_record)
+            else:
+                pending.append(cell)
+        if pending:
+            if self.jobs == 1:
+                for cell in pending:
+                    self._settle(
+                        report, self._run_cell(cell), on_record
+                    )
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=self.jobs,
+                    thread_name_prefix="repro-tune",
+                ) as pool:
+                    for outcome in pool.map(self._run_cell, pending):
+                        self._settle(report, outcome, on_record)
+        self.tracer.event(
+            EVENT_TUNE_REPORT,
+            tune_id=tune_id,
+            cells=len(report.outcomes),
+            quarantined=len(report.quarantined),
+        )
+        return report
+
+    def _settle(
+        self,
+        report: TuneReport,
+        outcome: TuneOutcome,
+        on_record: Optional[Callable[[Dict], None]],
+    ) -> None:
+        with self._lock:
+            report.outcomes.append(outcome)
+            if on_record is not None:
+                on_record(outcome.record())
+            if self.progress is not None:
+                print(
+                    f"  [tune] {outcome.cell.key()}: {outcome.status}"
+                    + (f" ({outcome.ms:.3f} ms)" if outcome.ms else "")
+                    + (f" — {outcome.error}" if outcome.error else ""),
+                    file=self.progress,
+                    flush=True,
+                )
+
+    # -- one cell ------------------------------------------------------
+
+    def _run_cell(self, cell: SweepCell) -> TuneOutcome:
+        key = cell.key()
+        trail: List[str] = []
+        last_error = "unknown"
+        for attempt in range(1, self.retry.max_attempts + 1):
+            if attempt > 1:
+                self.sleeper(self.retry.delay_before(key, attempt))
+            try:
+                ms, schedules = self._attempt(cell, attempt)
+            except (ConnectionError, ServeOverloaded, ServeError,
+                    KeyError, ValueError) as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                trail.append(f"attempt {attempt}: {last_error}")
+                continue
+            outcome = TuneOutcome(
+                cell=cell,
+                status=CELL_OK,
+                ms=ms,
+                attempts=attempt,
+                schedules=schedules,
+            )
+            self.journal.append(
+                JournalRecord(
+                    cell=cell,
+                    status=STATUS_OK,
+                    ms=ms,
+                    attempts=attempt,
+                    trail=trail,
+                    schedules=schedules,
+                )
+            )
+            self.tracer.event(EVENT_TUNE_CELL_OK, key=key, attempts=attempt)
+            self.tracer.count("tune.cells.ok")
+            return outcome
+        self.journal.append(
+            JournalRecord(
+                cell=cell,
+                status=STATUS_QUARANTINED,
+                attempts=self.retry.max_attempts,
+                error=last_error,
+                trail=trail,
+            )
+        )
+        self.tracer.event(
+            EVENT_TUNE_CELL_QUARANTINED, key=key, error=last_error
+        )
+        self.tracer.count("tune.cells.quarantined")
+        return TuneOutcome(
+            cell=cell,
+            status=CELL_QUARANTINED,
+            attempts=self.retry.max_attempts,
+            error=last_error,
+        )
+
+    def _attempt(self, cell: SweepCell, attempt: int):
+        """One live try: submit through the router, replay the answer."""
+        from repro.frontend.corpus import corpus_kernel
+        from repro.serve.client import ServeClient
+
+        kernel = corpus_kernel(cell.benchmark)
+        client = ServeClient(
+            self.host,
+            self.port,
+            timeout_s=self.timeout_s,
+            retries=self.client_retries,
+            backoff_base_s=0.05,
+            backoff_cap_s=0.5,
+            backoff_seed=_stable_seed(f"{cell.key()}#{attempt}"),
+        )
+        result = client.optimize(
+            platform=cell.platform,
+            fast=cell.fast,
+            deadline_ms=self.deadline_ms,
+            spec=kernel.spec,
+            dims=dict(kernel.fast_dims if cell.fast else kernel.dims),
+            dtypes=None if kernel.dtypes is None else dict(kernel.dtypes),
+            params=None if kernel.params is None else dict(kernel.params),
+            **cell.options.cache_dict(),
+        )
+        schedules = result.get("schedules") or []
+        return replay_ms(cell, schedules), schedules

@@ -1,0 +1,105 @@
+"""The consolidated ``SweepCell.options`` field and its deprecation
+shim for the historical loose option keywords."""
+
+import warnings
+
+import pytest
+
+from repro.options import OptimizeOptions
+from repro.sweep import KIND_TUNE, SweepCell
+
+
+def measure_cell(**kwargs):
+    defaults = dict(
+        benchmark="matmul",
+        technique="proposed",
+        platform="i7-5930k",
+        line_budget=0,
+        fast=True,
+    )
+    defaults.update(kwargs)
+    return SweepCell(**defaults)
+
+
+class TestOptionsField:
+    def test_no_options_stays_silent_and_none(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cell = measure_cell()
+        assert cell.options is None
+        assert cell.options_dict() is None
+        # The loose names read as None too — nothing was decided.
+        assert cell.use_nti is None
+
+    def test_options_object_is_the_identity(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cell = measure_cell(
+                options=OptimizeOptions().replace(use_nti=False)
+            )
+        assert cell.options.use_nti is False
+        # The loose names mirror the resolved switches read-side.
+        assert cell.use_nti is False
+        assert cell.parallelize is True
+        assert f"opt{cell.options.fingerprint()[:12]}" in cell.key()
+
+    def test_legacy_keywords_warn_and_fold(self):
+        with pytest.warns(DeprecationWarning, match="Migration notes"):
+            legacy = measure_cell(use_nti=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            modern = measure_cell(
+                options=OptimizeOptions().replace(use_nti=False)
+            )
+        # Both spellings denote the same cell: equal value, same key,
+        # same memo slot.
+        assert legacy == modern
+        assert legacy.key() == modern.key()
+        assert legacy.memo_key() == modern.memo_key()
+        assert legacy.options == modern.options
+
+    def test_legacy_plus_options_is_an_error(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="not both"):
+                measure_cell(options=OptimizeOptions(), use_nti=False)
+
+
+class TestTuneCells:
+    def tune_cell(self, **overrides):
+        return SweepCell(
+            benchmark="matmul",
+            technique="proposed",
+            platform="i7-5930k",
+            line_budget=0,
+            fast=True,
+            kind=KIND_TUNE,
+            options=OptimizeOptions().replace(**overrides),
+        )
+
+    def test_tune_cells_require_options(self):
+        with pytest.raises(ValueError, match="require options"):
+            measure_cell(kind=KIND_TUNE)
+
+    def test_key_and_memo_key_carry_the_fingerprint(self):
+        defaults = self.tune_cell()
+        variant = self.tune_cell(use_nti=False)
+        assert defaults.key() != variant.key()
+        assert defaults.key().startswith("tune:matmul:i7-5930k:opt")
+        assert defaults.key().endswith(":fast")
+        assert defaults.memo_key()[0] == "tune"
+        assert defaults.memo_key() != variant.memo_key()
+
+    def test_roundtrip_preserves_identity(self):
+        cell = self.tune_cell(use_nti=False, exhaustive=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            back = SweepCell.from_dict(cell.to_dict())
+        assert back == cell
+        assert back.key() == cell.key()
+        assert back.options == cell.options
+
+    def test_roundtrip_of_optionless_measure_cell(self):
+        cell = measure_cell()
+        back = SweepCell.from_dict(cell.to_dict())
+        assert back == cell
+        assert back.options is None

@@ -1,0 +1,209 @@
+"""The tune planner + runner: grid expansion, crash-safe resume, cache
+warming.  The live classes boot real servers (same harness as the serve
+tests); the planner tests are pure.
+"""
+
+import json
+
+import pytest
+
+from repro.core.exitcodes import EXIT_OK, EXIT_QUARANTINED
+from repro.frontend.corpus import corpus_kernel
+from repro.options import OptimizeOptions
+from repro.sweep import Journal, KIND_TUNE
+from repro.sweep.runner import RetryPolicy
+from repro.tune import (
+    CELL_QUARANTINED,
+    CELL_RESUMED,
+    TUNE_REPORT_FORMAT,
+    TuneRunner,
+    build_tune_request,
+    plan_tune_cells,
+    tune_id,
+    validate_tune_report,
+)
+
+
+def tune_request():
+    return build_tune_request(
+        kernels=["matmul", "mxv"],
+        grid=[{}, {"use_nti": False}],
+        fast=True,
+    )
+
+
+def canon(document):
+    return json.dumps(document, sort_keys=True)
+
+
+class TestPlanner:
+    def test_expansion_is_the_full_cross_product(self):
+        cells = plan_tune_cells(tune_request())
+        assert len(cells) == 4  # 2 kernels x 1 platform x 2 overlays
+        assert all(cell.kind == KIND_TUNE for cell in cells)
+        assert all(cell.technique == "proposed" for cell in cells)
+        assert all(cell.fast for cell in cells)
+        assert {cell.benchmark for cell in cells} == {"matmul", "mxv"}
+        assert {cell.options.use_nti for cell in cells} == {True, False}
+        # Deterministic order: kernels outermost, overlays innermost.
+        assert [cell.benchmark for cell in cells] == [
+            "matmul", "matmul", "mxv", "mxv",
+        ]
+
+    def test_overlay_equal_to_defaults_dedupes(self):
+        # use_nti defaults to True, so {"use_nti": True} IS the defaults
+        # overlay — the planner folds the duplicate cell away.
+        assert OptimizeOptions().use_nti is True
+        request = build_tune_request(
+            kernels=["matmul"], grid=[{}, {"use_nti": True}]
+        )
+        assert len(plan_tune_cells(request)) == 1
+
+    def test_family_selection_expands_in_corpus_order(self):
+        request = build_tune_request(families=["micro"])
+        cells = plan_tune_cells(request)
+        assert cells, "micro family must not be empty"
+        assert all(
+            corpus_kernel(cell.benchmark).family == "micro" for cell in cells
+        )
+        assert cells[0].benchmark == "transpose"
+
+    def test_invalid_request_rejected(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            plan_tune_cells({"format": "repro-tune-v1"})
+
+
+@pytest.mark.slow
+class TestRunnerLive:
+    def test_tune_resume_bit_identity_and_cache_warming(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.cache import ScheduleCache
+        from repro.serve import ServeClient
+        from repro.serve.testing import ServerThread
+
+        monkeypatch.setenv("REPRO_LINE_BUDGET", "2000")
+        request = tune_request()
+        cells = plan_tune_cells(request)
+        job = tune_id(request)
+        journal_path = tmp_path / "tune-journal.jsonl"
+        with ServerThread(
+            cache_path=str(tmp_path / "serve-cache.jsonl")
+        ) as srv:
+            records = []
+            report = TuneRunner(
+                Journal(str(journal_path)), port=srv.port, timeout_s=60.0
+            ).run(cells, tune_id=job, on_record=records.append)
+            document = report.document()
+            assert validate_tune_report(document) == []
+            assert (document["cells"], document["quarantined"]) == (4, 0)
+            assert len(records) == 4
+            assert report.exit_code() == EXIT_OK
+            assert set(document["winners"]) == {
+                "matmul@i7-5930k", "mxv@i7-5930k",
+            }
+
+            # The SIGKILL-mid-tune contract: lose all but the first
+            # journaled cell (as a kill after cell 1 would), re-run on
+            # the same journal — one resumed cell, three live, and a
+            # report bit-identical to the uninterrupted run's.
+            lines = journal_path.read_bytes().splitlines(keepends=True)
+            journal_path.write_bytes(lines[0])
+            resumed = TuneRunner(
+                Journal(str(journal_path)), port=srv.port, timeout_s=60.0
+            ).run(cells, tune_id=job)
+            statuses = [o.status for o in resumed.outcomes]
+            assert statuses.count(CELL_RESUMED) == 1
+            assert canon(resumed.document()) == canon(document)
+
+            # With a complete journal every cell replays offline — port
+            # 1 is nobody's listener, so any network round-trip would
+            # quarantine the run instead.
+            offline = TuneRunner(
+                Journal(str(journal_path)), port=1, timeout_s=0.2
+            ).run(cells, tune_id=job)
+            assert all(o.status == CELL_RESUMED for o in offline.outcomes)
+            assert canon(offline.document()) == canon(document)
+
+            # Tuning warmed the serve cache as a side effect: the winner
+            # identity served again comes straight from cache.
+            kernel = corpus_kernel("matmul")
+            winner = document["winners"]["matmul@i7-5930k"]
+            client = ServeClient(port=srv.port, timeout_s=60.0)
+            result = client.optimize(
+                platform="i7-5930k",
+                fast=True,
+                spec=kernel.spec,
+                dims=dict(kernel.fast_dims),
+                dtypes=None if kernel.dtypes is None else dict(kernel.dtypes),
+                params=None if kernel.params is None else dict(kernel.params),
+                **winner["options"],
+            )
+            assert result["served_by"] == "cache"
+
+        # install_winners warms a brand-new cache file: a fresh server
+        # on it answers the tuned identity without searching.
+        warm_path = tmp_path / "warm-cache.jsonl"
+        assert report.install_winners(ScheduleCache(str(warm_path))) > 0
+        with ServerThread(cache_path=str(warm_path)) as warm:
+            client = ServeClient(port=warm.port, timeout_s=60.0)
+            result = client.optimize(
+                platform="i7-5930k",
+                fast=True,
+                spec=kernel.spec,
+                dims=dict(kernel.fast_dims),
+                dtypes=None if kernel.dtypes is None else dict(kernel.dtypes),
+                params=None if kernel.params is None else dict(kernel.params),
+                **winner["options"],
+            )
+            assert result["served_by"] == "cache"
+
+    def test_unreachable_fleet_quarantines_loudly(self, tmp_path):
+        cells = plan_tune_cells(tune_request())
+        report = TuneRunner(
+            Journal(str(tmp_path / "journal.jsonl")),
+            port=1,
+            timeout_s=0.2,
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0, jitter=0.0),
+            client_retries=0,
+            sleeper=lambda _s: None,
+        ).run(cells, tune_id="deadbeefdeadbeef")
+        assert all(o.status == CELL_QUARANTINED for o in report.outcomes)
+        assert all(o.attempts == 2 for o in report.outcomes)
+        assert all(o.error for o in report.outcomes)
+        assert report.exit_code() == EXIT_QUARANTINED
+        document = report.document()
+        assert validate_tune_report(document) == []
+        assert document["winners"] == {}
+        assert document["quarantined"] == 4
+
+
+@pytest.mark.slow
+class TestFleetTuneStream:
+    def test_post_streams_cells_and_repost_resumes(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.fleet.testing import FleetThread
+        from repro.serve import ServeClient
+
+        monkeypatch.setenv("REPRO_LINE_BUDGET", "2000")
+        request = tune_request()
+        with FleetThread(
+            workers=2,
+            cache_path=str(tmp_path / "cache.jsonl"),
+            queue_limit=8,
+        ) as fleet:
+            client = ServeClient(port=fleet.port, timeout_s=120.0)
+            records = list(client.tune(request))
+            report = records[-1]
+            assert report["format"] == TUNE_REPORT_FORMAT
+            assert validate_tune_report(report) == []
+            assert (report["cells"], report["quarantined"]) == (4, 0)
+            assert [r["kind"] for r in records[:-1]] == ["cell"] * 4
+
+            # Same body again: the router keys its journal off the
+            # request's tune_id, so the re-POST replays every cell from
+            # the journal and the report is bit-identical.
+            again = list(client.tune(request))
+            assert all(r["status"] == "resumed" for r in again[:-1])
+            assert canon(again[-1]) == canon(report)
