@@ -765,17 +765,20 @@ def cmd_tune(args) -> int:
     families = args.families or None
     grid = [{}]
     for name in args.vary or []:
-        if name not in CACHE_KEYS:
+        if name not in CACHE_KEYS and name != "multistride":
             raise SystemExit(
                 f"--vary {name!r}: not an option switch; known: "
-                f"{', '.join(CACHE_KEYS)}"
+                f"{', '.join(CACHE_KEYS)}, multistride"
             )
         if any(name in overlay for overlay in grid):
             continue  # --vary use_nti --vary use_nti
+        # Boolean switches sweep {off, on}; multistride sweeps the
+        # disabled default against the three-way classifier.
+        values = ("off", "auto") if name == "multistride" else (False, True)
         grid = [
             dict(overlay, **{name: value})
             for overlay in grid
-            for value in (False, True)
+            for value in values
         ]
     try:
         request = build_tune_request(
@@ -1221,7 +1224,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--vary", action="append", default=None,
                         metavar="OPT",
                         help="cross both values of an option switch into "
-                             "the grid (repeatable), e.g. --vary use_nti")
+                             "the grid (repeatable), e.g. --vary use_nti; "
+                             "--vary multistride sweeps off vs auto")
     p_tune.add_argument("--fast", action="store_true",
                         help="scaled-down problem sizes")
     p_tune.add_argument("--deadline-ms", type=float, default=None,

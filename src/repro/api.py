@@ -351,6 +351,11 @@ class OptimizeResult:
     fell_back: bool = False
     diagnostics: Optional[Diagnostics] = None
     elapsed_seconds: float = 0.0
+    #: The multi-striding classifier's verdict
+    #: (:class:`repro.multistride.MultistrideDecision`); populated only
+    #: when the request enabled the ``multistride`` option in ``auto``
+    #: mode (safe mode's fallback ladder never multistrides).
+    multistride: Optional[object] = None
 
     @property
     def stats(self) -> Optional[CandidateStats]:
@@ -418,6 +423,7 @@ def _from_core(
         temporal=result.temporal,
         spatial=result.spatial,
         elapsed_seconds=result.runtime_seconds,
+        multistride=result.multistride,
     )
 
 
@@ -510,6 +516,7 @@ def optimize(request: OptimizeRequest) -> OptimizeResult:
             exhaustive=request.exhaustive,
             use_emu=request.use_emu,
             order_step=request.order_step,
+            multistride=request.options.multistride,
             jobs=request.jobs,
             deadline=_deadline(request),
             tracer=request.tracer,
@@ -539,6 +546,7 @@ def optimize(request: OptimizeRequest) -> OptimizeResult:
         exhaustive=request.exhaustive,
         use_emu=request.use_emu,
         order_step=request.order_step,
+        multistride=request.options.multistride,
         jobs=request.jobs,
         deadline=_deadline(request),
         tracer=request.tracer,

@@ -103,7 +103,8 @@ def optimize_options(
     exhaustive: bool = False,
     use_emu: bool = True,
     order_step: bool = True,
-) -> Dict[str, bool]:
+    multistride="off",
+) -> Dict[str, object]:
     """The canonical options dict for one :func:`repro.core.optimize`
     configuration — exactly the switches that can change the chosen
     schedule, nothing that cannot (``jobs``, tracers, deadlines).
@@ -122,6 +123,7 @@ def optimize_options(
         exhaustive=exhaustive,
         use_emu=use_emu,
         order_step=order_step,
+        multistride=multistride,
     ).cache_dict()
 
 

@@ -17,13 +17,22 @@ element accesses onto lines, so one simulated access is one line touch.
 """
 
 from repro.cachesim.cache import SetAssocCache
-from repro.cachesim.prefetch import NextLinePrefetcher, StridePrefetcher
+from repro.cachesim.prefetch import (
+    MultiStreamPrefetcher,
+    NextLinePrefetcher,
+    StreamModelParams,
+    StreamTableStats,
+    StridePrefetcher,
+)
 from repro.cachesim.hierarchy import CacheHierarchy, AccessResult
 from repro.cachesim.stats import LevelStats, HierarchyStats
 
 __all__ = [
     "SetAssocCache",
+    "MultiStreamPrefetcher",
     "NextLinePrefetcher",
+    "StreamModelParams",
+    "StreamTableStats",
     "StridePrefetcher",
     "CacheHierarchy",
     "AccessResult",

@@ -32,17 +32,26 @@ from typing import List, Optional
 
 from repro.arch import ArchSpec
 from repro.cachesim.cache import SetAssocCache
-from repro.cachesim.prefetch import NextLinePrefetcher, StridePrefetcher
+from repro.cachesim.prefetch import (
+    MultiStreamPrefetcher,
+    NextLinePrefetcher,
+    StreamModelParams,
+    StridePrefetcher,
+)
 from repro.cachesim.stats import HierarchyStats
 
 
 @dataclass(frozen=True)
 class AccessResult:
     """Outcome of one demand access: the level that served it (1..3, or 4
-    for DRAM) and whether that line had been prefetched there."""
+    for DRAM), whether that line had been prefetched there, and — under
+    the multi-stream detector model — whether the prefetch was still in
+    flight when the demand arrived (a *late* prefetch hit, which still
+    pays part of the memory latency)."""
 
     hit_level: int
     prefetch_credit: bool
+    late: bool = False
 
 
 class CacheHierarchy:
@@ -62,6 +71,14 @@ class CacheHierarchy:
     enable_prefetch:
         Master switch; disabling yields the prefetch-blind machine used by
         the ablation experiments.
+    stream_model:
+        Optional :class:`~repro.cachesim.prefetch.StreamModelParams`.
+        When set, the legacy next-line + per-``ref_id`` stride engines are
+        replaced by the bounded :class:`MultiStreamPrefetcher` (fixed
+        engine pool, LRU eviction, in-flight prefetch latency) and demand
+        hits on still-in-flight lines are flagged *late*.  ``None`` (the
+        default) keeps the legacy model bit-for-bit — every committed
+        baseline and golden trace runs with ``None``.
     """
 
     def __init__(
@@ -72,6 +89,7 @@ class CacheHierarchy:
         l2_ways_divisor: int = 1,
         l3_capacity_divisor: int = 1,
         enable_prefetch: bool = True,
+        stream_model: Optional[StreamModelParams] = None,
     ) -> None:
         if min(l1_ways_divisor, l2_ways_divisor, l3_capacity_divisor) < 1:
             raise ValueError("divisors must be >= 1")
@@ -99,7 +117,15 @@ class CacheHierarchy:
             degree=arch.l2_prefetches_per_access,
             max_distance=arch.l2_max_prefetch_distance,
         )
+        self.stream_model = stream_model
+        self._multi: Optional[MultiStreamPrefetcher] = None
+        # line -> simulated arrival time of its outstanding prefetch.
+        self._inflight: dict = {}
         self.stats = HierarchyStats(levels=[c.stats for c in self.levels])
+        self.stats.stream_tables["l2_stride"] = self.l2_stride.stats
+        if stream_model is not None:
+            self._multi = MultiStreamPrefetcher(stream_model)
+            self.stats.stream_tables["multi_stream"] = self._multi.stats
         # Lines written at least once: each eventually costs one write-back
         # line on the DRAM bus (streaming kernels write each line once;
         # accumulations coalesce in cache, also once).
@@ -124,6 +150,8 @@ class CacheHierarchy:
         stats.total_accesses += 1
         hit_level = 0
         prefetch_credit = False
+        late = False
+        multi = self._multi
         sets = self._sets
         n = self.num_levels
         for idx in range(n):
@@ -147,6 +175,15 @@ class CacheHierarchy:
         if hit_level == 0:
             hit_level = n + 1
             stats.memory_lines += 1
+        if multi is not None and line in self._inflight:
+            arrival = self._inflight.pop(line)
+            if prefetch_credit:
+                if arrival > multi._clock:
+                    late = True
+                    stats.late_prefetch_hits += 1
+                    multi.stats.late_hits += 1
+                else:
+                    multi.stats.on_time_hits += 1
         if is_write and line not in self._dirty:
             # Write-allocate: the dirty line eventually goes back out,
             # whether the allocation came from a demand miss or a prefetch.
@@ -156,8 +193,15 @@ class CacheHierarchy:
         for idx in range(hit_level - 2, -1, -1):
             self._fill(idx, line, False)
         if self.enable_prefetch:
-            self._prefetch_after(line, ref_id)
-        return AccessResult(hit_level, prefetch_credit)
+            if multi is not None:
+                targets, arrival = multi.observe(ref_id, line)
+                for target in targets:
+                    if target >= 0 and not self._contains(1, target):
+                        self._prefetch_fill(target, into_level=2)
+                        self._inflight[target] = arrival
+            else:
+                self._prefetch_after(line, ref_id)
+        return AccessResult(hit_level, prefetch_credit, late)
 
     def _fill(self, idx: int, line: int, prefetched: bool) -> None:
         """Insert ``line`` into level ``idx`` (0-based); evict LRU."""
@@ -235,6 +279,9 @@ class CacheHierarchy:
         for cache in self.levels:
             cache.flush()
         self.l2_stride.reset()
+        if self._multi is not None:
+            self._multi.reset()
+        self._inflight.clear()
 
     def summary(self) -> str:
         return self.stats.summary()

@@ -1,7 +1,7 @@
 """Hardware prefetch engines.
 
-Two engines, matching the two mechanisms the paper's model reasons about
-(Sec. 3.2):
+Three engines, matching the mechanisms the two reproduced papers reason
+about:
 
 * :class:`NextLinePrefetcher` — the *streaming* prefetcher present at L1 and
   L2: after every demand reference to line ``n`` it requests line ``n + 1``.
@@ -15,11 +15,57 @@ Two engines, matching the two mechanisms the paper's model reasons about
   the engine that lets tiled code with non-unit inter-tile strides still
   find its data in L2/L3 — the reason the paper weighs misses with the L2
   and L3 access times (Eq. 11) rather than the memory latency.
+* :class:`MultiStreamPrefetcher` — the bounded multi-stream detector of the
+  multi-striding model (Blom et al., "Multi-Strided Access Patterns to
+  Boost Hardware Prefetching"): a fixed pool of stream engines, one per
+  4 KiB page being streamed, with deterministic LRU eviction.  Engines
+  train like the stride engine but are *rate-limited* (at most ``degree``
+  issues per trigger, never past the page boundary) and every prefetch is
+  *in flight* for ``latency_accesses`` demand accesses — a demand hit that
+  arrives before its prefetch is a **late** prefetch hit and still pays
+  part of the memory latency.  Splitting one access stream into K
+  interleaved sub-streams multiplies the per-stream demand gap by K, which
+  is exactly what turns late hits into on-time hits — the effect the
+  ``multistride(loop, K)`` directive exists to exploit.
+
+The stride and multi-stream tables share :class:`StreamTableStats`, the
+occupancy/eviction counters :class:`repro.cachesim.stats.HierarchyStats`
+surfaces under ``stream_tables``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class StreamTableStats:
+    """Occupancy/eviction counters of one bounded stream table."""
+
+    capacity: int = 0
+    allocations: int = 0       # streams/engines ever allocated
+    evictions: int = 0         # LRU evictions (table was full)
+    peak_occupancy: int = 0    # high-water mark of live entries
+    occupancy: int = 0         # live entries right now
+    trained: int = 0           # entries that reached the train threshold
+    prefetches_issued: int = 0
+    late_hits: int = 0         # demand hits that beat the prefetch arrival
+    on_time_hits: int = 0      # demand hits after the prefetch arrived
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "capacity": self.capacity,
+            "allocations": self.allocations,
+            "evictions": self.evictions,
+            "peak_occupancy": self.peak_occupancy,
+            "occupancy": self.occupancy,
+            "trained": self.trained,
+            "prefetches_issued": self.prefetches_issued,
+            "late_hits": self.late_hits,
+            "on_time_hits": self.on_time_hits,
+        }
 
 
 class NextLinePrefetcher:
@@ -29,6 +75,8 @@ class NextLinePrefetcher:
     ----------
     degree:
         Number of consecutive next lines requested per demand access.
+        A degree of 0 is legal and yields an engine that never requests
+        anything (the disabled configuration of the ablations).
     """
 
     __slots__ = ("degree",)
@@ -66,28 +114,59 @@ class StridePrefetcher:
     Zero-stride repeats (several accesses within one line) neither train
     nor reset the detector, mirroring real hardware that filters same-line
     accesses before the prefetch unit.
+
+    The stream table is *bounded*: at most ``max_streams`` entries live at
+    once, evicted in deterministic least-recently-used order (hardware
+    stride tables hold a few dozen entries, not one per static load ever
+    seen).  The default is far above any single nest's reference count, so
+    bounding never changes existing single-nest simulations; occupancy and
+    evictions are surfaced through :attr:`stats`.
     """
 
-    __slots__ = ("degree", "max_distance", "_streams", "train_threshold")
+    __slots__ = (
+        "degree", "max_distance", "max_streams", "_streams",
+        "train_threshold", "stats",
+    )
 
     def __init__(
-        self, degree: int = 2, max_distance: int = 20, train_threshold: int = 2
+        self,
+        degree: int = 2,
+        max_distance: int = 20,
+        train_threshold: int = 2,
+        max_streams: int = 64,
     ) -> None:
         if degree < 0:
             raise ValueError(f"degree must be non-negative, got {degree}")
         if max_distance <= 0:
             raise ValueError(f"max_distance must be positive, got {max_distance}")
+        if max_streams <= 0:
+            raise ValueError(f"max_streams must be positive, got {max_streams}")
         self.degree = degree
         self.max_distance = max_distance
         self.train_threshold = train_threshold
-        self._streams: Dict[int, _Stream] = {}
+        self.max_streams = max_streams
+        self._streams: "OrderedDict[int, _Stream]" = OrderedDict()
+        self.stats = StreamTableStats(capacity=max_streams)
+
+    def _stream_for(self, ref_id: int) -> _Stream:
+        stream = self._streams.get(ref_id)
+        if stream is not None:
+            self._streams.move_to_end(ref_id)
+            return stream
+        stream = _Stream()
+        if len(self._streams) >= self.max_streams:
+            self._streams.popitem(last=False)
+            self.stats.evictions += 1
+        self._streams[ref_id] = stream
+        self.stats.allocations += 1
+        self.stats.occupancy = len(self._streams)
+        if self.stats.occupancy > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = self.stats.occupancy
+        return stream
 
     def observe(self, ref_id: int, line: int) -> List[int]:
         """Record a demand access; return lines to prefetch (maybe empty)."""
-        stream = self._streams.get(ref_id)
-        if stream is None:
-            stream = _Stream()
-            self._streams[ref_id] = stream
+        stream = self._stream_for(ref_id)
         if stream.last_line is None:
             stream.last_line = line
             return []
@@ -102,6 +181,8 @@ class StridePrefetcher:
             stream.confidence = 1
         if stream.confidence < self.train_threshold:
             return []
+        if stream.confidence == self.train_threshold:
+            self.stats.trained += 1
         out: List[int] = []
         for d in range(1, self.degree + 1):
             target = line + stride * d
@@ -110,11 +191,13 @@ class StridePrefetcher:
             if abs(stride * d) > self.max_distance * 4:
                 break
             out.append(target)
+        self.stats.prefetches_issued += len(out)
         return out
 
     def reset(self) -> None:
-        """Forget all stream training state."""
+        """Forget all stream training state (statistics are kept)."""
         self._streams.clear()
+        self.stats.occupancy = 0
 
     def stream_state(self, ref_id: int) -> Tuple[int, int]:
         """(stride, confidence) of a stream — diagnostics and tests."""
@@ -122,3 +205,173 @@ class StridePrefetcher:
         if stream is None:
             return (0, 0)
         return (stream.stride, stream.confidence)
+
+
+# ---------------------------------------------------------------------------
+# The bounded multi-stream detector (multi-striding model)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StreamModelParams:
+    """Constants of the bounded multi-stream detector model.
+
+    The defaults model an Intel-style L2 streamer: a small pool of stream
+    engines tracking one 4 KiB page each, rate-limited issue, bounded
+    run-ahead, and a prefetch pipeline whose latency — measured in demand
+    accesses, the simulator's clock — exceeds what a *single* stream's
+    run-ahead can hide.  That gap is the multi-striding opportunity.
+
+    Attributes
+    ----------
+    n_engines:
+        Concurrent stream engines (table capacity, LRU-evicted).
+    train_threshold:
+        Consecutive same-stride accesses before an engine issues.
+    degree:
+        Prefetch issues per trigger (the rate limit).
+    max_distance:
+        Run-ahead cap in lines (the paper's ``L2maxpref``).
+    page_lines:
+        Lines per tracked region (4 KiB page / 64 B line = 64); engines
+        never prefetch past their page boundary and a stream entering a
+        new page must retrain a fresh engine, as on real hardware.
+    latency_accesses:
+        Demand accesses a prefetch stays in flight; a demand hit earlier
+        than that is *late* and still stalls.  The default is chosen
+        against ``max_distance``: a single vectorized stream touches a
+        new line every ~4 accesses, so its run-ahead hides at most
+        ``20 * 4 = 80`` accesses — short of the pipeline's 160.  Four
+        interleaved sub-streams quadruple the per-stream gap and clear
+        it.  That asymmetry *is* the multi-striding opportunity.
+    """
+
+    n_engines: int = 8
+    train_threshold: int = 2
+    degree: int = 2
+    max_distance: int = 20
+    page_lines: int = 64
+    latency_accesses: int = 160
+
+    def __post_init__(self) -> None:
+        if self.n_engines <= 0:
+            raise ValueError(f"n_engines must be positive, got {self.n_engines}")
+        if self.degree < 0:
+            raise ValueError(f"degree must be non-negative, got {self.degree}")
+        if self.max_distance <= 0:
+            raise ValueError(
+                f"max_distance must be positive, got {self.max_distance}"
+            )
+        if self.page_lines <= 0:
+            raise ValueError(
+                f"page_lines must be positive, got {self.page_lines}"
+            )
+        if self.latency_accesses < 0:
+            raise ValueError(
+                f"latency_accesses must be non-negative, "
+                f"got {self.latency_accesses}"
+            )
+
+
+class _Engine:
+    """One stream engine: tracks a single page's access stream."""
+
+    __slots__ = ("page", "last_line", "stride", "confidence", "issued_until")
+
+    def __init__(self, page: int, line: int) -> None:
+        self.page = page
+        self.last_line = line
+        self.stride = 0
+        self.confidence = 0
+        # Highest line already requested along the stride (run-ahead
+        # frontier); meaningful only once trained.
+        self.issued_until = line
+
+
+class MultiStreamPrefetcher:
+    """Bounded multi-stream detector with deterministic LRU eviction.
+
+    Engines are keyed by 4 KiB page, allocated on first touch and evicted
+    least-recently-used when the pool of ``n_engines`` is full.  A trained
+    engine issues at most ``degree`` prefetches per trigger, keeps its
+    run-ahead within ``max_distance`` lines and never crosses its page.
+
+    :meth:`observe` returns ``(targets, arrival)`` where ``arrival`` is the
+    access-count timestamp at which the issued lines stop being in flight;
+    the hierarchy uses it to classify later demand hits as late/on-time.
+    """
+
+    __slots__ = ("params", "_engines", "stats", "_clock")
+
+    def __init__(self, params: Optional[StreamModelParams] = None) -> None:
+        self.params = params or StreamModelParams()
+        # page -> _Engine, LRU order (first = coldest).
+        self._engines: "OrderedDict[int, _Engine]" = OrderedDict()
+        self.stats = StreamTableStats(capacity=self.params.n_engines)
+        self._clock = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._engines)
+
+    def observe(self, ref_id: int, line: int) -> Tuple[List[int], int]:
+        """Record a demand access at the next clock tick.
+
+        Returns ``(targets, arrival_clock)``: the lines to prefetch (maybe
+        empty) and the clock at which they arrive.
+        """
+        p = self.params
+        self._clock += 1
+        page = line // p.page_lines
+        engine = self._engines.get(page)
+        if engine is None:
+            engine = _Engine(page, line)
+            if len(self._engines) >= p.n_engines:
+                self._engines.popitem(last=False)
+                self.stats.evictions += 1
+            self._engines[page] = engine
+            self.stats.allocations += 1
+            self.stats.occupancy = len(self._engines)
+            if self.stats.occupancy > self.stats.peak_occupancy:
+                self.stats.peak_occupancy = self.stats.occupancy
+            return [], self._clock
+        self._engines.move_to_end(page)
+        stride = line - engine.last_line
+        if stride == 0:
+            return [], self._clock
+        engine.last_line = line
+        if stride == engine.stride:
+            engine.confidence += 1
+        else:
+            engine.stride = stride
+            engine.confidence = 1
+            engine.issued_until = line
+        if engine.confidence < p.train_threshold:
+            return [], self._clock
+        if engine.confidence == p.train_threshold:
+            self.stats.trained += 1
+            engine.issued_until = line
+        # Rate-limited issue along the stride: at most ``degree`` new lines,
+        # within the run-ahead window, never past the page boundary.
+        targets: List[int] = []
+        page_lo = page * p.page_lines
+        page_hi = page_lo + p.page_lines - 1
+        step = engine.stride
+        frontier = engine.issued_until
+        for _ in range(p.degree):
+            nxt = frontier + step
+            if nxt < page_lo or nxt > page_hi:
+                break
+            if abs(nxt - line) > p.max_distance:
+                break
+            targets.append(nxt)
+            frontier = nxt
+        engine.issued_until = frontier
+        self.stats.prefetches_issued += len(targets)
+        return targets, self._clock + p.latency_accesses
+
+    def reset(self) -> None:
+        """Forget all engines and the clock (statistics are kept)."""
+        self._engines.clear()
+        self.stats.occupancy = 0
+        self._clock = 0

@@ -53,7 +53,17 @@ class LevelStats:
 
 @dataclass
 class HierarchyStats:
-    """Aggregated counters across the whole hierarchy plus memory."""
+    """Aggregated counters across the whole hierarchy plus memory.
+
+    ``stream_tables`` maps a prefetch-engine name (``"l2_stride"`` for the
+    bounded per-``ref_id`` stride table; ``"multi_stream"`` when the
+    multi-stream detector model is active) to its live
+    :class:`~repro.cachesim.prefetch.StreamTableStats` — occupancy,
+    peak occupancy and deterministic-LRU eviction counts.
+    ``late_prefetch_hits`` counts demand hits that arrived before their
+    prefetch did (multi-stream model only; always 0 under the legacy
+    prefetcher model).
+    """
 
     levels: List[LevelStats] = field(default_factory=list)
     memory_lines: int = 0          # demand lines fetched from DRAM
@@ -61,6 +71,8 @@ class HierarchyStats:
     nt_store_lines: int = 0        # non-temporal store line transactions
     writeback_lines: int = 0       # dirty lines written back to DRAM
     total_accesses: int = 0
+    late_prefetch_hits: int = 0
+    stream_tables: Dict[str, object] = field(default_factory=dict)
 
     def level(self, index: int) -> LevelStats:
         """1-based level lookup (level 1 = L1)."""

@@ -62,6 +62,10 @@ class OptimizationResult:
     temporal: Optional[TemporalResult]
     spatial: Optional[SpatialResult]
     runtime_seconds: float
+    #: The multi-striding classifier's verdict
+    #: (:class:`repro.multistride.MultistrideDecision`) when the
+    #: ``multistride`` option was enabled; ``None`` otherwise.
+    multistride: Optional[object] = None
 
     @property
     def locality(self) -> Locality:
@@ -80,6 +84,8 @@ class OptimizationResult:
             lines.append(f"  temporal: {self.temporal.describe()}")
         if self.spatial:
             lines.append(f"  spatial: {self.spatial.describe()}")
+        if self.multistride is not None:
+            lines.append(f"  multistride: {self.multistride.describe()}")
         lines.append(f"  schedule: {self.schedule.describe()}")
         return "\n".join(lines)
 
@@ -94,6 +100,7 @@ def optimize(
     exhaustive: bool = False,
     use_emu: bool = True,
     order_step: bool = True,
+    multistride="off",
     jobs: int = 1,
     deadline: Optional[Deadline] = None,
     tracer=None,
@@ -119,6 +126,13 @@ def optimize(
         verbatim (see :func:`repro.core.optimize_temporal` and
         :func:`repro.core.optimize_spatial`).  Both default to the
         paper's full method.
+    multistride:
+        ``"off"`` (default — the flow above, bit-identical to every
+        pre-multistride release), ``"auto"`` (run the three-way
+        tile-only / multistride-only / combined classifier of
+        :mod:`repro.multistride` and keep the cheapest strategy), or an
+        ``int >= 2`` (force that stream count on the best eligible
+        loop).
     jobs:
         Worker processes for the Algorithm-2/3 candidate searches
         (0 = auto, 1 = serial); results are bit-identical either way
@@ -157,6 +171,7 @@ def optimize(
             exhaustive=exhaustive,
             use_emu=use_emu,
             order_step=order_step,
+            multistride=multistride,
             jobs=jobs,
             tracer=tracer,
         )
@@ -172,6 +187,7 @@ def _optimize_under_deadline(
     exhaustive: bool,
     use_emu: bool,
     order_step: bool,
+    multistride,
     jobs: int,
     tracer,
 ) -> OptimizationResult:
@@ -271,6 +287,21 @@ def _optimize_under_deadline(
             nontemporal=use_nti,
         )
 
+    decision = None
+    if multistride != "off":
+        # Lazy import: the multistride package pulls in the simulator,
+        # which the disabled path must never pay for (nor depend on).
+        from repro.multistride import decide_strategy
+
+        decision = decide_strategy(
+            func,
+            arch,
+            schedule,
+            multistride=multistride,
+            tracer=tracer,
+        )
+        schedule = decision.schedule
+
     elapsed = time.perf_counter() - start
     return OptimizationResult(
         func=func,
@@ -279,6 +310,7 @@ def _optimize_under_deadline(
         temporal=temporal_result,
         spatial=spatial_result,
         runtime_seconds=elapsed,
+        multistride=decision,
     )
 
 
@@ -292,6 +324,7 @@ def optimize_pipeline(
     exhaustive: bool = False,
     use_emu: bool = True,
     order_step: bool = True,
+    multistride="off",
     jobs: int = 1,
     deadline: Optional[Deadline] = None,
     tracer=None,
@@ -323,6 +356,7 @@ def optimize_pipeline(
                 exhaustive=exhaustive,
                 use_emu=use_emu,
                 order_step=order_step,
+                multistride=multistride,
                 jobs=jobs,
             ).schedule
     return out

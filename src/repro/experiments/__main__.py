@@ -48,6 +48,7 @@ from repro.experiments import (  # noqa: F401  (imported for registry order)
     fig5,
     fig6,
     fig7,
+    mef,
     platforms,
     table4,
     table5,
@@ -64,6 +65,9 @@ ORDER = [
     ("Table 6", table6, True),
     ("Table 4", table4, True),
     ("Corpus", corpus, True),
+    # After Corpus: the mef regenerator appends its marked section to the
+    # CORPUS.md the corpus regenerator just rewrote.
+    ("Multistride", mef, True),
 ]
 
 #: Regenerators whose measurements flow through the recording-aware
@@ -71,7 +75,8 @@ ORDER = [
 #: set the sweep plans and executes in workers.  Table 6 (tile-size
 #: models) measures inline by design: its cells are deterministic
 #: simulator runs, cheap relative to the autotuner searches — and the
-#: corpus win/loss table measures inline for the same reason.
+#: corpus win/loss and mef three-strategy tables measure inline for the
+#: same reason.
 SWEPT_MODULES = (table5, fig4, fig6, fig5, fig7, table4)
 
 #: Journal location when neither --journal nor REPRO_SWEEP_JOURNAL is set.

@@ -1,0 +1,245 @@
+"""Three-strategy table: tile-only vs multistride-only vs combined.
+
+For every stage of every ``mef``-family corpus kernel (the
+multi-striding evaluation set of Blom et al., lowered from spec strings
+like the rest of the corpus), this regenerator runs the paper's
+optimizer to obtain the ``tile`` incumbent and then asks the three-way
+classifier (:func:`repro.multistride.decide_strategy`) to price the
+feasible ``multistride``/``combined`` challengers on the dedicated
+pricing machine.  The published table therefore *is* the classifier's
+argmin — same candidates, same machine, same margins — not a parallel
+re-derivation that could drift.
+
+Everything is deterministic (the pricing machine has a fixed line
+budget, the stream model has no randomness), so two runs of ::
+
+    python -m repro.experiments.mef
+
+produce bit-identical tables; CI's ``multistride-smoke`` job compares a
+4-kernel sweep run twice, byte for byte.  On full-size runs the rendered
+markdown replaces the marked section at the end of ``CORPUS.md``
+(``--fast`` and ``--only`` runs never rewrite it).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence
+
+from repro.arch import platform_by_name
+from repro.core import optimize
+from repro.experiments.harness import ExperimentConfig, format_table
+from repro.frontend.corpus import CORPUS
+from repro.multistride import (
+    STRATEGY_COMBINED,
+    STRATEGY_MULTISTRIDE,
+    STRATEGY_TILE,
+    decide_strategy,
+    pricing_machine,
+)
+
+PLATFORM = "i7-5930k"
+
+#: Family this regenerator sweeps.
+FAMILY = "mef"
+
+#: Where the committed table lives: a marked section appended to the
+#: corpus artifact (regenerated on full runs only).
+TABLE_ENV = "REPRO_MEF_TABLE"
+TABLE_PATH = "CORPUS.md"
+
+SECTION_BEGIN = "<!-- mef-three-strategy:begin -->"
+SECTION_END = "<!-- mef-three-strategy:end -->"
+
+STRATEGIES = (STRATEGY_TILE, STRATEGY_MULTISTRIDE, STRATEGY_COMBINED)
+
+
+def _family_kernels():
+    return [kernel for kernel in CORPUS if kernel.family == FAMILY]
+
+
+def run(
+    *,
+    config: Optional[ExperimentConfig] = None,
+    echo: bool = True,
+    only: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict]:
+    """Classify every ``mef`` stage; returns ``{"kernel/stage": row}``
+    plus the per-strategy aggregate under the ``"strategies"`` key.
+
+    ``only`` restricts the run to the named kernels (CI smoke subsets);
+    restricted and ``--fast`` runs never rewrite the committed table.
+    """
+    config = config or ExperimentConfig()
+    arch = platform_by_name(PLATFORM)
+    machine = pricing_machine(arch)
+
+    kernels = _family_kernels()
+    if only is not None:
+        wanted = set(only)
+        unknown = wanted - {kernel.name for kernel in kernels}
+        if unknown:
+            raise SystemExit(
+                f"unknown {FAMILY} kernel(s): {', '.join(sorted(unknown))}"
+            )
+        kernels = [kernel for kernel in kernels if kernel.name in wanted]
+
+    rows: Dict[str, Dict] = {}
+    for kernel in kernels:
+        case = kernel.case(fast=config.fast)
+        for stage in case.funcs:
+            tile = optimize(stage, arch).schedule
+            decision = decide_strategy(stage, arch, tile, machine=machine)
+            label = (
+                kernel.name
+                if len(case.funcs) == 1
+                else f"{kernel.name}/{stage.name}"
+            )
+            rows[label] = {
+                "kernel": kernel.name,
+                "stage": stage.name,
+                "strategy": decision.strategy,
+                "streams": decision.streams,
+                "loop": decision.loop,
+                "costs": dict(decision.costs),
+            }
+
+    strategies: Dict[str, Dict] = {
+        name: {"stages": 0, "kernels": []} for name in STRATEGIES
+    }
+    for label, row in rows.items():
+        agg = strategies[row["strategy"]]
+        agg["stages"] += 1
+        agg["kernels"].append(label)
+
+    if echo:
+        print(_render(rows, strategies, config))
+    if not config.fast and only is None:
+        path = os.environ.get(TABLE_ENV, TABLE_PATH)
+        _write_section(_markdown(rows, strategies), path)
+    return {**rows, "strategies": strategies}
+
+
+def _cost(row, name) -> str:
+    value = row["costs"].get(name)
+    return "—" if value is None else f"{value:.4f}"
+
+
+def _rewrite(row) -> str:
+    if row["strategy"] == STRATEGY_TILE:
+        return "—"
+    return f"{row['loop']} x{row['streams']}"
+
+
+def _stage_rows(rows):
+    return [
+        (
+            label,
+            _cost(row, STRATEGY_TILE),
+            _cost(row, STRATEGY_MULTISTRIDE),
+            _cost(row, STRATEGY_COMBINED),
+            row["strategy"],
+            _rewrite(row),
+        )
+        for label, row in rows.items()
+    ]
+
+
+def _strategy_rows(strategies):
+    return [
+        (
+            name,
+            strategies[name]["stages"],
+            ", ".join(strategies[name]["kernels"]) or "—",
+        )
+        for name in STRATEGIES
+    ]
+
+
+_STAGE_HEADERS = (
+    "kernel", "tile ms", "multistride ms", "combined ms", "chosen", "rewrite"
+)
+_STRATEGY_HEADERS = ("strategy", "stages", "chosen for")
+
+
+def _render(rows, strategies, config) -> str:
+    sizes = "smoke sizes" if config.fast else "corpus sizes"
+    lines = [
+        f"Three-strategy classification — {PLATFORM} ({sizes}), "
+        f"{len(rows)} stages ({FAMILY} family)",
+        format_table(_STAGE_HEADERS, _stage_rows(rows)),
+        "",
+        "Per-strategy summary:",
+        format_table(_STRATEGY_HEADERS, _strategy_rows(strategies)),
+    ]
+    return "\n".join(lines)
+
+
+def _markdown(rows, strategies) -> str:
+    def table(headers, body):
+        out = [
+            "| " + " | ".join(str(h) for h in headers) + " |",
+            "|" + "|".join(" --- " for _ in headers) + "|",
+        ]
+        out += ["| " + " | ".join(str(c) for c in r) + " |" for r in body]
+        return "\n".join(out)
+
+    return (
+        "## Multi-striding: three-strategy classification\n\n"
+        "Per-stage verdict of the three-way strategy classifier\n"
+        "(`repro.multistride`) over the `mef` family: the main\n"
+        "optimizer's schedule (*tile*), the best feasible\n"
+        "`multistride(loop, K)` on the untransformed schedule\n"
+        "(*multistride*), and multistride applied on top of the tiled\n"
+        f"schedule (*combined*), priced on the simulated {PLATFORM}\n"
+        "with the multi-stream detector enabled.  `—` marks strategies\n"
+        "with no feasible candidate.  Regenerate with\n"
+        "`python -m repro.experiments.mef` (full sizes; `--fast` and\n"
+        "`--only` runs never rewrite this section).\n\n"
+        + table(_STAGE_HEADERS, _stage_rows(rows))
+        + "\n\n### Per-strategy summary\n\n"
+        + table(_STRATEGY_HEADERS, _strategy_rows(strategies))
+        + "\n"
+    )
+
+
+def _write_section(section: str, path: str) -> None:
+    """Replace (or append) the marked section of ``path``, idempotently."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except FileNotFoundError:
+        text = ""
+    begin = text.find(SECTION_BEGIN)
+    end = text.find(SECTION_END)
+    if begin != -1 and end != -1:
+        text = text[:begin] + text[end + len(SECTION_END):]
+    block = f"{SECTION_BEGIN}\n{section}{SECTION_END}\n"
+    text = text.rstrip("\n")
+    text = f"{text}\n\n{block}" if text else block
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.mef",
+        description="Three-way tile/multistride/combined classification "
+        "over the mef corpus family.",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="smoke sizes (never rewrites the committed table)",
+    )
+    parser.add_argument(
+        "--only",
+        metavar="K1,K2,...",
+        help="comma-separated kernel subset (never rewrites the table)",
+    )
+    args = parser.parse_args()
+    run(
+        config=ExperimentConfig(fast=args.fast),
+        only=args.only.split(",") if args.only else None,
+    )

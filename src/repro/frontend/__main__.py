@@ -7,6 +7,8 @@ Usage::
     python -m repro.frontend corpus
     python -m repro.frontend manifest > benchmarks/corpus_manifest.json
     python -m repro.frontend manifest --check benchmarks/corpus_manifest.json
+    python -m repro.frontend manifest --family mef --check \
+        benchmarks/corpus_manifest.json
 
 ``lower`` prints the lowered stages and their content fingerprints —
 the hashes the serve layer coalesces and shards on — so two interpreter
@@ -109,12 +111,34 @@ def cmd_corpus(_args) -> int:
     return EXIT_OK
 
 
-def _render_manifest() -> str:
-    return json.dumps(corpus_manifest(), indent=2, sort_keys=True) + "\n"
+def _filter_family(manifest: dict, family):
+    if family is None:
+        return manifest
+    return {
+        "format": manifest["format"],
+        "kernels": {
+            name: entry
+            for name, entry in manifest["kernels"].items()
+            if entry.get("family") == family
+        },
+    }
+
+
+def _render_manifest(family=None) -> str:
+    manifest = _filter_family(corpus_manifest(), family)
+    return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
 
 
 def cmd_manifest(args) -> int:
-    rendered = _render_manifest()
+    families = {kernel.family for kernel in CORPUS}
+    if args.family is not None and args.family not in families:
+        print(
+            f"error: unknown family {args.family!r}; "
+            f"known: {sorted(families)}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    rendered = _render_manifest(args.family)
     if args.check is None:
         sys.stdout.write(rendered)
         return EXIT_OK
@@ -127,11 +151,29 @@ def cmd_manifest(args) -> int:
             file=sys.stderr,
         )
         return EXIT_USAGE
-    if golden == rendered:
-        print(
-            f"{args.check}: manifest matches "
-            f"({len(corpus_manifest()['kernels'])} kernels)"
+    if args.family is not None:
+        # Compare only the selected family's slice of the golden file,
+        # rendered through the same canonical JSON as the regeneration.
+        try:
+            golden_doc = json.loads(golden)
+        except json.JSONDecodeError as exc:
+            print(
+                f"error: {args.check!r} is not valid JSON ({exc.msg})",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        golden = (
+            json.dumps(
+                _filter_family(golden_doc, args.family),
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
         )
+    if golden == rendered:
+        scope = f"family {args.family!r}" if args.family else "manifest"
+        count = len(json.loads(rendered)["kernels"])
+        print(f"{args.check}: {scope} matches ({count} kernels)")
         return EXIT_OK
     diff = difflib.unified_diff(
         golden.splitlines(keepends=True),
@@ -179,6 +221,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_manifest.add_argument("--check", default=None, metavar="PATH",
                             help="compare against a committed manifest; "
                                  "exit 1 on drift")
+    p_manifest.add_argument("--family", default=None, metavar="NAME",
+                            help="restrict to one corpus family (with "
+                                 "--check, gate only that family's slice)")
 
     return parser
 

@@ -7,7 +7,7 @@ manifest (``benchmarks/corpus_manifest.json``) pins every kernel's
 per-stage fingerprints and classification, and CI fails on any lowering
 or classifier drift.
 
-Three families:
+Four families:
 
 * **polybench** — the PolyBench kernels ROADMAP item 3 calls for beyond
   the hand-written suite (bicg, atax, mvt, gemver, gesummv, doitgen,
@@ -15,7 +15,13 @@ Three families:
 * **dl** — DL-shaped ops (batched matmul, convolutions with channels,
   depthwise, attention-shaped chains, a 2-layer MLP);
 * **micro** — streaming/transposition micro-kernels that pin the
-  classifier's SPATIAL/NONE boundaries.
+  classifier's SPATIAL/NONE boundaries;
+* **mef** — the multi-striding evaluation family (Blom et al.): long
+  streaming reductions, column-major walks, stencils and convolutions
+  sized so the three-way strategy classifier
+  (:mod:`repro.multistride.strategy`) has something real to decide —
+  its sweep (:mod:`repro.experiments.mef`) shows every verdict (tile /
+  multistride / combined) at least once.
 
 Sizing: ``dims`` are the measurement sizes (modest — the corpus trades
 per-kernel size for breadth); ``fast_dims`` are the smoke sizes used by
@@ -51,7 +57,7 @@ class CorpusKernel:
     """One corpus entry: a spec plus everything needed to lower it."""
 
     name: str
-    family: str  # "polybench" | "dl" | "micro"
+    family: str  # "polybench" | "dl" | "micro" | "mef"
     description: str
     spec: str
     dims: Mapping[str, int]
@@ -328,6 +334,65 @@ CORPUS: Tuple[CorpusKernel, ...] = (
         "blur1d3", "micro", "horizontal 3-tap blur",
         "B[y,x] = 0.25 * A[y,x-1] + 0.5 * A[y,x] + 0.25 * A[y,x+1]",
         _square(512, "x", "y"), _square(64, "x", "y"),
+    ),
+    # ---- mef: multi-striding evaluation family (Blom et al.) ----------
+    # Sized so one vectorized stream cannot hide the prefetch latency
+    # (long contiguous reduction axes) — the regime where interleaved
+    # sub-streams pay — alongside shapes where they cannot (stencils
+    # whose engines a split would thrash, nests with no serial stream
+    # loop left).  The three-strategy table over this family is
+    # regenerated by ``python -m repro.experiments.mef``.
+    _k(
+        "mef-mxv", "mef", "matrix-vector product, long reduction rows",
+        "y[i] += A[i,k] * x[k]",
+        {"i": 2048, "k": 8192}, {"i": 128, "k": 512},
+    ),
+    _k(
+        "mef-mxvt", "mef",
+        "transposed matrix-vector product (column-major walk)",
+        "z[j] += A[i,j] * w[i]",
+        {"i": 4096, "j": 4096}, {"i": 256, "j": 256},
+    ),
+    _k(
+        "mef-rowsum", "mef", "row-wise reduction over a wide matrix",
+        "acc[i] += A[i,k]",
+        {"i": 2048, "k": 16384}, {"i": 128, "k": 1024},
+    ),
+    _k(
+        "mef-bicg", "mef", "BiCG sub-kernel at multi-striding sizes",
+        "s[j] += A[i,j] * r[i]; q[i2] += A[i2,j2] * p[j2]",
+        _square(2048, "i", "j", "i2", "j2"),
+        _square(128, "i", "j", "i2", "j2"),
+    ),
+    _k(
+        "mef-gemver", "mef",
+        "rank-2 update then matrix-vector product, multi-striding sizes",
+        "Ah[i,j] = A[i,j] + u1[i] * v1[j] + u2[i] * v2[j];"
+        " w[i2] += alpha * Ah[i2,j2] * x[j2]",
+        _square(2048, "i", "j", "i2", "j2"),
+        _square(128, "i", "j", "i2", "j2"),
+        params={"alpha": 1.5},
+    ),
+    _k(
+        "mef-doitgen", "mef",
+        "multi-resolution contraction (temporal reuse keeps tiling ahead)",
+        "Acc[r,q,p] += A[r,q,s] * C4[s,p]",
+        _square(64, "r", "q", "p", "s"),
+        _square(16, "r", "q", "p", "s"),
+    ),
+    _k(
+        "mef-jacobi2d", "mef",
+        "5-point Jacobi stencil with very long rows",
+        "Jac[y,x] = 0.2 * (Ain[y,x] + Ain[y,x-1] + Ain[y,x+1]"
+        " + Ain[y-1,x] + Ain[y+1,x])",
+        {"x": 8192, "y": 512}, {"x": 512, "y": 64},
+    ),
+    _k(
+        "mef-conv3x3", "mef",
+        "3x3 convolution with long rows (engine pool already saturated)",
+        "Out[f,y,x] += In[c,y+ky,x+kx] * W[f,c,ky,kx]",
+        {"f": 16, "c": 16, "y": 64, "x": 2048, "ky": 3, "kx": 3},
+        {"f": 4, "c": 4, "y": 16, "x": 256, "ky": 3, "kx": 3},
     ),
 )
 

@@ -135,12 +135,18 @@ def codegen_nest(nest: LoopNest, indent: str = "    ") -> str:
     """Emit the body (loops + statement) of one lowered nest."""
     lines: List[str] = []
     depth = 1
+    stream_loops = dict(nest.stmt.stream_loops)
     for loop in nest.loops:
         pad = indent * depth
         if loop.kind is LoopKind.PARALLEL:
             lines.append(f"{pad}#pragma omp parallel for")
         elif loop.kind is LoopKind.VECTORIZED:
             lines.append(f"{pad}#pragma omp simd")
+        elif loop.name in stream_loops:
+            lines.append(
+                f"{pad}/* multistride: {stream_loops[loop.name]} "
+                f"interleaved streams */"
+            )
         lines.append(
             f"{pad}for (int64_t {loop.name} = 0; {loop.name} < "
             f"{loop.extent}; {loop.name}++) {{"

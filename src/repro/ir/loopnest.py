@@ -33,6 +33,9 @@ class Stmt:
     index_trees: Dict[str, IndexNode]
     guards: Dict[str, int] = field(default_factory=dict)
     nontemporal: bool = False
+    #: (stream-id loop name, stream count) pairs for loops created by the
+    #: ``multistride`` directive; empty for every other schedule.
+    stream_loops: Tuple[Tuple[str, int], ...] = ()
 
     @property
     def reads(self) -> List[Access]:

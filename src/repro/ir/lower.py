@@ -71,6 +71,7 @@ def _lower_one(func: Func, definition_index: int, schedule: Schedule) -> LoopNes
         index_trees=schedule.index_trees(),
         guards=schedule.guards(),
         nontemporal=schedule.nontemporal,
+        stream_loops=tuple(sorted(schedule.stream_loops().items())),
     )
     return LoopNest(
         func=func,

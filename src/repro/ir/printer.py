@@ -69,6 +69,7 @@ def print_nest(nest: LoopNest, indent: str = "  ") -> str:
     """Render a lowered nest as nested pseudo-C ``for`` loops."""
     lines: List[str] = []
     depth = 0
+    stream_loops = dict(nest.stmt.stream_loops)
     for loop in nest.loops:
         tag = ""
         if loop.kind is LoopKind.PARALLEL:
@@ -77,6 +78,8 @@ def print_nest(nest: LoopNest, indent: str = "  ") -> str:
             tag = "  // vectorized"
         elif loop.kind is LoopKind.UNROLLED:
             tag = "  // unrolled"
+        elif loop.name in stream_loops:
+            tag = f"  // multistride: {stream_loops[loop.name]} streams"
         lines.append(
             f"{indent * depth}for ({loop.name} = 0; {loop.name} < "
             f"{loop.extent}; {loop.name}++){tag}"

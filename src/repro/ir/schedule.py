@@ -184,6 +184,9 @@ class Schedule:
         self._index: Dict[str, IndexNode] = {}
         self._guards: Dict[str, int] = {}
         self._original_bounds: Dict[str, int] = {}
+        # stream-id loop name -> stream count, for loops created by
+        # :meth:`multistride` (annotated through lowering and codegen).
+        self._stream_loops: Dict[str, int] = {}
 
         for var in self.definition.all_vars():
             extent = func.bound_of(var.name)
@@ -218,6 +221,10 @@ class Schedule:
 
     def original_bounds(self) -> Dict[str, int]:
         return dict(self._original_bounds)
+
+    def stream_loops(self) -> Dict[str, int]:
+        """stream-id loop name -> stream count, for multistrided loops."""
+        return dict(self._stream_loops)
 
     def _find(self, name: str) -> int:
         for pos, loop in enumerate(self._loops):
@@ -392,6 +399,74 @@ class Schedule:
         for this definition's output."""
         self.nontemporal = True
         self.directives.append(Directive("store_nontemporal", ()))
+        return self
+
+    def multistride(
+        self,
+        var: VarLike,
+        streams: int,
+        *,
+        position: Optional[str] = None,
+        stream: Optional[str] = None,
+    ) -> "Schedule":
+        """Split loop ``var`` into ``streams`` interleaved strided
+        sub-streams (the multi-striding transform of Blom et al.,
+        "Multi-Strided Access Patterns to Boost Hardware Prefetching").
+
+        The iteration space is cut into ``streams`` contiguous chunks and
+        walked chunk-position-major: iteration order becomes
+        ``0, c, 2c, ..., 1, c+1, 2c+1, ...`` (``c`` = chunk length), i.e.
+        for each position the stream-id loop visits every chunk.  Every
+        memory reference indexed by ``var`` thereby becomes ``streams``
+        concurrent constant-stride streams, letting that many hardware
+        prefetch engines train and run ahead simultaneously.
+
+        Structurally this is ``split`` + ``reorder``:
+
+        * ``position`` (default ``{var}_ms``) — the *outer* loop over
+          positions within a chunk, extent ``ceil(extent / streams)``;
+        * ``stream`` (default ``{var}_ss``) — the *inner* loop over stream
+          ids, recorded as a stream loop and annotated through lowering,
+          printing and C codegen.
+
+        ``streams`` must be an ``int >= 2``; it is clamped to the loop
+        extent, and an imperfect chunking adds the usual split guard.  The
+        effective stream count (the ``stream`` loop's extent) can end up
+        below ``streams`` when the extent does not divide evenly.
+        """
+        name = _name_of(var)
+        if (
+            not isinstance(streams, int)
+            or isinstance(streams, bool)
+            or streams < 2
+        ):
+            raise ScheduleError(
+                f"multistride needs an integer stream count >= 2, "
+                f"got {streams!r}"
+            )
+        pos = self._find(name)
+        old = self._loops[pos]
+        if old.kind is not LoopKind.SERIAL:
+            raise ScheduleError(
+                f"cannot multistride loop {name!r}: it is already "
+                f"{old.kind.value}"
+            )
+        position = position or f"{name}_ms"
+        stream = stream or f"{name}_ss"
+        k = min(streams, old.extent)
+        chunk = ceil_div(old.extent, k)
+        # Record as ONE first-class directive: drop the constituent
+        # split/reorder records so printing/serialization round-trip the
+        # multistride call itself.
+        before = len(self.directives)
+        self.split(name, stream, position, chunk)
+        self.reorder(stream, position)
+        del self.directives[before:]
+        actual_k = self._loops[self._find(stream)].extent
+        self._stream_loops[stream] = actual_k
+        self.directives.append(
+            Directive("multistride", (name, streams, position, stream))
+        )
         return self
 
     def tile(

@@ -79,6 +79,11 @@ def schedule_from_dict(func: Func, payload: Dict) -> Schedule:
             schedule.unroll(args[0])
         elif kind == "store_nontemporal":
             schedule.store_nontemporal()
+        elif kind == "multistride":
+            var, streams, position, stream = args
+            schedule.multistride(
+                var, int(streams), position=position, stream=stream
+            )
         else:
             raise ScheduleError(f"unknown directive kind {kind!r}")
     return schedule

@@ -154,3 +154,24 @@ def validate_schedule(schedule: Schedule) -> None:
                 f"vectorized loop {loop.name!r} has extent {loop.extent}; "
                 f"split it first (limit 256)"
             )
+
+    # Stream-id loops recorded by multistride must still exist, stay
+    # serial (the interleaving is the point — parallelizing or
+    # vectorizing the stream loop destroys it) and match the recorded
+    # stream count.
+    for name, count in schedule.stream_loops().items():
+        if name not in extents:
+            raise ScheduleError(
+                f"multistride stream loop {name!r} no longer exists"
+            )
+        loop = next(l for l in schedule.loops() if l.name == name)
+        if loop.kind is not LoopKind.SERIAL:
+            raise ScheduleError(
+                f"multistride stream loop {name!r} must stay serial, "
+                f"is {loop.kind.value}"
+            )
+        if loop.extent != count:
+            raise ScheduleError(
+                f"multistride stream loop {name!r} has extent "
+                f"{loop.extent}, expected {count} streams"
+            )

@@ -1,0 +1,65 @@
+"""Multi-striding: interleaved strided sub-streams for prefetch engines.
+
+Reproduces the technique family of Blom et al., "Multi-Strided Access
+Patterns to Boost Hardware Prefetching", on top of this repo's scheduling
+language and simulator:
+
+* :mod:`repro.multistride.model` — the analytic contention terms: when can
+  ``K`` sub-streams hide the prefetch latency, and when do they overflow
+  the engine pool;
+* :mod:`repro.multistride.search` — where to apply ``multistride(loop, K)``
+  on a concrete schedule, and with which ``K``;
+* :mod:`repro.multistride.strategy` — the three-way classifier picking
+  tile-only / multistride-only / combined per kernel by pricing the
+  candidates on a machine with the multi-stream detector enabled.
+
+The package is imported lazily by :mod:`repro.core.optimizer` (only when
+the ``multistride`` option is not ``"off"``), keeping the default
+optimization path free of any simulator dependency.
+"""
+
+from repro.multistride.model import (
+    STREAM_CANDIDATES,
+    StreamEstimate,
+    choose_streams,
+    covers_latency,
+)
+from repro.multistride.search import (
+    MultistridePlan,
+    apply_multistride,
+    clone_schedule,
+    loop_strides,
+    optimize_multistride,
+    plan_multistride,
+)
+from repro.multistride.strategy import (
+    PRICING_LINE_BUDGET,
+    STRATEGY_COMBINED,
+    STRATEGY_MULTISTRIDE,
+    STRATEGY_TILE,
+    TIE_MARGIN,
+    MultistrideDecision,
+    decide_strategy,
+    pricing_machine,
+)
+
+__all__ = [
+    "MultistrideDecision",
+    "MultistridePlan",
+    "PRICING_LINE_BUDGET",
+    "STRATEGY_COMBINED",
+    "STRATEGY_MULTISTRIDE",
+    "STRATEGY_TILE",
+    "STREAM_CANDIDATES",
+    "StreamEstimate",
+    "TIE_MARGIN",
+    "apply_multistride",
+    "choose_streams",
+    "clone_schedule",
+    "covers_latency",
+    "decide_strategy",
+    "loop_strides",
+    "optimize_multistride",
+    "plan_multistride",
+    "pricing_machine",
+]

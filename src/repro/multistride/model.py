@@ -1,0 +1,157 @@
+"""Analytic terms of the multi-stream contention model.
+
+Why multi-striding wins, in the simulator's own units: a stream engine can
+run at most ``max_distance`` lines ahead of demand, and a prefetch stays in
+flight for ``latency_accesses`` demand accesses.  A *single* stream whose
+per-line demand gap is ``g`` accesses can therefore hide at most
+``max_distance * g`` accesses of latency — when that product falls short of
+``latency_accesses`` every prefetch lands *late*.  Splitting the stream
+into ``K`` interleaved sub-streams multiplies the per-stream gap by ``K``
+without changing the total traffic, which is exactly the slack the engines
+need (Blom et al., "Multi-Strided Access Patterns to Boost Hardware
+Prefetching").
+
+The loss mode is engine contention: the detector holds ``n_engines``
+page-keyed engines with LRU eviction.  Multi-striding a statement with
+``R`` strided references asks for ``K * R`` concurrent engines; once that
+exceeds the pool, the round-robin access order evicts every engine before
+its next touch and nothing ever trains — strictly worse than not
+multi-striding.  There is a second, geometric constraint: sub-streams must
+sit in *distinct* 4 KiB pages (engines are page-keyed), so each chunk of
+the split iteration space has to span at least one page per reference.
+
+This module prices those two constraints.  It deliberately stops there:
+the strategy classifier (:mod:`repro.multistride.strategy`) decides between
+tile-only / multistride-only / combined by *simulating* the candidates, so
+the analytic model only has to pick a stream count and reject infeasible
+rewrites, not rank strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.cachesim.prefetch import StreamModelParams
+from repro.util import ceil_div
+
+#: Stream counts the search considers, in increasing order.  Powers of two
+#: keep the split chunks aligned with the candidate tile sizes elsewhere in
+#: the repo; 8 equals the default engine pool, the most a single-reference
+#: statement can productively occupy.
+STREAM_CANDIDATES: Tuple[int, ...] = (2, 4, 8)
+
+
+@dataclass(frozen=True)
+class StreamEstimate:
+    """Feasibility record for one candidate stream count.
+
+    Attributes
+    ----------
+    streams:
+        The candidate ``K`` (already clamped to the loop extent).
+    chunk_iters:
+        Iterations per sub-stream chunk, ``ceil(extent / streams)``.
+    active_engines:
+        Page-streams demanding engines concurrently:
+        ``strided_groups * streams + constant_groups``.
+    separation_lines:
+        Cache lines between the chunk starts of adjacent sub-streams of
+        the *tightest* strided reference.
+    fits_engines:
+        ``active_engines <= n_engines`` — no LRU thrash.
+    fits_pages:
+        ``separation_lines >= page_lines`` — sub-streams train distinct
+        page-keyed engines.
+    """
+
+    streams: int
+    chunk_iters: int
+    active_engines: int
+    separation_lines: int
+    fits_engines: bool
+    fits_pages: bool
+
+    @property
+    def feasible(self) -> bool:
+        return self.fits_engines and self.fits_pages
+
+
+def covers_latency(gap_accesses: float, params: StreamModelParams) -> bool:
+    """Can a stream with this per-line demand gap hide the prefetch
+    latency?  (``max_distance`` lines of run-ahead, each ``gap`` accesses
+    apart, must span ``latency_accesses``.)  This is the inequality the
+    whole technique family pivots on."""
+    return params.max_distance * gap_accesses >= params.latency_accesses
+
+
+def active_engines(
+    strided_groups: int, constant_groups: int, streams: int
+) -> int:
+    """Concurrent page-streams after multi-striding: every strided
+    reference group becomes ``streams`` independent page walks; groups
+    that do not move along the split loop keep their single page."""
+    return strided_groups * streams + constant_groups
+
+
+def estimate(
+    streams: int,
+    *,
+    extent: int,
+    strided_groups: int,
+    constant_groups: int,
+    min_stride_elems: int,
+    dtype_size: int,
+    line_size: int,
+    params: StreamModelParams,
+) -> StreamEstimate:
+    """Price one candidate stream count against the two constraints."""
+    k = min(streams, extent)
+    chunk = ceil_div(extent, k)
+    separation = (chunk * min_stride_elems * dtype_size) // line_size
+    engines = active_engines(strided_groups, constant_groups, k)
+    return StreamEstimate(
+        streams=k,
+        chunk_iters=chunk,
+        active_engines=engines,
+        separation_lines=separation,
+        fits_engines=engines <= params.n_engines,
+        fits_pages=separation >= params.page_lines,
+    )
+
+
+def choose_streams(
+    *,
+    extent: int,
+    strided_groups: int,
+    constant_groups: int,
+    min_stride_elems: int,
+    dtype_size: int,
+    line_size: int,
+    candidates: Sequence[int] = STREAM_CANDIDATES,
+    params: Optional[StreamModelParams] = None,
+) -> Optional[StreamEstimate]:
+    """The largest feasible stream count, or ``None``.
+
+    Largest because more concurrent engines means more memory-level
+    parallelism (the paper's Fig. 4 trend) — the engine-pool constraint is
+    what stops the growth, and it is checked per candidate.
+    """
+    params = params or StreamModelParams()
+    best: Optional[StreamEstimate] = None
+    for streams in sorted(candidates):
+        if streams < 2:
+            continue
+        est = estimate(
+            streams,
+            extent=extent,
+            strided_groups=strided_groups,
+            constant_groups=constant_groups,
+            min_stride_elems=min_stride_elems,
+            dtype_size=dtype_size,
+            line_size=line_size,
+            params=params,
+        )
+        if est.feasible:
+            best = est
+    return best

@@ -1,0 +1,222 @@
+"""Find where (and how wide) to apply ``multistride`` on a schedule.
+
+The planner walks the scheduled loops innermost-first and, for each serial
+loop, asks the questions the hardware model cares about:
+
+* Which array references actually *move* when this loop steps?  The
+  per-iteration element stride of a scheduled loop is recovered from the
+  index-reconstruction trees (a split contributes ``outer * factor``), so
+  the answer is exact for any split/reordered nest; loops reached through a
+  fusion are skipped (their address walk is not an affine function of one
+  counter).
+* How many page-keyed prefetch engines would the rewrite occupy?
+  References are grouped by the 4 KiB page of their constant offset —
+  stencil neighbours like ``a[i][j-1]``/``a[i][j+1]`` share a page (and an
+  engine), while ``a[i-1][j]``/``a[i+1][j]`` live rows apart and count
+  separately, exactly as the detector sees them.
+
+Only the *innermost serial* loop — the loop whose every inner level is
+vectorized or unrolled — is a candidate.  Multi-striding interleaves lines
+only at the granularity of the loops *inside* the split loop: put a whole
+serial sweep in there and the "sub-streams" execute back to back instead of
+interleaved, buying nothing.  If the innermost serial loop is infeasible
+(too short for page-distinct chunks, or too many references for the engine
+pool) there is no plan; outer loops would be placebo rewrites.  Schedules
+are cloned through the serializer before mutation, so planning never
+touches the caller's object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.arch import ArchSpec
+from repro.cachesim.prefetch import StreamModelParams
+from repro.ir.analysis import RefInfo, analyze_definition
+from repro.ir.func import Func
+from repro.ir.schedule import (
+    FusedInner,
+    FusedOuter,
+    IndexNode,
+    LeafIndex,
+    LoopKind,
+    Schedule,
+    SplitIndex,
+)
+from repro.ir.serialize import schedule_from_dict, schedule_to_dict
+from repro.multistride.model import STREAM_CANDIDATES, StreamEstimate, choose_streams
+
+StreamRequest = Union[str, int]
+
+
+@dataclass(frozen=True)
+class MultistridePlan:
+    """One concrete multistride rewrite: which loop, how many streams."""
+
+    loop: str
+    streams: int
+    estimate: StreamEstimate
+
+    def describe(self) -> str:
+        est = self.estimate
+        return (
+            f"multistride({self.loop}, {self.streams}): "
+            f"{est.active_engines} engines, "
+            f"{est.separation_lines} lines apart"
+        )
+
+
+def clone_schedule(schedule: Schedule) -> Schedule:
+    """An independent copy of a schedule (serializer round-trip)."""
+    return schedule_from_dict(schedule.func, schedule_to_dict(schedule))
+
+
+def _loop_coeff(tree: IndexNode, loop: str) -> Optional[int]:
+    """Linear coefficient of ``loop`` in an index-reconstruction tree;
+    ``None`` when the loop is folded through a fusion (non-linear)."""
+    if isinstance(tree, LeafIndex):
+        return 1 if tree.loop == loop else 0
+    if isinstance(tree, SplitIndex):
+        outer = _loop_coeff(tree.outer, loop)
+        inner = _loop_coeff(tree.inner, loop)
+        if outer is None or inner is None:
+            return None
+        return outer * tree.factor + inner
+    if isinstance(tree, (FusedOuter, FusedInner)):
+        return None if loop in tree.loop_names() else 0
+    raise TypeError(f"unknown index node {tree!r}")
+
+
+def _const_elements(ref: RefInfo) -> int:
+    """Constant element offset of a reference (stencil displacement)."""
+    strides = ref.buffer.strides_elements()
+    return sum(ix.offset * strides[dim] for dim, ix in enumerate(ref.indices))
+
+
+def loop_strides(
+    schedule: Schedule, loop: str
+) -> Optional[List[Tuple[RefInfo, int]]]:
+    """Element stride of every reference per step of a *scheduled* loop.
+
+    Returns ``None`` when the loop's contribution to some index is not
+    linear (fused loops), i.e. the loop is not multistride-eligible.
+    """
+    info = analyze_definition(schedule.func, schedule.definition)
+    refs = [info.output] + info.inputs
+    trees = schedule.index_trees()
+    coeffs: Dict[str, Optional[int]] = {
+        var: _loop_coeff(tree, loop) for var, tree in trees.items()
+    }
+    if any(c is None for c in coeffs.values()):
+        return None
+    out: List[Tuple[RefInfo, int]] = []
+    for ref in refs:
+        stride = sum(
+            ref.stride_of(var) * coeff for var, coeff in coeffs.items() if coeff
+        )
+        out.append((ref, stride))
+    return out
+
+
+def _page_groups(
+    strides: List[Tuple[RefInfo, int]], page_elems: int
+) -> Tuple[int, int, int]:
+    """(strided_groups, constant_groups, min_stride_elems) over references
+    grouped by the page their constant offset lands in — the granularity
+    at which the detector allocates engines."""
+    groups: Dict[Tuple[str, int], bool] = {}
+    min_stride = 0
+    for ref, stride in strides:
+        key = (ref.name, _const_elements(ref) // max(1, page_elems))
+        groups[key] = groups.get(key, False) or stride != 0
+        if stride != 0:
+            min_stride = min(min_stride or abs(stride), abs(stride))
+    strided = sum(1 for moves in groups.values() if moves)
+    constant = len(groups) - strided
+    return strided, constant, min_stride
+
+
+def plan_multistride(
+    schedule: Schedule,
+    arch: ArchSpec,
+    *,
+    streams: StreamRequest = "auto",
+    params: Optional[StreamModelParams] = None,
+) -> Optional[MultistridePlan]:
+    """Pick the loop and stream count to multistride, or ``None``.
+
+    ``streams="auto"`` searches :data:`~repro.multistride.model.STREAM_CANDIDATES`
+    and keeps the widest feasible count; an integer fixes the count but
+    still requires an eligible, page-feasible loop (forcing a count never
+    forces a thrashing rewrite onto an unsuitable nest).
+    """
+    params = params or StreamModelParams()
+    line_size = arch.l1.line_size
+    dtype_size = schedule.func.dtype.size
+    page_elems = params.page_lines * line_size // dtype_size
+    candidates = (streams,) if isinstance(streams, int) else STREAM_CANDIDATES
+    stream_names = set(schedule.stream_loops())
+    target = None
+    for loop in reversed(schedule.loops()):
+        if loop.kind in (LoopKind.VECTORIZED, LoopKind.UNROLLED):
+            continue
+        if loop.extent == 1:
+            continue  # degenerate level, does not affect interleaving
+        # First remaining loop from the inside: the only position where
+        # multistride interleaves at line granularity.  Already a stream
+        # loop (or parallel): no (further) multistride for this nest.
+        if loop.kind is LoopKind.SERIAL and loop.name not in stream_names:
+            target = loop
+        break
+    if target is None:
+        return None
+    strides = loop_strides(schedule, target.name)
+    if strides is None:
+        return None
+    strided_groups, constant_groups, min_stride = _page_groups(
+        strides, page_elems
+    )
+    if strided_groups == 0:
+        return None
+    best = choose_streams(
+        extent=target.extent,
+        strided_groups=strided_groups,
+        constant_groups=constant_groups,
+        min_stride_elems=min_stride,
+        dtype_size=dtype_size,
+        line_size=line_size,
+        candidates=candidates,
+        params=params,
+    )
+    if best is None:
+        return None
+    return MultistridePlan(target.name, best.streams, best)
+
+
+def apply_multistride(schedule: Schedule, plan: MultistridePlan) -> Schedule:
+    """Clone ``schedule`` and apply a plan to the clone."""
+    rewritten = clone_schedule(schedule)
+    rewritten.multistride(plan.loop, plan.streams)
+    return rewritten
+
+
+def optimize_multistride(
+    func: Func,
+    arch: ArchSpec,
+    schedule: Optional[Schedule] = None,
+    *,
+    streams: StreamRequest = "auto",
+    params: Optional[StreamModelParams] = None,
+) -> Optional[Tuple[Schedule, MultistridePlan]]:
+    """Plan and apply multistride on ``schedule`` (default: the standard
+    untransformed schedule of ``func``).  Returns the rewritten schedule
+    with its plan, or ``None`` when no feasible rewrite exists."""
+    if schedule is None:
+        from repro.core.standard import untransformed_schedule
+
+        schedule = untransformed_schedule(func, arch)
+    plan = plan_multistride(schedule, arch, streams=streams, params=params)
+    if plan is None:
+        return None
+    return apply_multistride(schedule, plan), plan

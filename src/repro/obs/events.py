@@ -50,6 +50,13 @@ EVENT_EMU = "emu"
 EVENT_SIM_NEST = "sim.nest"
 #: Whole-simulation outcome (total milliseconds, nest count).
 EVENT_SIM_TOTAL = "sim.total"
+#: Stream-table snapshot of the multi-stream detector model (engine
+#: occupancy, evictions, late/on-time prefetch hits); emitted once per
+#: simulation, only when the stream model is active.
+EVENT_SIM_STREAMS = "sim.streams"
+#: The three-way strategy classifier's verdict for one Func (chosen
+#: strategy, stream count/loop, and the modeled cost of every candidate).
+EVENT_MULTISTRIDE = "multistride.decision"
 #: One fallback-chain rung attempt in ``safe_optimize``.
 EVENT_RUNG = "rung"
 #: Sweep cell lifecycle (see :class:`repro.sweep.SweepRunner`).

@@ -8,6 +8,10 @@ arguments on :class:`repro.api.OptimizeRequest`:
   ``vectorize``, ``exhaustive``, ``use_emu``, ``order_step``) — exactly
   the set the persistent :class:`repro.cache.ScheduleCache` and the
   serve-layer coalescing keys fingerprint;
+* ``multistride`` — the multi-striding strategy (``"off"`` | ``"auto"`` |
+  stream count ``>= 2``); schedule-changing and therefore
+  fingerprint-bearing, but included in :meth:`cache_dict` **only when
+  enabled**, so every pre-multistride fingerprint stays byte-identical;
 * ``jobs`` — parallel candidate evaluation; bit-identical to serial, so
   deliberately **excluded** from :meth:`cache_dict` (worker count must
   never fragment caches; see :mod:`repro.core.parallel`);
@@ -67,6 +71,7 @@ class OptimizeOptions:
     exhaustive: bool = False
     use_emu: bool = True
     order_step: bool = True
+    multistride: Union[str, int] = "off"
     jobs: Union[int, str] = 1
     tracer: object = None
 
@@ -76,13 +81,30 @@ class OptimizeOptions:
         from repro.core.parallel import resolve_jobs
 
         resolve_jobs(self.jobs)
+        ms = self.multistride
+        if isinstance(ms, bool) or not (
+            ms in ("off", "auto") or (isinstance(ms, int) and ms >= 2)
+        ):
+            raise ValueError(
+                f"multistride must be 'off', 'auto' or an int >= 2, "
+                f"got {ms!r}"
+            )
 
-    def cache_dict(self) -> Dict[str, bool]:
+    def cache_dict(self) -> Dict[str, object]:
         """The canonical options dict — exactly the switches that can
         change the chosen schedule, nothing that cannot (``jobs``,
         tracers, deadlines).  This is the options half of every cache,
-        coalescing and shard key."""
-        return {key: bool(getattr(self, key)) for key in CACHE_KEYS}
+        coalescing and shard key.
+
+        ``multistride`` joins the dict **only when enabled**: the default
+        ``"off"`` is omitted so every pre-multistride fingerprint, cache
+        entry, coalescing key and tune_id stays byte-identical."""
+        d: Dict[str, object] = {
+            key: bool(getattr(self, key)) for key in CACHE_KEYS
+        }
+        if self.multistride != "off":
+            d["multistride"] = self.multistride
+        return d
 
     def fingerprint(self) -> str:
         """SHA-256 of :meth:`cache_dict` (canonical JSON)."""

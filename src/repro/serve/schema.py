@@ -102,8 +102,13 @@ REASON_DEADLINE_EXHAUSTED = "deadline_exhausted"
 #: never a 500 from the worker.
 REASON_INVALID_SPEC = "invalid_spec"
 
-#: Option switches a request may set; exactly the schedule-cache key.
-OPTION_KEYS = tuple(optimize_options())
+#: Option switches a request may set: the six boolean schedule-cache
+#: switches plus the optional ``multistride`` strategy (``"off"`` |
+#: ``"auto"`` | stream count >= 2).  ``multistride`` is *optional* on
+#: the wire — the default ``"off"`` normalizes out of the canonical
+#: options dict, so default request bodies (and their coalescing keys)
+#: are byte-identical to pre-multistride servers'.
+OPTION_KEYS = tuple(optimize_options()) + ("multistride",)
 
 #: Counter names every metrics snapshot must carry (all >= 0 integers).
 METRIC_COUNTERS = (
@@ -248,6 +253,10 @@ def build_request(
         raise ServeError(
             f"unknown option(s) {unknown}; known: {list(OPTION_KEYS)}"
         )
+    try:
+        canonical = optimize_options(**options)
+    except ValueError as exc:
+        raise ServeError(str(exc)) from None
     if (benchmark is None) == (spec is None):
         raise ServeError(
             "a request needs exactly one of benchmark= or spec="
@@ -267,7 +276,7 @@ def build_request(
         benchmark=benchmark,
         platform=platform,
         fast=bool(fast),
-        options=optimize_options(**options),
+        options=canonical,
         jobs=jobs,
         deadline_ms=deadline_ms,
         format=SERVE_FORMAT if spec is None else SERVE_FORMAT_V11,
@@ -393,6 +402,16 @@ def parse_request(payload) -> ServeRequest:
             f"unknown option(s) {unknown}; known: {list(OPTION_KEYS)}"
         )
     for key, value in raw_options.items():
+        if key == "multistride":
+            if isinstance(value, bool) or not (
+                value in ("off", "auto")
+                or (isinstance(value, int) and value >= 2)
+            ):
+                raise ServeError(
+                    f"option 'multistride' must be 'off', 'auto' or an "
+                    f"integer >= 2, got {value!r}"
+                )
+            continue
         if not isinstance(value, bool):
             raise ServeError(
                 f"option {key!r} must be a boolean, got {value!r}"

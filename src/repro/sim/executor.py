@@ -34,6 +34,7 @@ class NestCounters:
     prefetch_mem_lines: int = 0
     nt_lines: int = 0
     writeback_lines: int = 0
+    late_pf_hits: int = 0
     simulated_stmts: int = 0
     total_stmts: int = 0
     emitted_lines: int = 0
@@ -201,6 +202,7 @@ def _run_window(
     )
     pf_mem_before = hierarchy.stats.prefetch_memory_lines
     wb_before = hierarchy.stats.writeback_lines
+    late_before = hierarchy.stats.late_prefetch_hits
     access = hierarchy.access
     nt_store = hierarchy.nt_store
     level_hits = [0] * (num_levels + 2)
@@ -232,4 +234,5 @@ def _run_window(
         hierarchy.stats.prefetch_memory_lines - pf_mem_before
     )
     counters.writeback_lines += hierarchy.stats.writeback_lines - wb_before
+    counters.late_pf_hits += hierarchy.stats.late_prefetch_hits - late_before
     return gen.record

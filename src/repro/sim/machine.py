@@ -21,12 +21,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.arch import ArchSpec
-from repro.cachesim import CacheHierarchy
+from repro.cachesim import CacheHierarchy, StreamModelParams
 from repro.ir.func import Func, Pipeline
 from repro.ir.loopnest import LoopNest
 from repro.ir.lower import lower, lower_pipeline
 from repro.ir.schedule import Schedule
-from repro.obs.events import EVENT_SIM_TOTAL
+from repro.obs.events import EVENT_SIM_STREAMS, EVENT_SIM_TOTAL
 from repro.obs.tracer import activate_tracer, current_tracer
 from repro.sim.executor import SimResult, run_nests
 from repro.sim.timing import NestTime, TimingModel, time_nest, total_time_ms
@@ -69,6 +69,11 @@ class Machine:
         Per-nest sampling budget (line accesses) for the trace generator.
     enable_prefetch:
         Master prefetcher switch (ablations).
+    stream_model:
+        Optional :class:`~repro.cachesim.StreamModelParams` enabling the
+        bounded multi-stream detector model (multi-striding evaluation).
+        ``None`` — the default for every committed baseline — keeps the
+        legacy prefetcher model bit-for-bit.
     tracer:
         Optional :class:`repro.obs.Tracer` installed as the ambient
         tracer for every simulation this machine runs (``sim.nest`` /
@@ -83,6 +88,7 @@ class Machine:
         timing: Optional[TimingModel] = None,
         line_budget: int = 200_000,
         enable_prefetch: bool = True,
+        stream_model: Optional[StreamModelParams] = None,
         tracer=None,
     ) -> None:
         if line_budget <= 0:
@@ -93,6 +99,7 @@ class Machine:
         self.timing = timing or TimingModel()
         self.line_budget = line_budget
         self.enable_prefetch = enable_prefetch
+        self.stream_model = stream_model
         self.tracer = tracer
 
     # ------------------------------------------------------------------
@@ -116,6 +123,7 @@ class Machine:
             l2_ways_divisor=l2_div,
             l3_capacity_divisor=l3_div,
             enable_prefetch=self.enable_prefetch,
+            stream_model=self.stream_model,
         )
 
     def run_lowered(
@@ -144,6 +152,14 @@ class Machine:
                     nests=len(nests),
                     parallel=parallel,
                 )
+                if self.stream_model is not None:
+                    multi = hierarchy.stats.stream_tables.get("multi_stream")
+                    if multi is not None:
+                        tracer.event(
+                            EVENT_SIM_STREAMS,
+                            late_prefetch_hits=hierarchy.stats.late_prefetch_hits,
+                            **multi.snapshot(),
+                        )
             return MachineReport(
                 total_ms=total, nest_times=nest_times, sim=sim
             )

@@ -51,6 +51,14 @@ class TimingModel:
     parallel_efficiency: float = 0.85
     vector_efficiency: float = 0.8
     smt_bonus: float = 0.25           # extra throughput per SMT sibling
+    #: Fraction of the *full* memory latency a *late* prefetch hit still
+    #: exposes (multi-stream model only; ``late_pf_hits`` is 0 under the
+    #: legacy prefetcher model, making this term an exact no-op there).
+    #: Late hits are NOT divided by ``mlp``: they stall on consecutive
+    #: lines of the same in-order stream, which is precisely the traffic
+    #: out-of-order overlap cannot parallelize — the fraction already
+    #: accounts for what little overlap remains.
+    late_prefetch_fraction: float = 0.3
 
     def bandwidth(self, arch: ArchSpec) -> float:
         if self.bw_bytes_per_cycle is not None:
@@ -166,6 +174,16 @@ def time_nest(
     # NT stores stream through write-combining buffers: near-free at
     # issue, a small per-line drain cost.
     latency += counters.scaled("nt_lines") * 0.25
+    # Late prefetch hits (multi-stream model): the line was found in cache
+    # but its prefetch had not landed yet, so part of the memory latency
+    # is still exposed — serialized along the stream, hence no mlp
+    # division (see TimingModel.late_prefetch_fraction).  Exactly zero
+    # under the legacy prefetcher model.
+    latency += (
+        counters.scaled("late_pf_hits")
+        * model.late_prefetch_fraction
+        * amem
+    )
 
     line_size = arch.l1.line_size
     dram_lines = (

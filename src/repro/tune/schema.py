@@ -46,7 +46,7 @@ CELL_RESUMED = "resumed"
 _CELL_STATUSES = (CELL_OK, CELL_QUARANTINED, CELL_RESUMED)
 
 #: Known corpus families a request may select by.
-KNOWN_FAMILIES = ("polybench", "dl", "micro")
+KNOWN_FAMILIES = ("polybench", "dl", "micro", "mef")
 
 
 def build_tune_request(
@@ -134,11 +134,11 @@ def validate_tune_request(payload: Dict) -> List[str]:
             if not isinstance(overlay, dict):
                 problems.append(f"grid[{index}] must be an object")
                 continue
-            unknown = sorted(set(overlay) - set(CACHE_KEYS))
+            unknown = sorted(set(overlay) - set(CACHE_KEYS) - {"multistride"})
             if unknown:
                 problems.append(
                     f"grid[{index}] has unknown option(s) {unknown}; "
-                    f"known: {list(CACHE_KEYS)}"
+                    f"known: {list(CACHE_KEYS) + ['multistride']}"
                 )
             bad = sorted(
                 k for k, v in overlay.items()
@@ -146,6 +146,16 @@ def validate_tune_request(payload: Dict) -> List[str]:
             )
             if bad:
                 problems.append(f"grid[{index}]: option(s) {bad} must be booleans")
+            if "multistride" in overlay:
+                ms = overlay["multistride"]
+                if isinstance(ms, bool) or not (
+                    ms in ("off", "auto")
+                    or (isinstance(ms, int) and ms >= 2)
+                ):
+                    problems.append(
+                        f"grid[{index}]: 'multistride' must be 'off', "
+                        f"'auto' or an integer >= 2, got {ms!r}"
+                    )
     if not isinstance(payload.get("fast", False), bool):
         problems.append("'fast' must be a boolean")
     deadline = payload.get("deadline_ms")
@@ -213,9 +223,12 @@ def validate_tune_record(payload: Dict) -> List[str]:
         if not isinstance(payload.get(name), str) or not payload.get(name):
             problems.append(f"'{name}' must be a non-empty string")
     options = payload.get("options")
-    if not isinstance(options, dict) or sorted(options) != sorted(CACHE_KEYS):
+    if not isinstance(options, dict) or sorted(
+        set(options) - {"multistride"}
+    ) != sorted(CACHE_KEYS):
         problems.append(
             f"'options' must carry exactly the switch set {list(CACHE_KEYS)}"
+            f" (plus an optional 'multistride')"
         )
     ms = payload.get("ms")
     if status in (CELL_OK, CELL_RESUMED):

@@ -1,0 +1,89 @@
+"""Tests for the mef three-strategy regenerator (:mod:`repro.experiments.mef`).
+
+The committed table's full-size facts are pinned by CI (two full runs
+compared byte for byte); here we keep the cheap invariants: smoke-size
+determinism, the ``--only`` contract, and the idempotent marked-section
+rewrite of ``CORPUS.md``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import mef
+from repro.experiments.harness import ExperimentConfig
+from repro.frontend.corpus import CORPUS
+
+
+SMOKE = ["mef-mxv", "mef-doitgen"]
+
+
+def _fast_run(only=SMOKE):
+    return mef.run(
+        config=ExperimentConfig(fast=True), echo=False, only=only
+    )
+
+
+class TestRun:
+    def test_two_runs_are_identical(self):
+        assert _fast_run() == _fast_run()
+
+    def test_rows_cover_every_stage_of_the_selection(self):
+        results = _fast_run(["mef-bicg"])
+        rows = {k: v for k, v in results.items() if k != "strategies"}
+        assert set(rows) == {"mef-bicg/s", "mef-bicg/q"}
+        for row in rows.values():
+            assert row["strategy"] in ("tile", "multistride", "combined")
+            assert "tile" in row["costs"]
+
+    def test_strategy_aggregate_accounts_for_every_row(self):
+        results = _fast_run()
+        rows = {k: v for k, v in results.items() if k != "strategies"}
+        total = sum(
+            agg["stages"] for agg in results["strategies"].values()
+        )
+        assert total == len(rows)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit, match="mef-nope"):
+            _fast_run(["mef-nope"])
+
+    def test_non_mef_kernels_are_not_selectable(self):
+        # matmul is a corpus kernel, but not of this family.
+        with pytest.raises(SystemExit, match="matmul"):
+            _fast_run(["matmul"])
+
+    def test_family_exists_and_is_sized_for_all_three_verdicts(self):
+        names = [k.name for k in CORPUS if k.family == mef.FAMILY]
+        assert len(names) >= 6
+        assert all(name.startswith("mef-") for name in names)
+
+
+class TestSectionRewrite:
+    def test_append_then_replace_is_idempotent(self, tmp_path):
+        path = tmp_path / "CORPUS.md"
+        path.write_text("# Corpus win/loss\n\nbody\n", encoding="utf-8")
+        mef._write_section("table one\n", str(path))
+        first = path.read_text(encoding="utf-8")
+        assert "table one" in first
+        assert first.startswith("# Corpus win/loss")
+        mef._write_section("table one\n", str(path))
+        assert path.read_text(encoding="utf-8") == first
+
+    def test_replaces_only_the_marked_section(self, tmp_path):
+        path = tmp_path / "CORPUS.md"
+        path.write_text("prefix\n", encoding="utf-8")
+        mef._write_section("old table\n", str(path))
+        mef._write_section("new table\n", str(path))
+        text = path.read_text(encoding="utf-8")
+        assert "old table" not in text
+        assert "new table" in text
+        assert text.startswith("prefix\n")
+        assert text.count(mef.SECTION_BEGIN) == 1
+
+    def test_missing_file_gets_created(self, tmp_path):
+        path = tmp_path / "fresh.md"
+        mef._write_section("table\n", str(path))
+        text = path.read_text(encoding="utf-8")
+        assert text.startswith(mef.SECTION_BEGIN)
+        assert text.endswith(f"{mef.SECTION_END}\n")

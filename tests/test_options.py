@@ -66,6 +66,42 @@ class TestOptimizeOptions:
             OptimizeOptions().jobs = 9
 
 
+class TestFingerprintNeutrality:
+    """Golden gate: the multistride option must be invisible when off.
+
+    Every deployed ScheduleCache entry, coalescing key, shard ring slot
+    and tune_id hashes the options fingerprint; the pinned value below
+    is the pre-multistride one, so a change here is a fleet-wide cache
+    invalidation and must be deliberate.
+    """
+
+    GOLDEN_DEFAULT = (
+        "367e4fa135788a064bf1d4f386358904a7a664295b475975221d41841f4a51bd"
+    )
+
+    def test_default_fingerprint_is_byte_identical_to_pre_multistride(self):
+        assert OptimizeOptions().fingerprint() == self.GOLDEN_DEFAULT
+        assert (
+            OptimizeOptions(multistride="off").fingerprint()
+            == self.GOLDEN_DEFAULT
+        )
+
+    def test_disabled_multistride_never_enters_the_cache_dict(self):
+        assert "multistride" not in OptimizeOptions().cache_dict()
+        assert "multistride" not in OptimizeOptions(
+            multistride="off"
+        ).cache_dict()
+
+    def test_enabled_multistride_forks_the_fingerprint(self):
+        enabled = OptimizeOptions(multistride="auto")
+        assert enabled.cache_dict()["multistride"] == "auto"
+        assert enabled.fingerprint() != self.GOLDEN_DEFAULT
+        assert (
+            OptimizeOptions(multistride=4).fingerprint()
+            != enabled.fingerprint()
+        )
+
+
 class TestDeprecationShim:
     def test_canonical_spelling_is_warning_free(self, arch):
         with warnings.catch_warnings():

@@ -39,7 +39,10 @@ class TestRequestRoundTrip:
             build_request("matmul", "i7-5930k", use_warp_drive=True)
 
     def test_option_keys_are_the_cache_key_switches(self):
-        assert set(OPTION_KEYS) == set(optimize_options())
+        # The wire surface is the six boolean cache-key switches plus the
+        # optional multistride strategy (whose "off" default normalizes
+        # out of the canonical dict, keeping old bodies byte-identical).
+        assert set(OPTION_KEYS) == set(optimize_options()) | {"multistride"}
 
 
 class TestParseRejections:
